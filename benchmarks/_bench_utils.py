@@ -1,0 +1,9 @@
+"""Helpers shared by the benchmark files."""
+
+from repro.report import render_comparison
+
+
+def print_comparison(rows, title):
+    """Render a paper-vs-measured table to stdout."""
+    print()
+    print(render_comparison(rows, title))

@@ -1,0 +1,81 @@
+"""Ablation — the privacy pipeline's knobs (Section 3.1).
+
+* Client threshold vs list depth: how high the unique-client threshold
+  must rise before study countries lose their top-10K (the paper chose
+  countries so that it never does).
+* Time-on-page sampling rate vs metric agreement: crank the 0.35 %
+  event sampling down and watch the loads/time intersection degrade —
+  the safeguard has a measurable analytical cost.
+"""
+
+from repro.core import Metric, Platform
+from repro.report import render_table
+from repro.synth import GeneratorConfig, TelemetryGenerator
+from repro.synth.privacy import PrivacyConfig, threshold_rank
+from repro.synth.traffic import global_distribution
+
+from _bench_utils import print_comparison
+
+
+def test_ablation_client_threshold(benchmark):
+    dist = global_distribution(Platform.WINDOWS, Metric.PAGE_LOADS)
+
+    def compute():
+        out = []
+        for web_scale, label in ((0.3, "smallest study country"),
+                                 (1.0, "median country"),
+                                 (10.0, "largest country")):
+            base = web_scale * 5_000_000
+            for threshold in (50, 1_000, 10_000, 100_000):
+                cutoff = threshold_rank(base, dist, threshold, max_rank=10_000)
+                out.append((label, threshold, cutoff))
+        return out
+
+    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+    print()
+    print(render_table(
+        ("install base", "client threshold", "surviving list depth"), rows,
+        title="Ablation — privacy threshold vs list depth",
+    ))
+
+    by_key = {(label, threshold): cutoff for label, threshold, cutoff in rows}
+    # At the study threshold every study country keeps its full 10K.
+    assert by_key[("smallest study country", 50)] == 10_000
+    # Harsher thresholds truncate the smallest countries first.
+    assert by_key[("smallest study country", 100_000)] < 10_000
+    assert (by_key[("largest country", 100_000)]
+            >= by_key[("smallest study country", 100_000)])
+    # Depth is monotone in the threshold.
+    for label in ("smallest study country", "median country", "largest country"):
+        depths = [by_key[(label, t)] for t in (50, 1_000, 10_000, 100_000)]
+        assert depths == sorted(depths, reverse=True)
+
+
+def test_ablation_sampling_rate(benchmark):
+    def compute():
+        out = []
+        for rate in (1.0, 0.0035, 0.00002):
+            config = GeneratorConfig.small(
+                privacy=PrivacyConfig(time_sampling_rate=rate)
+            )
+            gen = TelemetryGenerator(config)
+            intersections = []
+            for country in ("US", "BR", "JP", "FR"):
+                loads = gen.rank_list(country, Platform.WINDOWS, Metric.PAGE_LOADS)
+                time = gen.rank_list(country, Platform.WINDOWS, Metric.TIME_ON_PAGE)
+                intersections.append(loads.percent_intersection(time))
+            out.append((rate, sum(intersections) / len(intersections)))
+        return out
+
+    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+    print_comparison(
+        [(f"sampling rate {rate:g}", "monotone degradation", overlap, "")
+         for rate, overlap in rows],
+        "Ablation — time-on-page sampling vs metric agreement",
+    )
+    overlaps = [overlap for _, overlap in rows]
+    # Chrome's 0.35% sampling costs little; two further orders of
+    # magnitude down, the time ranking visibly degrades.
+    assert overlaps[0] >= overlaps[1] >= overlaps[2]
+    assert overlaps[0] - overlaps[2] > 0.01
+    assert overlaps[0] - overlaps[1] < 0.02

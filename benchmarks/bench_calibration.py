@@ -1,0 +1,23 @@
+"""Calibration gate — every cheap paper anchor at full scale.
+
+Runs the world self-check (`repro.synth.calibration`) on the
+paper-calibrated full configuration.  If a profile or roster edit
+drifts any anchor out of band, this is the benchmark that names it.
+"""
+
+from repro.synth.calibration import calibration_report
+
+from _bench_utils import print_comparison
+
+
+def test_calibration_anchors(benchmark, generator):
+    report = benchmark.pedantic(
+        calibration_report, args=(generator,), rounds=1, iterations=1
+    )
+    print_comparison(
+        [(c.name, c.paper, c.measured,
+          "ok" if c.ok else f"OFF band [{c.lo:.2f}, {c.hi:.2f}]")
+         for c in report.checks],
+        "Calibration gate — paper anchors at full scale",
+    )
+    assert report.ok, "\n" + str(report)

@@ -1,0 +1,95 @@
+"""Figure 2 / Section 4.2.2 — types of websites receiving most traffic.
+
+Regenerates all panels (platform × metric × {top-100, top-10K} ×
+{by domains, traffic-weighted}) and checks the paper's headline
+composition claims.
+"""
+
+from repro.analysis.composition import composition_panel, dominant_category
+from repro.core import Metric, Platform, REFERENCE_MONTH
+from repro.report import render_shares
+
+from _bench_utils import print_comparison
+
+
+def _panel(dataset, labels, platform, metric, top_n, perspective):
+    return composition_panel(
+        dataset, labels, platform, metric, REFERENCE_MONTH, top_n, perspective
+    )
+
+
+def test_fig2_traffic_weighted_panels(benchmark, feb_dataset, labels):
+    def compute():
+        return {
+            (p, m): _panel(feb_dataset, labels, p, m, 10_000, "traffic")
+            for p in Platform.studied()
+            for m in Metric.studied()
+        }
+
+    panels = benchmark.pedantic(compute, rounds=1, iterations=1)
+    w_loads = panels[(Platform.WINDOWS, Metric.PAGE_LOADS)]
+    w_time = panels[(Platform.WINDOWS, Metric.TIME_ON_PAGE)]
+    a_loads = panels[(Platform.ANDROID, Metric.PAGE_LOADS)]
+    a_time = panels[(Platform.ANDROID, Metric.TIME_ON_PAGE)]
+
+    print_comparison(
+        [
+            ("search share of W loads", "0.20-0.25", w_loads.shares["Search Engines"],
+             "'20-25% of top-10K page loads'"),
+            ("video share of W time", 0.33, w_time.shares["Video Streaming"],
+             "'33% of time spent'"),
+            ("adult share of A time", 0.18, a_time.shares.get("Pornography", 0.0),
+             "'plurality ... 18%'"),
+            ("search share of A loads", "0.20-0.25",
+             a_loads.shares["Search Engines"], "plurality on mobile too"),
+        ],
+        "Figure 2 — traffic-weighted category shares (top-10K)",
+    )
+    print(render_shares(w_time.shares, "Windows time on page, top categories", top=8))
+    print(render_shares(a_time.shares, "Android time on page, top categories", top=8))
+
+    # Search engines take the plurality of page loads on both platforms.
+    assert dominant_category(w_loads) == "Search Engines"
+    assert dominant_category(a_loads) == "Search Engines"
+    assert 0.15 <= w_loads.shares["Search Engines"] <= 0.32
+    # Users spend the plurality of desktop time streaming video.
+    assert dominant_category(w_time) == "Video Streaming"
+    assert 0.25 <= w_time.shares["Video Streaming"] <= 0.45
+    # Mobile time is dominated by entertainment/adult content, with
+    # pornography the top or near-top category.
+    top3_mobile_time = [c for c, _ in a_time.top_categories(4)]
+    assert "Pornography" in top3_mobile_time
+    assert a_time.shares.get("Pornography", 0) > w_time.shares.get("Pornography", 0)
+
+
+def test_fig2_domain_count_panels(benchmark, feb_dataset, labels):
+    def compute():
+        return {
+            n: _panel(feb_dataset, labels, Platform.WINDOWS, Metric.PAGE_LOADS,
+                      n, "domains")
+            for n in (100, 10_000)
+        }
+
+    panels = benchmark.pedantic(compute, rounds=1, iterations=1)
+    top100 = panels[100]
+    top10k = panels[10_000]
+
+    print_comparison(
+        [
+            ("business % of top-10K domains", 0.08, top10k.shares.get("Business", 0),
+             "'over 8% of top-10K desktop'"),
+            ("news % of top-10K domains", 0.065, top10k.shares.get("News & Media", 0),
+             "'6.5-14.3% of domains'"),
+            ("tech % of top-10K domains", "0.10-0.12",
+             top10k.shares.get("Technology", 0), "'10-12% of desktop'"),
+        ],
+        "Figure 2 — domain-count category shares",
+    )
+
+    # The domain-count perspective skews toward long-tail categories:
+    # Business gains weight from top-100 to top-10K, Video Streaming and
+    # Search Engines lose it.
+    assert top10k.shares.get("Business", 0) > top100.shares.get("Business", 0)
+    assert top100.shares.get("Video Streaming", 0) > top10k.shares.get("Video Streaming", 0)
+    assert top10k.shares.get("Business", 0) > 0.04
+    assert top10k.shares.get("Technology", 0) > 0.05

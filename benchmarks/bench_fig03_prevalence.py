@@ -1,0 +1,102 @@
+"""Figures 3 & 14 / Section 4.2.3 — category prevalence by rank.
+
+Regenerates the prevalence-vs-rank curves (median + IQR over the 45
+countries) for the categories the paper highlights, split by metric as
+in Figure 14, and checks the head/middle/tail patterns.
+"""
+
+from repro.analysis.prevalence import head_tail_ratio, prevalence_by_rank
+from repro.core import Metric, Platform, REFERENCE_MONTH
+from repro.report import render_series
+
+from _bench_utils import print_comparison
+
+THRESHOLDS = (10, 30, 50, 100, 300, 1_000, 3_000, 10_000)
+CATEGORIES = ("Video Streaming", "News & Media", "Business", "Technology",
+              "Pornography", "Ecommerce")
+
+
+def test_fig3_prevalence_by_rank(benchmark, feb_dataset, labels):
+    def compute():
+        out = {}
+        for metric in Metric.studied():
+            curves = prevalence_by_rank(
+                feb_dataset, labels, Platform.WINDOWS, metric,
+                REFERENCE_MONTH, categories=CATEGORIES, thresholds=THRESHOLDS,
+            )
+            out[metric] = {c.category: c for c in curves}
+        return out
+
+    by_metric = benchmark.pedantic(compute, rounds=1, iterations=1)
+    loads = by_metric[Metric.PAGE_LOADS]
+    time = by_metric[Metric.TIME_ON_PAGE]
+
+    print(render_series(
+        {
+            f"{cat} (loads)": [p.stats.median for p in loads[cat].points]
+            for cat in CATEGORIES
+        },
+        x_labels=THRESHOLDS,
+        title="\nFigure 3 — category share of top-N domains (Windows loads)",
+    ))
+    print_comparison(
+        [
+            ("video % of top-10 by time", "~0.4+",
+             time["Video Streaming"].median_at(10), "'upwards of 40% of top-10'"),
+            ("video % of top-10K by time", "<0.10",
+             time["Video Streaming"].median_at(10_000), "'less than 10%'"),
+            ("news peak near top-50", ">= tail",
+             max(loads["News & Media"].median_at(t) for t in (30, 50, 100)),
+             "'peaks above 15% of top-50'"),
+            ("business top-30 (loads)", 0.03, loads["Business"].median_at(30),
+             "'just above 3% of top-30'"),
+            ("business top-10K (loads)", 0.08, loads["Business"].median_at(10_000),
+             "'over 8% of top-10K'"),
+        ],
+        "Figures 3/14 — prevalence anchors",
+    )
+
+    # Video streaming is head-heavy on the time metric.
+    assert head_tail_ratio(time["Video Streaming"], head=10, tail=10_000) > 2.0
+    assert time["Video Streaming"].median_at(10) >= 0.2
+    assert time["Video Streaming"].median_at(10_000) < 0.10
+    # Business is disproportionately long-tail.
+    assert loads["Business"].median_at(10_000) > loads["Business"].median_at(50)
+    # News & Media peaks in the middle of the range.
+    news = loads["News & Media"]
+    middle_peak = max(news.median_at(t) for t in (30, 50, 100))
+    assert middle_peak > news.median_at(10_000)
+    assert middle_peak >= news.median_at(10)
+    # Technology is comparatively stable across rank.
+    tech = loads["Technology"]
+    tech_values = [tech.median_at(t) for t in (100, 1_000, 10_000)]
+    assert max(tech_values) - min(tech_values) < 0.08
+
+
+def test_fig3_mobile_adult_head(benchmark, feb_dataset, labels):
+    def compute():
+        return {
+            platform: {
+                c.category: c
+                for c in prevalence_by_rank(
+                    feb_dataset, labels, platform, Metric.PAGE_LOADS,
+                    REFERENCE_MONTH, categories=("Pornography",),
+                    thresholds=THRESHOLDS,
+                )
+            }
+            for platform in Platform.studied()
+        }
+
+    result = benchmark.pedantic(compute, rounds=1, iterations=1)
+    mobile = result[Platform.ANDROID]["Pornography"]
+    desktop = result[Platform.WINDOWS]["Pornography"]
+    print_comparison(
+        [
+            ("adult % of mobile top-50", ">desktop", mobile.median_at(50),
+             f"desktop={desktop.median_at(50):.3f}"),
+        ],
+        "Figure 3 — adult content at the mobile head",
+    )
+    # "adult content is disproportionately represented among top-50
+    # sites on only mobile devices."
+    assert mobile.median_at(50) > desktop.median_at(50)

@@ -1,0 +1,84 @@
+"""Figures 4 & 15 / Section 4.3 — desktop vs mobile category skews.
+
+Regenerates the normalised-difference scores (A − W)/max(A, W) with
+Fisher tests under Bonferroni correction, for page loads (Figure 4) and
+time on page (Figure 15), and checks the direction of every category
+skew the paper names.
+"""
+
+from repro.analysis.platforms import platform_differences, split_by_leaning
+from repro.core import Metric, REFERENCE_MONTH
+from repro.report import render_table
+
+from _bench_utils import print_comparison
+
+MOBILE_PAPER = ("Pornography", "Dating & Relationships", "Gambling", "Magazines",
+                "Lifestyle", "Astrology")
+DESKTOP_PAPER = ("Educational Institutions", "Webmail", "Gaming",
+                 "Economy & Finance", "Business", "Technology")
+
+
+def test_fig4_page_loads(benchmark, feb_dataset, labels):
+    differences = benchmark.pedantic(
+        platform_differences,
+        args=(feb_dataset, labels, Metric.PAGE_LOADS, REFERENCE_MONTH),
+        kwargs={"min_significant": 23},
+        rounds=1, iterations=1,
+    )
+    by_cat = {d.category: d for d in differences}
+    desktop, mobile = split_by_leaning(differences)
+
+    print()
+    print(render_table(
+        ("category", "score", "significant countries"),
+        [(d.category, f"{d.median_score:+.2f}", f"{d.n_significant}/45")
+         for d in differences if d.category in MOBILE_PAPER + DESKTOP_PAPER],
+        title="Figure 4 — normalised platform difference (page loads)",
+    ))
+    print_comparison(
+        [
+            ("mobile-leaning significant categories", "porn/dating/gambling/...",
+             ", ".join(d.category for d in mobile[:4]), ""),
+            ("desktop-leaning significant categories", "edu/webmail/gaming/...",
+             ", ".join(d.category for d in desktop[:4]), ""),
+        ],
+        "Figure 4 — direction check",
+    )
+
+    for category in MOBILE_PAPER:
+        if category in by_cat:
+            assert by_cat[category].mobile_leaning, category
+    for category in DESKTOP_PAPER:
+        if category in by_cat:
+            assert not by_cat[category].mobile_leaning, category
+    # The flagship categories must be significant in a majority of
+    # countries ("These trends are consistent across the majority of
+    # countries").
+    assert by_cat["Pornography"].n_significant >= 23
+    assert by_cat["Educational Institutions"].n_significant >= 23
+
+
+def test_fig15_time_on_page(benchmark, feb_dataset, labels):
+    differences = benchmark.pedantic(
+        platform_differences,
+        args=(feb_dataset, labels, Metric.TIME_ON_PAGE, REFERENCE_MONTH),
+        kwargs={"min_significant": 23},
+        rounds=1, iterations=1,
+    )
+    by_cat = {d.category: d for d in differences}
+    print_comparison(
+        [
+            ("porn still mobile-leaning by time", True,
+             by_cat.get("Pornography") is not None
+             and by_cat["Pornography"].mobile_leaning, "'roughly hold'"),
+            ("video streaming desktop-browser-bound by time", True,
+             by_cat.get("Video Streaming") is not None
+             and not by_cat["Video Streaming"].mobile_leaning,
+             "mobile streams in native apps"),
+        ],
+        "Figure 15 — time-on-page consistency",
+    )
+    assert by_cat["Pornography"].mobile_leaning
+    for category in ("Video Streaming", "Gaming", "Chat & Messaging"):
+        if category in by_cat:
+            assert not by_cat[category].mobile_leaning, category

@@ -1,0 +1,74 @@
+"""Figures 5 & 16 / Section 4.4 — loads-leaning vs time-leaning sites.
+
+Classifies sites by their loads-share / time-share ratio (top and
+bottom 20 %) and compares the category composition of the classes, on
+desktop (Figure 5) and mobile (Figure 16).
+"""
+
+from repro.analysis.metrics_compare import (
+    LOADS_LEANING,
+    TIME_LEANING,
+    leaning_composition,
+)
+from repro.core import Platform, REFERENCE_MONTH
+
+from _bench_utils import print_comparison
+
+COUNTRIES = ("US", "BR", "JP", "FR", "NG", "KR", "IN", "MX", "DE", "AU",
+             "EG", "TH")
+
+
+def test_fig5_desktop_leaning(benchmark, feb_dataset, labels):
+    composition = benchmark.pedantic(
+        leaning_composition,
+        args=(feb_dataset, labels, Platform.WINDOWS, REFERENCE_MONTH),
+        kwargs={"countries": COUNTRIES},
+        rounds=1, iterations=1,
+    )
+    loads_over = composition.overrepresented_in(LOADS_LEANING, min_share=0.01)
+    time_over = composition.overrepresented_in(TIME_LEANING, min_share=0.01)
+
+    print_comparison(
+        [
+            ("loads-leaning overrepresented", "Ecommerce/EduInst/Finance",
+             ", ".join(loads_over[:5]), "Figure 5"),
+            ("time-leaning overrepresented", "VideoStreaming/Movies/News",
+             ", ".join(time_over[:5]), ""),
+        ],
+        "Figure 5 — category mix of metric-leaning sites (desktop)",
+    )
+
+    # Paper: E-commerce, Educational Institutions and Economy & Finance
+    # disproportionately loads-leaning.
+    assert sum(1 for c in ("Ecommerce", "Educational Institutions",
+                           "Economy & Finance") if c in loads_over) >= 2
+    # Video Streaming, Movies & Home Video, News & Media time-leaning.
+    assert sum(1 for c in ("Video Streaming", "Movies & Home Video",
+                           "News & Media", "Television") if c in time_over) >= 2
+
+
+def test_fig16_mobile_leaning(benchmark, feb_dataset, labels):
+    composition = benchmark.pedantic(
+        leaning_composition,
+        args=(feb_dataset, labels, Platform.ANDROID, REFERENCE_MONTH),
+        kwargs={"countries": COUNTRIES},
+        rounds=1, iterations=1,
+    )
+    loads_over = composition.overrepresented_in(LOADS_LEANING, min_share=0.01)
+    time_over = composition.overrepresented_in(TIME_LEANING, min_share=0.01)
+    print_comparison(
+        [
+            ("mobile loads-leaning", "commerce-flavoured",
+             ", ".join(loads_over[:5]), "Figure 16"),
+            ("mobile time-leaning", "streaming-flavoured",
+             ", ".join(time_over[:5]), ""),
+        ],
+        "Figure 16 — category mix of metric-leaning sites (mobile)",
+    )
+    # "These results are almost all consistent on mobile."
+    assert sum(1 for c in ("Ecommerce", "Educational Institutions",
+                           "Economy & Finance", "Auctions & Marketplaces")
+               if c in loads_over) >= 2
+    assert sum(1 for c in ("Video Streaming", "Movies & Home Video",
+                           "News & Media", "Television", "Cartoons & Anime")
+               if c in time_over) >= 2

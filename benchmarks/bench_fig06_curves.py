@@ -1,0 +1,70 @@
+"""Figure 6 & Table 1 — website popularity curves and their six shapes.
+
+Builds the per-site popularity curves (sorted −log10 rank vectors over
+the 45 countries) and classifies them into the six characteristic
+shapes, verifying the example sites the paper names for each shape.
+"""
+
+from collections import Counter
+
+from repro.analysis.endemicity import (
+    ALL_SHAPES,
+    classify_shape,
+    popularity_curves,
+)
+from repro.core import Metric, Platform, REFERENCE_MONTH
+from repro.report import render_table
+
+from _bench_utils import print_comparison
+
+
+def test_fig6_popularity_curve_shapes(benchmark, feb_dataset, generator):
+    lists = feb_dataset.select(Platform.WINDOWS, Metric.PAGE_LOADS, REFERENCE_MONTH)
+
+    curves = benchmark.pedantic(
+        popularity_curves, args=(lists,), kwargs={"eligible_rank": 1_000},
+        rounds=1, iterations=1,
+    )
+    by_site = {c.site: c for c in curves}
+    shapes = Counter(classify_shape(c) for c in curves)
+
+    print()
+    print(render_table(
+        ("shape", "count", "share"),
+        [(shape, shapes.get(shape, 0), f"{shapes.get(shape, 0) / len(curves):.1%}")
+         for shape in ALL_SHAPES],
+        title="Table 1 — distribution of the six popularity-curve shapes",
+    ))
+
+    uni = generator.universe
+    google = by_site[uni.canonical_of("google")]
+    facebook = by_site[uni.canonical_of("facebook")]
+    naver = by_site[uni.canonical_of("naver")]
+    hbomax = by_site.get(uni.canonical_of("hbomax"))
+
+    examples = [
+        ("google", classify_shape(google), "shallow slope, all countries"),
+        ("facebook", classify_shape(facebook), "shallow slope, all countries"),
+        ("naver", classify_shape(naver), "single-country cliff"),
+    ]
+    if hbomax is not None:
+        examples.append(("hbomax", classify_shape(hbomax),
+                         "plateau over a few countries"))
+    print_comparison(
+        [(name, "see Table 1", shape, note) for name, shape, note in examples],
+        "Figure 6 — example curve classifications",
+    )
+
+    # Every defined shape must actually occur in the population.
+    assert set(shapes) == set(ALL_SHAPES)
+    # The paper's example sites land in the documented shapes.
+    assert classify_shape(google) in ("global-flat", "global-slope")
+    assert classify_shape(naver) == "single-country"
+    if hbomax is not None:
+        assert classify_shape(hbomax) == "multi-regional"
+    # The population is dominated by narrow-reach shapes (most sites are
+    # national, Section 5.2).
+    narrow = shapes["single-country"] + shapes["scattered-tail"] + shapes["multi-regional"]
+    assert narrow / len(curves) > 0.7
+    # Curves are proper 45-vectors.
+    assert all(c.n_countries == 45 for c in curves)

@@ -1,0 +1,63 @@
+"""Figure 8 — categories of globally vs nationally popular websites.
+
+Paper: global sites relate to technology, pornography, gaming, hobbies,
+messaging and photography; national sites to educational institutions,
+politics, and economy & finance.  On Android, adult content is a much
+larger share of global sites than on Windows (20-25 % vs 3-6 %).
+"""
+
+from repro.analysis.endemicity import category_split, score_endemicity
+from repro.core import Metric, Platform, REFERENCE_MONTH
+from repro.report import render_shares
+
+from _bench_utils import print_comparison
+
+GLOBAL_CATEGORIES = ("Technology", "Pornography", "Gaming", "Chat & Messaging",
+                     "Photography", "Hobbies & Interests", "Search Engines",
+                     "Social Networks")
+NATIONAL_CATEGORIES = ("Educational Institutions", "Government & Politics",
+                       "Politics, Advocacy, and Government-Related",
+                       "Economy & Finance", "News & Media")
+
+
+def _mass(shares, categories):
+    return sum(shares.get(c, 0.0) for c in categories)
+
+
+def test_fig8_category_split(benchmark, feb_dataset, labels):
+    def compute():
+        out = {}
+        for platform in Platform.studied():
+            lists = feb_dataset.select(platform, Metric.PAGE_LOADS, REFERENCE_MONTH)
+            result = score_endemicity(lists, eligible_rank=1_000)
+            out[platform] = category_split(result, labels)
+        return out
+
+    splits = benchmark.pedantic(compute, rounds=1, iterations=1)
+    w_global, w_national = splits[Platform.WINDOWS]
+    a_global, a_national = splits[Platform.ANDROID]
+
+    print()
+    print(render_shares(w_global, "Windows: globally popular site categories", top=8))
+    print(render_shares(w_national, "Windows: nationally popular site categories", top=8))
+    print_comparison(
+        [
+            ("global-category mass among global sites", "high",
+             _mass(w_global, GLOBAL_CATEGORIES), "tech/porn/gaming/..."),
+            ("global-category mass among national sites", "low",
+             _mass(w_national, GLOBAL_CATEGORIES), ""),
+            ("adult share of global sites (Android)", "0.20-0.25",
+             a_global.get("Pornography", 0.0), ""),
+            ("adult share of global sites (Windows)", "0.03-0.06",
+             w_global.get("Pornography", 0.0), ""),
+        ],
+        "Figure 8 — global vs national category mix",
+    )
+
+    # Directional claims.
+    assert _mass(w_global, GLOBAL_CATEGORIES) > _mass(w_national, GLOBAL_CATEGORIES)
+    assert _mass(w_national, NATIONAL_CATEGORIES) > _mass(w_global, NATIONAL_CATEGORIES)
+    assert _mass(a_global, GLOBAL_CATEGORIES) > _mass(a_national, GLOBAL_CATEGORIES)
+    # Adult content is a larger share of the global population on
+    # Android than on Windows.
+    assert a_global.get("Pornography", 0.0) > w_global.get("Pornography", 0.0)

@@ -1,0 +1,73 @@
+"""Figures 9 & 17 — globally popular sites by rank bucket.
+
+Paper: global sites predominate in the top 10 (median 6-7/10), parity
+arrives around rank 20, and 65-73 % of sites at ranks 101-200 are
+nationally popular.  Figure 17 repeats the analysis for time on page.
+"""
+
+from repro.analysis.endemicity import score_endemicity
+from repro.analysis.popularity_mix import global_share_by_rank, national_majority_rank
+from repro.core import Metric, Platform, REFERENCE_MONTH
+from repro.report import render_series
+
+from _bench_utils import print_comparison
+
+BUCKETS = ((1, 10), (11, 20), (21, 50), (51, 100), (101, 200), (201, 500),
+           (501, 1_000))
+
+
+def _shares_for(dataset, metric):
+    lists = dataset.select(Platform.WINDOWS, metric, REFERENCE_MONTH)
+    endemicity = score_endemicity(lists, eligible_rank=1_000)
+    return global_share_by_rank(lists, endemicity, buckets=BUCKETS)
+
+
+def test_fig9_global_share_by_rank(benchmark, feb_dataset):
+    shares = benchmark.pedantic(
+        _shares_for, args=(feb_dataset, Metric.PAGE_LOADS), rounds=1, iterations=1
+    )
+    medians = [row.stats.median for row in shares]
+    print(render_series(
+        {"globally-popular share": medians},
+        x_labels=[f"{a}-{b}" for a, b in BUCKETS],
+        title="\nFigure 9 — share of globally popular sites per rank bucket",
+    ))
+    top10 = shares[0]
+    r101_200 = next(r for r in shares if r.bucket == (101, 200))
+    parity = national_majority_rank(shares)
+    print_comparison(
+        [
+            ("global sites in top-10 (median)", "6-7 / 10",
+             f"{top10.stats.median * 10:.1f} / 10", ""),
+            ("national share at ranks 101-200", "0.65-0.73",
+             1 - r101_200.stats.median, ""),
+            ("parity bucket", "top 20", str(parity), "'starting at top 20'"),
+        ],
+        "Figure 9 — anchors",
+    )
+
+    # Global sites predominate at the very head...
+    assert top10.stats.median >= 0.5
+    # ...national sites dominate by the 101-200 bucket...
+    assert 1 - r101_200.stats.median >= 0.55
+    # ...and the share declines strongly overall.
+    assert medians[0] - medians[-1] > 0.4
+    assert parity is not None and parity[0] <= 101
+
+
+def test_fig17_time_on_page_variant(benchmark, feb_dataset):
+    shares = benchmark.pedantic(
+        _shares_for, args=(feb_dataset, Metric.TIME_ON_PAGE), rounds=1, iterations=1
+    )
+    medians = [row.stats.median for row in shares]
+    print_comparison(
+        [
+            ("top-10 global share (time)", ">=0.5", medians[0],
+             "'similar findings ... ranked by time spent'"),
+            ("rank 101-200 national share (time)", ">=0.55", 1 - medians[4], ""),
+        ],
+        "Figure 17 — time-on-page variant",
+    )
+    assert medians[0] >= 0.5
+    assert 1 - medians[4] >= 0.55
+    assert medians[0] > medians[-1]

@@ -1,0 +1,55 @@
+"""Figure 12 — cumulative pairwise intersections across rank buckets.
+
+For each rank bucket, the 990 country-pair percent intersections are
+sorted descending and cumulatively summed.  Paper: heads are more
+similar than tails, and the effect bottoms out (or slightly reverses)
+as the bucket approaches 10K.
+"""
+
+from repro.analysis.similarity import intersection_curves
+from repro.core import Metric, Platform, REFERENCE_MONTH
+from repro.report import render_series
+
+from _bench_utils import print_comparison
+
+BUCKETS = (10, 100, 1_000, 10_000)
+
+
+def test_fig12_cumulative_intersections(benchmark, feb_dataset):
+    curves = benchmark.pedantic(
+        intersection_curves,
+        args=(feb_dataset, Platform.WINDOWS, Metric.PAGE_LOADS, REFERENCE_MONTH),
+        kwargs={"buckets": BUCKETS},
+        rounds=1, iterations=1,
+    )
+    by_bucket = {c.bucket: c for c in curves}
+
+    print(render_series(
+        {
+            f"top-{bucket}": by_bucket[bucket].cumulative[:: max(1, 990 // 40)]
+            for bucket in BUCKETS
+        },
+        title="\nFigure 12 — cumulative sorted pairwise intersections",
+        value_format="{:.0f}",
+    ))
+    print_comparison(
+        [
+            ("pairs per bucket", 990, by_bucket[10].n_pairs, "45 choose 2"),
+            ("mean intersection top-10", "highest",
+             by_bucket[10].mean_intersection, ""),
+            ("mean intersection top-1K", "lower",
+             by_bucket[1_000].mean_intersection, ""),
+            ("mean intersection top-10K", "bottoms out",
+             by_bucket[10_000].mean_intersection, "'seems to bottom out'"),
+        ],
+        "Figure 12 — anchors",
+    )
+
+    assert by_bucket[10].n_pairs == 45 * 44 // 2 == 990
+    # Heads more similar than the mid-range.
+    assert by_bucket[10].mean_intersection > by_bucket[1_000].mean_intersection
+    assert by_bucket[100].mean_intersection > by_bucket[1_000].mean_intersection
+    # Saturation: the drop from 1K to 10K is small or reversed.
+    drop_mid = by_bucket[100].mean_intersection - by_bucket[1_000].mean_intersection
+    drop_tail = by_bucket[1_000].mean_intersection - by_bucket[10_000].mean_intersection
+    assert drop_tail < drop_mid

@@ -1,0 +1,78 @@
+"""Figure 13 / Appendix B — category-API accuracy analysis.
+
+Runs the full validation workflow (label top sites with the simulated
+API, sample 10 per category, manually review, drop failing categories)
+over the union of all February top-10K sites and checks the paper's
+observations: the junk categories fail, Search Engines and Social
+Networks fail despite being core use cases, and the bulk of the
+taxonomy passes.
+"""
+
+from repro.categories.api import APIConfig, DomainIntelligenceAPI
+from repro.categories.validation import clean_labels, validate_categories
+from repro.core import Metric, Platform, REFERENCE_MONTH
+from repro.report import render_table
+from repro.world.categories_data import DROPPED_RAW_CATEGORIES
+
+from _bench_utils import print_comparison
+
+
+def test_fig13_accuracy_analysis(benchmark, feb_dataset, labels):
+    sites: set[str] = set()
+    for country in ("US", "BR", "JP", "FR", "NG", "KR", "IN", "MX", "DE",
+                    "EG", "TH", "AU", "CL", "PL", "TW"):
+        for platform in Platform.studied():
+            ranked = feb_dataset.get(country, platform, Metric.PAGE_LOADS,
+                                     REFERENCE_MONTH)
+            sites.update(ranked.sites)
+    api = DomainIntelligenceAPI(labels, APIConfig(seed=31))
+    api_labels = api.bulk_lookup(sorted(sites))
+
+    report = benchmark.pedantic(
+        validate_categories, args=(api, api_labels), kwargs={"seed": 37},
+        rounds=1, iterations=1,
+    )
+
+    print()
+    print(render_table(
+        ("category", "yes", "maybe", "no", "verdict"),
+        [(a.category, a.yes, a.maybe, a.no,
+          "keep" if a.passes() else "DROP")
+         for a in report.accuracies
+         if a.category in ("Search Engines", "Social Networks", "Business",
+                           "Pornography", "Technology", "Content Servers",
+                           "Parked Domains", "News & Media")],
+        title="Figure 13 — manual accuracy review (selected rows)",
+    ))
+    junk_reviewed = [a for a in report.accuracies
+                     if a.category in DROPPED_RAW_CATEGORIES]
+    print_comparison(
+        [
+            ("curated categories fail", "Search Engines + Social Networks",
+             ", ".join(c for c in ("Search Engines", "Social Networks")
+                       if c in report.dropped), "Section 3.2"),
+            ("junk raw categories dropped", len(junk_reviewed),
+             sum(1 for a in junk_reviewed if not a.passes()),
+             "19 excluded categories"),
+            ("categories kept", "most of the taxonomy", len(report.kept), ""),
+        ],
+        "Figure 13 — validation outcome",
+    )
+
+    assert "Search Engines" in report.dropped
+    assert "Social Networks" in report.dropped
+    for acc in junk_reviewed:
+        assert not acc.passes(), acc.category
+    for category in ("Business", "Pornography", "Technology", "News & Media"):
+        assert category in report.kept, category
+
+    # The cleaned labelling folds all failures into Unknown and restores
+    # the curated sets from manual verification.
+    curated = {
+        site: category for site, category in labels.items()
+        if category in ("Search Engines", "Social Networks") and site in sites
+    }
+    cleaned = clean_labels(api_labels, report, curated_truth=curated)
+    assert not set(cleaned.values()) & set(DROPPED_RAW_CATEGORIES)
+    search_sites = {s for s, c in cleaned.items() if c == "Search Engines"}
+    assert search_sites == {s for s, c in curated.items() if c == "Search Engines"}

@@ -1,0 +1,135 @@
+"""Section 4.5 — temporal stability of website popularity.
+
+Regenerates the month-to-month similarity table (intersection and
+Spearman per rank bucket), the September-anchored decay series, the
+December anomaly, and the December category drift.
+"""
+
+from repro.analysis.temporal import (
+    adjacent_month_series,
+    anchored_series,
+    category_share_over_months,
+    december_anomaly,
+)
+from repro.core import Metric, Month, Platform
+from repro.report import render_series
+
+from _bench_utils import print_comparison
+
+DEC = Month(2021, 12)
+JAN = Month(2022, 1)
+FEB = Month(2022, 2)
+
+
+def test_sec45_adjacent_month_similarity(benchmark, monthly_dataset):
+    def compute():
+        return {
+            bucket: adjacent_month_series(
+                monthly_dataset, Platform.WINDOWS, Metric.PAGE_LOADS, bucket
+            )
+            for bucket in (20, 100, 10_000)
+        }
+
+    series = benchmark.pedantic(compute, rounds=1, iterations=1)
+    non_december = {
+        bucket: [s for s in rows
+                 if not (s.month_a.is_december or s.month_b.is_december)]
+        for bucket, rows in series.items()
+    }
+    top20 = non_december[20]
+    top10k = non_december[10_000]
+
+    print_comparison(
+        [
+            ("top-20 adjacent intersection", "0.85-0.95",
+             f"{min(s.intersection.median for s in top20):.2f}-"
+             f"{max(s.intersection.median for s in top20):.2f}",
+             "excluding December"),
+            ("top-10K adjacent intersection", "0.80-0.90",
+             f"{min(s.intersection.median for s in top10k):.2f}-"
+             f"{max(s.intersection.median for s in top10k):.2f}", ""),
+            ("top-10K adjacent Spearman", "0.85-0.95",
+             f"{min(s.spearman.median for s in top10k):.2f}-"
+             f"{max(s.spearman.median for s in top10k):.2f}", ""),
+        ],
+        "Section 4.5 — adjacent-month similarity",
+    )
+
+    for s in top20:
+        assert 0.80 <= s.intersection.median <= 1.0
+    for s in top10k:
+        assert 0.78 <= s.intersection.median <= 0.95
+        assert s.spearman.median >= 0.80
+    # January and February are the most similar adjacent pair.
+    all_pairs = series[10_000]
+    jan_feb = next(s for s in all_pairs if s.month_a == JAN and s.month_b == FEB)
+    assert jan_feb.intersection.median == max(
+        s.intersection.median for s in all_pairs
+    )
+
+
+def test_sec45_december_anomaly(benchmark, monthly_dataset):
+    anomaly = benchmark.pedantic(
+        december_anomaly,
+        args=(monthly_dataset, Platform.WINDOWS, Metric.PAGE_LOADS),
+        rounds=1, iterations=1,
+    )
+    print_comparison(
+        [
+            ("December-adjacent intersection", "0.35-0.85",
+             anomaly.december_intersection, "top-10K"),
+            ("other adjacent intersection", "0.80-0.90",
+             anomaly.other_intersection, ""),
+        ],
+        "Section 4.5 — the December anomaly",
+    )
+    assert anomaly.is_anomalous
+    assert 0.35 <= anomaly.december_intersection <= 0.88
+    assert anomaly.gap > 0.02
+
+
+def test_sec45_september_anchored_decay(benchmark, monthly_dataset):
+    series = benchmark.pedantic(
+        anchored_series,
+        args=(monthly_dataset, Platform.WINDOWS, Metric.PAGE_LOADS, 10_000),
+        rounds=1, iterations=1,
+    )
+    values = [s.intersection.median for s in series]
+    print(render_series(
+        {"sept vs later months": values},
+        x_labels=[str(s.month_b) for s in series],
+        title="\nSection 4.5 — similarity to September 2021 (top-10K)",
+    ))
+    # Similarity decays with distance (ignoring the December transient).
+    non_dec = [s.intersection.median for s in series if not s.month_b.is_december]
+    assert non_dec[0] > non_dec[-1]
+
+
+def test_sec45_category_drift(benchmark, monthly_dataset, labels):
+    def compute():
+        return {
+            category: category_share_over_months(
+                monthly_dataset, labels, Platform.WINDOWS,
+                Metric.TIME_ON_PAGE, category,
+            )
+            for category in ("Ecommerce", "Educational Institutions", "Technology")
+        }
+
+    shares = benchmark.pedantic(compute, rounds=1, iterations=1)
+    ecommerce = shares["Ecommerce"]
+    education = shares["Educational Institutions"]
+    print_comparison(
+        [
+            ("Ecommerce Nov -> Dec", "5.0% -> 6.1%",
+             f"{ecommerce[Month(2021, 11)] * 100:.1f}% -> {ecommerce[DEC] * 100:.1f}%",
+             "desktop top-10K time"),
+            ("Education Nov -> Dec", "8.4% -> 6.8%",
+             f"{education[Month(2021, 11)] * 100:.1f}% -> {education[DEC] * 100:.1f}%",
+             ""),
+        ],
+        "Section 4.5 — December category drift",
+    )
+    assert ecommerce[DEC] > ecommerce[Month(2021, 11)]
+    assert ecommerce[DEC] > ecommerce[JAN]
+    assert education[DEC] < education[Month(2021, 11)]
+    assert education[DEC] < education[JAN]

@@ -1,0 +1,82 @@
+"""Section 5.3 — geography and language behind country similarity.
+
+Quantifies the paper's qualitative claims: similarity is higher for
+same-region and same-language pairs, yet geography + language only
+*partially* explain the variance; and the Section 5.3.2 site classes
+(universities, gambling, sports) concentrate in the global south.
+"""
+
+from repro.analysis.geography import (
+    decompose_similarity,
+    explained_variance,
+    global_south_patterns,
+)
+from repro.analysis.similarity import rbo_matrix_for
+from repro.core import Metric, Platform, REFERENCE_MONTH
+from repro.report import render_table
+
+from _bench_utils import print_comparison
+
+
+def test_sec53_similarity_decomposition(benchmark, feb_dataset):
+    matrix = rbo_matrix_for(
+        feb_dataset, Platform.WINDOWS, Metric.PAGE_LOADS, REFERENCE_MONTH
+    )
+
+    def compute():
+        return decompose_similarity(matrix), explained_variance(matrix)
+
+    decomposition, r2 = benchmark.pedantic(compute, rounds=1, iterations=1)
+    print_comparison(
+        [
+            ("same region group", "highest", decomposition.same_region_group,
+             f"{decomposition.n_pairs['group']} pairs"),
+            ("shared language only", "elevated", decomposition.shared_language,
+             f"{decomposition.n_pairs['language']} pairs"),
+            ("same continent only", "slightly elevated",
+             decomposition.same_continent_only,
+             f"{decomposition.n_pairs['continent']} pairs"),
+            ("unrelated pairs", "baseline", decomposition.unrelated,
+             f"{decomposition.n_pairs['unrelated']} pairs"),
+            ("R² of geo+language model", "partial («1)", r2,
+             "'only partially explain'"),
+        ],
+        "Section 5.3 — what explains country similarity",
+    )
+    assert decomposition.same_region_group > decomposition.unrelated
+    assert decomposition.shared_language > decomposition.unrelated
+    assert decomposition.same_region_group >= decomposition.same_continent_only
+    # Partial explanation: meaningful but far from total.
+    assert 0.05 <= r2 <= 0.75
+
+
+def test_sec53_global_south_classes(benchmark, feb_dataset, generator):
+    lists = feb_dataset.select(Platform.WINDOWS, Metric.PAGE_LOADS, REFERENCE_MONTH)
+    uni = generator.universe
+    tags = {uni.canonical[uid]: t for uid, t in uni.tags.items()}
+
+    patterns = benchmark.pedantic(
+        global_south_patterns, args=(lists, tags), kwargs={"top_k": 15},
+        rounds=1, iterations=1,
+    )
+    rows = []
+    for tag, paper in (("university", "9/10 south"),
+                       ("gambling", "11/14 south"),
+                       ("sports", "7/9 south")):
+        pattern = patterns[tag]
+        total = len(pattern.south_countries) + len(pattern.north_countries)
+        rows.append((tag, paper,
+                     f"{len(pattern.south_countries)}/{total} south"))
+    print()
+    print(render_table(
+        ("class", "paper", "measured"), rows,
+        title="Section 5.3.2 — global-south site classes (top-15 presence)",
+    ))
+
+    south = sum(len(patterns[t].south_countries)
+                for t in ("university", "gambling", "sports"))
+    north = sum(len(patterns[t].north_countries)
+                for t in ("university", "gambling", "sports"))
+    assert south / max(south + north, 1) >= 0.6
+    if patterns["university"].south_countries or patterns["university"].north_countries:
+        assert patterns["university"].south_fraction >= 0.7

@@ -1,0 +1,60 @@
+"""Section 6 — the geo-aware sampling recommendation, tested.
+
+"one could hypothesize that taking the global top 1K together with the
+top 1K from each country may lead to more geographically generalizable
+conclusions than taking simply the global top 10K."
+
+We build both study sets and measure per-country traffic coverage: the
+hybrid design must raise the *minimum* (worst-country) coverage, and
+the global-only design's coverage must correlate with market size —
+the bias toward "populous, industrialized countries" the paper warns
+about.
+"""
+
+import numpy as np
+
+from repro.analysis.sampling import compare_strategies
+from repro.core import Metric, Platform, REFERENCE_MONTH
+from repro.world.countries import get_country
+
+from _bench_utils import print_comparison
+
+
+def test_sec6_sampling_strategies(benchmark, feb_dataset):
+    lists = feb_dataset.select(Platform.WINDOWS, Metric.PAGE_LOADS, REFERENCE_MONTH)
+    dist = feb_dataset.distribution(Platform.WINDOWS, Metric.PAGE_LOADS)
+
+    global_report, hybrid_report = benchmark.pedantic(
+        compare_strategies, args=(lists, dist), rounds=1, iterations=1
+    )
+
+    print_comparison(
+        [
+            ("global-only set size", 10_000, global_report.size, ""),
+            ("hybrid set size", "~global+45x1K deduped", hybrid_report.size, ""),
+            ("global-only median coverage", "high",
+             global_report.stats.median, ""),
+            ("global-only minimum coverage", "biased low",
+             global_report.minimum,
+             f"worst: {', '.join(global_report.worst_countries[:3])}"),
+            ("hybrid minimum coverage", "> global-only",
+             hybrid_report.minimum, ""),
+        ],
+        "Section 6 — study-set design comparison",
+    )
+
+    # The hybrid design is more geographically equitable: its worst
+    # country is covered better, and its coverage spread is narrower.
+    assert hybrid_report.minimum > global_report.minimum
+    assert hybrid_report.stats.iqr <= global_report.stats.iqr
+    # The global-only design favours large markets: coverage correlates
+    # positively with install-base size.
+    scales = np.array([
+        get_country(c).web_scale for c in sorted(global_report.per_country)
+    ])
+    coverage = np.array([
+        global_report.per_country[c] for c in sorted(global_report.per_country)
+    ])
+    correlation = float(np.corrcoef(np.log(scales), coverage)[0, 1])
+    print(f"\n  coverage-vs-market-size correlation (global-only): {correlation:.2f}")
+    assert correlation > 0.3

@@ -1,0 +1,48 @@
+"""Table 3 — the final category taxonomy.
+
+Regenerates the taxonomy table (22 supercategories / 61 categories) and
+validates its structure against the counts and groupings the paper
+reports.
+"""
+
+from repro.categories.taxonomy import FINAL_TAXONOMY, TABLE3
+from repro.report import render_table
+
+from _bench_utils import print_comparison
+
+
+def test_table3_taxonomy(benchmark):
+    def compute():
+        return {
+            supercategory: TABLE3.in_supercategory(supercategory)
+            for supercategory in TABLE3.supercategories
+        }
+
+    grouped = benchmark.pedantic(compute, rounds=3, iterations=1)
+
+    print()
+    print(render_table(
+        ("supercategory", "categories"),
+        [(sc, "; ".join(cats)) for sc, cats in grouped.items()],
+        title="Table 3 — final category taxonomy",
+    ))
+    print_comparison(
+        [
+            ("supercategories", 22, len(grouped), ""),
+            ("categories", 61, sum(len(c) for c in grouped.values()), ""),
+            ("curated additions", 2, len(FINAL_TAXONOMY.curated),
+             "Search Engines, Social Networks"),
+        ],
+        "Table 3 — counts",
+    )
+
+    assert len(grouped) == 22
+    assert sum(len(c) for c in grouped.values()) == 61
+    # Spot-check the groupings the table shows.
+    assert set(grouped["Adult Themes"]) == {"Pornography", "Adult Themes"}
+    assert len(grouped["Entertainment"]) == 13
+    assert len(grouped["Society & Lifestyle"]) == 15
+    assert grouped["Weather"] == ("Weather",)
+    assert set(grouped["Internet Communication"]) == {
+        "Forums", "Webmail", "Chat & Messaging",
+    }

@@ -1,0 +1,122 @@
+"""Section 4.2.1 / 5.3.2 / Table 4 — composition of the top-10 sites.
+
+Regenerates the per-country top-10 composition analysis: which use
+cases appear in how many countries' top 10, which classes are national
+(top-10 in exactly one country), and the Windows-top-10-but-not-Android
+app analysis.
+"""
+
+from repro.analysis.top10 import (
+    category_presence,
+    single_country_sites,
+    tag_presence,
+    union_of_top_sites,
+    windows_only_top_sites,
+)
+from repro.core import Metric, Platform, REFERENCE_MONTH
+from repro.report import render_table
+
+from _bench_utils import print_comparison
+
+
+def test_top10_use_cases(benchmark, feb_dataset, labels):
+    lists = feb_dataset.select(Platform.WINDOWS, Metric.PAGE_LOADS, REFERENCE_MONTH)
+    presence = benchmark.pedantic(
+        category_presence, args=(lists, labels), kwargs={"top_k": 10},
+        rounds=1, iterations=1,
+    )
+
+    rows = [
+        ("Search Engines", 45, presence["Search Engines"].n_countries),
+        ("Video Streaming (incl. sharing)", 45,
+         presence["Video Streaming"].n_countries),
+        ("Social Networks", 44, presence.get("Social Networks").n_countries
+         if "Social Networks" in presence else 0),
+        ("Pornography", 43, presence["Pornography"].n_countries
+         if "Pornography" in presence else 0),
+        ("Ecommerce", 32, presence["Ecommerce"].n_countries
+         if "Ecommerce" in presence else 0),
+        ("Chat & Messaging", 30, presence["Chat & Messaging"].n_countries
+         if "Chat & Messaging" in presence else 0),
+    ]
+    print()
+    print(render_table(
+        ("use case", "paper countries", "measured countries"), rows,
+        title="Section 4.2.1 — top-10 use cases across 45 countries",
+    ))
+
+    assert presence["Search Engines"].n_countries == 45
+    assert presence["Video Streaming"].n_countries == 45
+    assert presence["Social Networks"].n_countries >= 40
+    assert presence["Pornography"].n_countries >= 30
+    assert presence["Ecommerce"].n_countries >= 22
+    assert presence["Chat & Messaging"].n_countries >= 25
+    # Censoring countries keep the big adult sites out (Section 5.3.2);
+    # Vietnam still has its local site, so at most a few of KR/TR/RU
+    # can show adult content in the top 10.
+    adult_countries = set(presence["Pornography"].countries)
+    assert len({"KR", "TR", "RU"} & adult_countries) <= 1
+
+
+def test_top10_national_classes(benchmark, feb_dataset, generator):
+    lists = feb_dataset.select(Platform.WINDOWS, Metric.PAGE_LOADS, REFERENCE_MONTH)
+    uni = generator.universe
+    tags_map = {uni.canonical[uid]: tags for uid, tags in uni.tags.items()}
+    tags = benchmark.pedantic(
+        tag_presence, args=(lists, tags_map), kwargs={"top_k": 10},
+        rounds=1, iterations=1,
+    )
+
+    rows = []
+    for tag, paper in (("news", "20 countries, national"),
+                       ("government", "26 countries, national"),
+                       ("bank", "17 countries, national"),
+                       ("classifieds", "15/17 single-country")):
+        if tag in tags:
+            exclusive = single_country_sites(tags[tag], lists, top_k=10)
+            rows.append((tag, paper, tags[tag].n_countries,
+                         f"{len(exclusive)}/{tags[tag].n_sites} single-country"))
+    print()
+    print(render_table(
+        ("class", "paper", "countries", "exclusivity"), rows,
+        title="Section 5.3.2 — national top-10 classes",
+    ))
+
+    # Government/news/bank sites are "only ever top-10 in one country".
+    for tag in ("government", "bank"):
+        if tag in tags:
+            exclusive = single_country_sites(tags[tag], lists, top_k=10)
+            assert len(exclusive) >= 0.8 * tags[tag].n_sites, tag
+    assert "news" in tags and tags["news"].n_countries >= 15
+
+
+def test_top10_android_app_analysis(benchmark, feb_dataset, generator):
+    uni = generator.universe
+    has_app = {
+        uni.canonical[uid]: bool(uni.has_android_app[uid])
+        for uid in range(uni.n_sites)
+    }
+    exclusives = benchmark.pedantic(
+        windows_only_top_sites,
+        args=(feb_dataset, REFERENCE_MONTH, has_app),
+        rounds=1, iterations=1,
+    )
+    union = union_of_top_sites(feb_dataset, REFERENCE_MONTH, top_k=10)
+    print_comparison(
+        [
+            ("union of top-10 sites", "469 unique domains", len(union), ""),
+            ("Windows-only top-10 sites", 114, len(exclusives.sites), ""),
+            ("...with an Android app", "82%", exclusives.app_fraction,
+             "named sites carry the apps"),
+        ],
+        "Section 4.1.2/4.2.1 — platform-exclusive top sites",
+    )
+    assert len(exclusives.sites) > 20
+    # Named Windows-exclusives are dominated by app-equipped sites; the
+    # procedural champions dilute the overall fraction, so compare just
+    # the named ones.
+    named = {uni.canonical[uid] for uid in uni.named_uid.values()}
+    named_exclusives = [s for s in exclusives.sites if s in named]
+    if named_exclusives:
+        with_app = sum(1 for s in named_exclusives if has_app.get(s))
+        assert with_app / len(named_exclusives) >= 0.6

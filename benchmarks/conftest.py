@@ -1,0 +1,58 @@
+"""Shared fixtures for the benchmark harness.
+
+Benchmarks run on the *full-scale* universe (~1.1M sites, 10K-site
+lists) — the configuration whose noise model is calibrated against the
+paper's numbers.  The universe builds once per session (~25 s) and each
+dataset slice is generated lazily by the benchmarks that need it.
+
+Every benchmark prints a ``paper vs measured`` table; run with ``-s`` to
+see them, e.g.::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Metric, Platform, REFERENCE_MONTH, STUDY_MONTHS
+from repro.synth import GeneratorConfig, TelemetryGenerator
+
+#: Country subset used by the month-sweep benchmarks (generating all 45
+#: countries × 6 months × metrics would dominate wall-clock without
+#: changing the medians much).
+TEMPORAL_COUNTRIES = (
+    "US", "BR", "JP", "FR", "NG", "KR", "IN", "MX", "DE", "AU",
+    "EG", "TH", "PL", "CL", "ZA", "TW",
+)
+
+
+@pytest.fixture(scope="session")
+def generator() -> TelemetryGenerator:
+    return TelemetryGenerator(GeneratorConfig())
+
+
+@pytest.fixture(scope="session")
+def labels(generator) -> dict[str, str]:
+    return generator.site_categories()
+
+
+@pytest.fixture(scope="session")
+def feb_dataset(generator):
+    """Both platforms and metrics, February 2022, all 45 countries."""
+    return generator.generate(
+        platforms=Platform.studied(),
+        metrics=Metric.studied(),
+        months=(REFERENCE_MONTH,),
+    )
+
+
+@pytest.fixture(scope="session")
+def monthly_dataset(generator):
+    """Windows over the six study months, both metrics, country subset."""
+    return generator.generate(
+        countries=TEMPORAL_COUNTRIES,
+        platforms=(Platform.WINDOWS,),
+        metrics=Metric.studied(),
+        months=STUDY_MONTHS,
+    )

@@ -1,0 +1,50 @@
+"""repro — reproduction of "A World Wide View of Browsing the World Wide Web".
+
+The package is organised as:
+
+* :mod:`repro.core` — data model (ranked lists, traffic curves, dataset);
+* :mod:`repro.world` — static ground truth (countries, taxonomy, sites);
+* :mod:`repro.synth` — the synthetic Chrome-telemetry substrate;
+* :mod:`repro.etld` — public-suffix handling and domain merging;
+* :mod:`repro.categories` — the simulated categorisation API + validation;
+* :mod:`repro.stats` — from-scratch statistics (RBO, AP, Fisher, ...);
+* :mod:`repro.analysis` — one module per paper analysis (Sections 4–5);
+* :mod:`repro.report` — ASCII tables/series for benches and examples.
+
+Quickstart::
+
+    from repro.synth import GeneratorConfig, TelemetryGenerator
+    from repro.core import Platform, Metric, REFERENCE_MONTH
+
+    gen = TelemetryGenerator(GeneratorConfig.small())
+    data = gen.generate()
+    us = data.get("US", Platform.WINDOWS, Metric.PAGE_LOADS, REFERENCE_MONTH)
+    print(us.top(10).sites)
+"""
+
+from .core import (
+    Breakdown,
+    BrowsingDataset,
+    Metric,
+    Month,
+    Platform,
+    RankedList,
+    REFERENCE_MONTH,
+    STUDY_MONTHS,
+    TrafficDistribution,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Breakdown",
+    "BrowsingDataset",
+    "Metric",
+    "Month",
+    "Platform",
+    "REFERENCE_MONTH",
+    "RankedList",
+    "STUDY_MONTHS",
+    "TrafficDistribution",
+    "__version__",
+]

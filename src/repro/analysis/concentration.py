@@ -1,0 +1,116 @@
+"""Traffic concentration across sites (Section 4.1 / Figure 1).
+
+How much of all browsing goes to the top-N sites?  The analysis
+consumes the traffic-distribution curves exactly as the paper does
+("The traffic volume data in this section is provided directly by
+Chrome") and adds the per-country view ("the top ranked website in each
+country captures 12–33 % of all page loads").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.dataset import BrowsingDataset
+from ..core.distribution import TrafficDistribution
+from ..core.types import Metric, Platform
+from ..stats.descriptive import Quartiles, quartiles
+from ..synth.traffic import country_top1_share
+
+#: The rank thresholds Figure 1 and Section 4.1.2 discuss.
+FIGURE1_RANKS: tuple[int, ...] = (1, 6, 7, 8, 10, 100, 1_000, 10_000, 100_000, 1_000_000)
+
+
+@dataclass(frozen=True)
+class ConcentrationRow:
+    """Cumulative share captured by the top ``rank`` sites."""
+
+    rank: int
+    cumulative_share: float
+
+
+@dataclass(frozen=True)
+class ConcentrationCurve:
+    """One Figure 1 series."""
+
+    platform: Platform
+    metric: Metric
+    rows: tuple[ConcentrationRow, ...]
+
+    def share_at(self, rank: int) -> float:
+        for row in self.rows:
+            if row.rank == rank:
+                return row.cumulative_share
+        raise KeyError(f"rank {rank} not tabulated")
+
+
+def concentration_curve(
+    distribution: TrafficDistribution,
+    platform: Platform,
+    metric: Metric,
+    ranks: tuple[int, ...] = FIGURE1_RANKS,
+) -> ConcentrationCurve:
+    """Tabulate a distribution at the Figure 1 ranks."""
+    rows = tuple(
+        ConcentrationRow(int(r), distribution.cumulative_share(r))
+        for r in ranks
+        if r <= distribution.total_sites
+    )
+    return ConcentrationCurve(platform, metric, rows)
+
+
+def all_concentration_curves(dataset: BrowsingDataset) -> list[ConcentrationCurve]:
+    """All four Figure 1 series (platform × metric)."""
+    curves = []
+    for (platform, metric), dist in sorted(
+        dataset.distributions().items(), key=lambda kv: (kv[0][0].value, kv[0][1].value)
+    ):
+        curves.append(concentration_curve(dist, platform, metric))
+    return curves
+
+
+def sites_for_traffic_share(distribution: TrafficDistribution, share: float) -> int:
+    """How many top sites capture ``share`` of traffic (e.g. 7 for 50 %)."""
+    return distribution.sites_for_share(share)
+
+
+@dataclass(frozen=True)
+class HeadlineConcentration:
+    """The headline numbers of Section 4.1.2 for one (platform, metric)."""
+
+    platform: Platform
+    metric: Metric
+    top1: float
+    sites_for_quarter: int
+    sites_for_half: int
+    top100: float
+    top10k: float
+    top1m: float
+
+
+def headline_concentration(
+    distribution: TrafficDistribution, platform: Platform, metric: Metric
+) -> HeadlineConcentration:
+    """Compute the quoted concentration facts from a curve."""
+    return HeadlineConcentration(
+        platform=platform,
+        metric=metric,
+        top1=distribution.cumulative_share(1),
+        sites_for_quarter=distribution.sites_for_share(0.25),
+        sites_for_half=distribution.sites_for_share(0.50),
+        top100=distribution.cumulative_share(100),
+        top10k=distribution.cumulative_share(10_000),
+        top1m=distribution.cumulative_share(min(1_000_000, distribution.total_sites)),
+    )
+
+
+def per_country_top1(
+    countries: tuple[str, ...], seed: int = 2022
+) -> tuple[dict[str, float], Quartiles]:
+    """Per-country top-site share of page loads, plus its quartiles.
+
+    Section 4.1.2: "the top ranked website in each country captures
+    12–33 % of all page loads (median, 20 %)".
+    """
+    shares = {c: country_top1_share(c, seed) for c in countries}
+    return shares, quartiles(shares.values())

@@ -1,0 +1,151 @@
+"""Geographic structure behind country similarity (Section 5.3).
+
+Quantifies two of the paper's qualitative observations:
+
+* "clusters of web browsing behavior follow patterns of shared
+  geography and shared language" — decompose pairwise similarity by
+  whether the pair shares a language, a region group, or a continent;
+* "Geographic proximity and shared language only partially explain
+  country differences" — the decomposition leaves most variance
+  unexplained;
+* the global-south patterns of Section 5.3.2 (universities, gambling
+  and sports sites concentrate in global-south top-10 lists).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Mapping
+
+import numpy as np
+
+from ..core.rankedlist import RankedList
+from ..world.countries import get_country
+from .similarity import SimilarityMatrix
+
+#: Study countries conventionally counted as the global south (Africa,
+#: Latin America, and south/southeast Asia).
+GLOBAL_SOUTH: frozenset[str] = frozenset({
+    "DZ", "EG", "KE", "MA", "NG", "TN", "ZA",
+    "IN", "VN", "ID", "TH", "PH",
+    "CR", "DO", "GT", "MX", "PA",
+    "AR", "BO", "BR", "CL", "CO", "EC", "PE", "UY", "VE",
+})
+
+
+@dataclass(frozen=True)
+class SimilarityDecomposition:
+    """Mean pairwise similarity by relationship class."""
+
+    shared_language: float
+    same_region_group: float
+    same_continent_only: float       # same continent, no shared language/group
+    unrelated: float
+    n_pairs: dict[str, int]
+
+    @property
+    def language_lift(self) -> float:
+        """How much sharing a language raises similarity over baseline."""
+        return self.shared_language - self.unrelated
+
+    @property
+    def geography_lift(self) -> float:
+        return self.same_continent_only - self.unrelated
+
+
+def decompose_similarity(matrix: SimilarityMatrix) -> SimilarityDecomposition:
+    """Average pairwise similarity per relationship class."""
+    buckets: dict[str, list[float]] = {
+        "language": [], "group": [], "continent": [], "unrelated": [],
+    }
+    for a, b in combinations(matrix.countries, 2):
+        ca, cb = get_country(a), get_country(b)
+        value = matrix.pair(a, b)
+        if ca.region_group == cb.region_group:
+            buckets["group"].append(value)
+        elif ca.shares_language(cb):
+            buckets["language"].append(value)
+        elif ca.continent == cb.continent:
+            buckets["continent"].append(value)
+        else:
+            buckets["unrelated"].append(value)
+    if not buckets["unrelated"]:
+        raise ValueError("similarity matrix has no unrelated pairs")
+    return SimilarityDecomposition(
+        shared_language=float(np.mean(buckets["language"])) if buckets["language"] else float("nan"),
+        same_region_group=float(np.mean(buckets["group"])) if buckets["group"] else float("nan"),
+        same_continent_only=float(np.mean(buckets["continent"])) if buckets["continent"] else float("nan"),
+        unrelated=float(np.mean(buckets["unrelated"])),
+        n_pairs={k: len(v) for k, v in buckets.items()},
+    )
+
+
+def explained_variance(matrix: SimilarityMatrix) -> float:
+    """R² of similarity regressed on (shared language, group, continent).
+
+    The paper's caveat — geography and language only *partially* explain
+    differences — corresponds to this being well below 1.
+    """
+    features = []
+    target = []
+    for a, b in combinations(matrix.countries, 2):
+        ca, cb = get_country(a), get_country(b)
+        features.append([
+            1.0,
+            1.0 if ca.shares_language(cb) else 0.0,
+            1.0 if ca.region_group == cb.region_group else 0.0,
+            1.0 if ca.continent == cb.continent else 0.0,
+        ])
+        target.append(matrix.pair(a, b))
+    x = np.asarray(features)
+    y = np.asarray(target)
+    coef, *_ = np.linalg.lstsq(x, y, rcond=None)
+    residuals = y - x @ coef
+    total = float(np.sum((y - y.mean()) ** 2))
+    if total == 0.0:
+        return 0.0
+    return 1.0 - float(np.sum(residuals**2)) / total
+
+
+@dataclass(frozen=True)
+class GlobalSouthPattern:
+    """Where a top-10 site class concentrates (Section 5.3.2)."""
+
+    tag: str
+    south_countries: tuple[str, ...]
+    north_countries: tuple[str, ...]
+
+    @property
+    def south_fraction(self) -> float:
+        total = len(self.south_countries) + len(self.north_countries)
+        if total == 0:
+            return 0.0
+        return len(self.south_countries) / total
+
+
+def global_south_patterns(
+    lists_by_country: Mapping[str, RankedList],
+    tags: Mapping[str, tuple[str, ...]],
+    class_tags: tuple[str, ...] = ("university", "gambling", "sports"),
+    top_k: int = 10,
+) -> dict[str, GlobalSouthPattern]:
+    """Per class: the split of top-K presence between global south/north.
+
+    Paper: 9/10 university countries, 11/14 gambling countries and 7/9
+    sports countries are in the global south.
+    """
+    presence: dict[str, set[str]] = {tag: set() for tag in class_tags}
+    for country, ranked in lists_by_country.items():
+        for site in ranked.top(top_k).sites:
+            for tag in tags.get(site, ()):
+                if tag in presence:
+                    presence[tag].add(country)
+    return {
+        tag: GlobalSouthPattern(
+            tag=tag,
+            south_countries=tuple(sorted(c for c in countries if c in GLOBAL_SOUTH)),
+            north_countries=tuple(sorted(c for c in countries if c not in GLOBAL_SOUTH)),
+        )
+        for tag, countries in presence.items()
+    }

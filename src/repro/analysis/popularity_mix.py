@@ -1,0 +1,71 @@
+"""Globally vs nationally popular sites by rank (Section 5.2 / Figures 9, 17).
+
+"For each of several rank buckets, we compute the percentage of sites
+in that rank bucket that are globally popular."  Globally popular sites
+predominate in the top 10 (median 6–7/10) but national sites dominate
+from rank ~20 down (65–73 % at ranks 101–200).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from ..core.rankedlist import RankedList
+from ..stats.descriptive import Quartiles, quartiles
+from .endemicity import EndemicityResult
+
+#: The rank buckets of Figure 9 (start, end inclusive).
+DEFAULT_BUCKETS: tuple[tuple[int, int], ...] = (
+    (1, 10), (11, 20), (21, 50), (51, 100), (101, 200), (201, 500), (501, 1000),
+)
+
+
+@dataclass(frozen=True)
+class GlobalShareByBucket:
+    """Share of globally popular sites per rank bucket, over countries."""
+
+    bucket: tuple[int, int]
+    stats: Quartiles
+    per_country: dict[str, float]
+
+
+def global_share_by_rank(
+    lists_by_country: Mapping[str, RankedList],
+    endemicity: EndemicityResult,
+    buckets: tuple[tuple[int, int], ...] = DEFAULT_BUCKETS,
+) -> list[GlobalShareByBucket]:
+    """Fraction of each rank bucket occupied by globally popular sites."""
+    global_sites = endemicity.global_sites
+    out = []
+    for first, last in buckets:
+        per_country: dict[str, float] = {}
+        for country, ranked in lists_by_country.items():
+            if len(ranked) < first:
+                continue
+            segment = ranked.slice(first, min(last, len(ranked)))
+            if len(segment) == 0:
+                continue
+            hits = sum(1 for site in segment.sites if site in global_sites)
+            per_country[country] = hits / len(segment)
+        if per_country:
+            out.append(
+                GlobalShareByBucket(
+                    bucket=(first, last),
+                    stats=quartiles(per_country.values()),
+                    per_country=per_country,
+                )
+            )
+    return out
+
+
+def national_majority_rank(results: list[GlobalShareByBucket]) -> tuple[int, int] | None:
+    """The first bucket where nationally popular sites reach parity.
+
+    Paper: "starting at top 20, there are at least as many (if not
+    more) nationally popular sites compared to globally popular sites".
+    """
+    for row in results:
+        if row.stats.median <= 0.5:
+            return row.bucket
+    return None

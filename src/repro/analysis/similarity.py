@@ -1,0 +1,148 @@
+"""Country-to-country similarity (Section 5.3.1, 5.3.3 / Figures 10, 12, 18–20).
+
+* Traffic-weighted RBO between every pair of countries' top-10K lists
+  (the Figure 10 heatmap and its appendix variants);
+* unweighted percent intersection per rank bucket, summarised as the
+  cumulative sum of the sorted pairwise values (Figure 12).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Mapping
+
+import numpy as np
+
+from ..core.dataset import BrowsingDataset
+from ..core.distribution import TrafficDistribution
+from ..core.rankedlist import RankedList
+from ..core.types import Metric, Month, Platform
+from ..stats.rbo import weighted_rbo
+
+
+@dataclass(frozen=True)
+class SimilarityMatrix:
+    """A symmetric country-pair similarity matrix."""
+
+    countries: tuple[str, ...]
+    values: np.ndarray
+
+    def __post_init__(self) -> None:
+        n = len(self.countries)
+        if self.values.shape != (n, n):
+            raise ValueError("matrix shape must match country count")
+
+    def pair(self, a: str, b: str) -> float:
+        i = self.countries.index(a)
+        j = self.countries.index(b)
+        return float(self.values[i, j])
+
+    def most_similar_to(self, country: str, k: int = 5) -> list[tuple[str, float]]:
+        i = self.countries.index(country)
+        order = np.argsort(-self.values[i])
+        out = []
+        for j in order:
+            if j == i:
+                continue
+            out.append((self.countries[int(j)], float(self.values[i, int(j)])))
+            if len(out) == k:
+                break
+        return out
+
+    def mean_similarity(self, country: str) -> float:
+        """Average similarity to all other countries (outliers score low)."""
+        i = self.countries.index(country)
+        mask = np.ones(len(self.countries), dtype=bool)
+        mask[i] = False
+        return float(self.values[i, mask].mean())
+
+
+def weighted_rbo_matrix(
+    lists_by_country: Mapping[str, RankedList],
+    distribution: TrafficDistribution,
+    depth: int = 10_000,
+) -> SimilarityMatrix:
+    """Pairwise traffic-weighted RBO over per-country lists.
+
+    The weight of agreement at depth d is the traffic share of rank d
+    (Section 5.3.1's replacement for RBO's geometric weights).
+    """
+    countries = tuple(sorted(lists_by_country))
+    n = len(countries)
+    values = np.eye(n)
+    max_depth = min(
+        depth, min(len(lists_by_country[c]) for c in countries)
+    )
+    weights = distribution.weights(max_depth)
+    for i, j in combinations(range(n), 2):
+        score = weighted_rbo(
+            lists_by_country[countries[i]],
+            lists_by_country[countries[j]],
+            weights,
+            depth=max_depth,
+        )
+        values[i, j] = values[j, i] = score
+    return SimilarityMatrix(countries, values)
+
+
+def rbo_matrix_for(
+    dataset: BrowsingDataset,
+    platform: Platform,
+    metric: Metric,
+    month: Month,
+    depth: int = 10_000,
+    countries: tuple[str, ...] | None = None,
+) -> SimilarityMatrix:
+    """Figure 10 (and 18–20): the wRBO matrix for one dataset slice."""
+    lists = dataset.select(platform, metric, month, countries)
+    if len(lists) < 2:
+        raise ValueError("need at least two countries")
+    return weighted_rbo_matrix(lists, dataset.distribution(platform, metric), depth)
+
+
+@dataclass(frozen=True)
+class IntersectionCurve:
+    """Figure 12: sorted pairwise intersections, cumulatively summed."""
+
+    bucket: int
+    sorted_values: np.ndarray        # descending pairwise % intersections
+    cumulative: np.ndarray
+
+    @property
+    def n_pairs(self) -> int:
+        return len(self.sorted_values)
+
+    @property
+    def mean_intersection(self) -> float:
+        return float(self.sorted_values.mean())
+
+
+def pairwise_intersections(
+    lists_by_country: Mapping[str, RankedList],
+    bucket: int,
+) -> IntersectionCurve:
+    """Unweighted percent intersection for every country pair at one bucket."""
+    countries = sorted(lists_by_country)
+    tops = {c: lists_by_country[c].top(bucket) for c in countries}
+    values = [
+        tops[a].percent_intersection(tops[b])
+        for a, b in combinations(countries, 2)
+    ]
+    ordered = np.sort(np.asarray(values))[::-1]
+    return IntersectionCurve(bucket, ordered, np.cumsum(ordered))
+
+
+def intersection_curves(
+    dataset: BrowsingDataset,
+    platform: Platform,
+    metric: Metric,
+    month: Month,
+    buckets: tuple[int, ...] = (10, 100, 1_000, 10_000),
+    countries: tuple[str, ...] | None = None,
+) -> list[IntersectionCurve]:
+    """Figure 12's family of curves across rank buckets."""
+    lists = dataset.select(platform, metric, month, countries)
+    if len(lists) < 2:
+        raise ValueError("need at least two countries")
+    return [pairwise_intersections(lists, bucket) for bucket in buckets]

@@ -1,0 +1,34 @@
+"""Website categorisation: taxonomy, simulated API, validation workflow."""
+
+from .api import (
+    CONFUSION_MAP,
+    DEFAULT_CATEGORY_ACCURACY,
+    APIConfig,
+    DomainIntelligenceAPI,
+)
+from .taxonomy import FINAL_TAXONOMY, TABLE3, Taxonomy, category_counts
+from .validation import (
+    CategoryAccuracy,
+    ReviewVerdict,
+    ValidationReport,
+    clean_labels,
+    review_label,
+    validate_categories,
+)
+
+__all__ = [
+    "APIConfig",
+    "CONFUSION_MAP",
+    "CategoryAccuracy",
+    "DEFAULT_CATEGORY_ACCURACY",
+    "DomainIntelligenceAPI",
+    "FINAL_TAXONOMY",
+    "ReviewVerdict",
+    "TABLE3",
+    "Taxonomy",
+    "ValidationReport",
+    "category_counts",
+    "clean_labels",
+    "review_label",
+    "validate_categories",
+]

@@ -1,0 +1,167 @@
+"""A simulated domain-categorisation API (stand-in for Cloudflare's).
+
+Section 3.2 categorises websites with Cloudflare's Domain Intelligence
+API, then validates it manually because the API is imperfect.  Our
+simulated API wraps the universe's ground-truth labels and injects the
+error structure the paper observed:
+
+* most categories are right ~90+ % of the time;
+* *Search Engines* and *Social Networks* fall below the 80 % bar
+  (the paper manually curates those two instead);
+* a slice of lookups returns one of the 19 junk/raw categories
+  (Content Servers, Parked Domains, ...) that the accuracy analysis
+  ends up dropping entirely.
+
+Errors are deterministic per (seed, domain), so validation workflows are
+reproducible.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+import numpy as np
+
+from ..core.errors import TaxonomyError
+from ..world.categories_data import DROPPED_RAW_CATEGORIES
+from .taxonomy import FINAL_TAXONOMY, Taxonomy
+
+#: Per-category API accuracy overrides (probability the label is right).
+#: The two curated categories are the low-accuracy ones the paper calls
+#: out; a few others are middling, as Figure 13's bars suggest.
+DEFAULT_CATEGORY_ACCURACY: dict[str, float] = {
+    "Search Engines": 0.55,
+    "Social Networks": 0.62,
+    "Entertainment": 0.84,
+    "Lifestyle": 0.85,
+    "Questionable Content": 0.82,
+    "Redirect": 0.83,
+    "Unknown": 1.00,
+}
+
+#: Plausible confusions: when the API errs on category X it usually
+#: lands on a semantically adjacent label, not a uniform draw.
+CONFUSION_MAP: dict[str, tuple[str, ...]] = {
+    "Pornography": ("Adult Themes", "Sexuality"),
+    "Adult Themes": ("Pornography", "Lifestyle"),
+    "Search Engines": ("Technology", "Unknown", "Business"),
+    "Social Networks": ("Forums", "Entertainment", "Chat & Messaging"),
+    "Video Streaming": ("Movies & Home Video", "Entertainment", "Television"),
+    "Movies & Home Video": ("Video Streaming", "Entertainment"),
+    "News & Media": ("Magazines", "Entertainment", "Sports"),
+    "Ecommerce": ("Auctions & Marketplaces", "Business", "Coupons"),
+    "Educational Institutions": ("Education", "Science"),
+    "Education": ("Educational Institutions", "Science"),
+    "Economy & Finance": ("Business", "Technology"),
+    "Gaming": ("Entertainment", "Technology"),
+    "Chat & Messaging": ("Social Networks", "Technology"),
+    "Forums": ("Social Networks", "Technology"),
+    "Webmail": ("Technology", "Search Engines"),
+    # Inbound flows into the curated categories: the real API overmarks
+    # portal-ish and community-ish sites, which (combined with the base
+    # rates — Technology alone outnumbers true search engines ~100:1) is
+    # what ruins the *precision* the manual review measures.
+    "Technology": ("Business", "Search Engines", "Unknown"),
+    "Entertainment": ("Social Networks", "Lifestyle", "News & Media"),
+    "Lifestyle": ("Social Networks", "Hobbies & Interests", "Unknown"),
+    "Business": ("Technology", "Economy & Finance", "Unknown"),
+}
+
+
+@dataclass(frozen=True)
+class APIConfig:
+    """Error-model knobs for the simulated API."""
+
+    seed: int = 7
+    default_accuracy: float = 0.93
+    category_accuracy: Mapping[str, float] = field(
+        default_factory=lambda: dict(DEFAULT_CATEGORY_ACCURACY)
+    )
+    junk_label_rate: float = 0.05
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.default_accuracy <= 1.0:
+            raise TaxonomyError("default_accuracy must be in [0, 1]")
+        if not 0.0 <= self.junk_label_rate < 1.0:
+            raise TaxonomyError("junk_label_rate must be in [0, 1)")
+        for cat, acc in self.category_accuracy.items():
+            if not 0.0 <= acc <= 1.0:
+                raise TaxonomyError(f"accuracy for {cat!r} must be in [0, 1]")
+
+    def accuracy_for(self, category: str) -> float:
+        return self.category_accuracy.get(category, self.default_accuracy)
+
+
+class DomainIntelligenceAPI:
+    """Categorises domains with a realistic, reproducible error model.
+
+    Parameters
+    ----------
+    truth:
+        Ground-truth mapping domain → category (from the universe).
+    config:
+        Error model; defaults mirror the paper's observations.
+    taxonomy:
+        The label vocabulary the API draws from when it errs.
+    """
+
+    def __init__(
+        self,
+        truth: Mapping[str, str],
+        config: APIConfig | None = None,
+        taxonomy: Taxonomy = FINAL_TAXONOMY,
+    ) -> None:
+        self._truth = truth
+        self.config = config or APIConfig()
+        self._taxonomy = taxonomy
+        self._vocab = taxonomy.categories
+
+    # -- internals --------------------------------------------------------------------
+
+    def _rng(self, domain: str) -> np.random.Generator:
+        key = zlib.crc32(domain.encode("utf-8"))
+        return np.random.default_rng(np.random.SeedSequence([self.config.seed, key]))
+
+    def _wrong_label(self, truth_category: str, rng: np.random.Generator) -> str:
+        confusions = CONFUSION_MAP.get(truth_category)
+        if confusions and rng.random() < 0.75:
+            return str(confusions[int(rng.integers(len(confusions)))])
+        # Uniform over the rest of the vocabulary.
+        choice = truth_category
+        while choice == truth_category:
+            choice = self._vocab[int(rng.integers(len(self._vocab)))]
+        return choice
+
+    # -- public API ---------------------------------------------------------------------
+
+    def lookup(self, domain: str) -> str:
+        """The API's (possibly wrong) raw label for ``domain``.
+
+        Unknown domains return ``"Unknown"``, as the real API does for
+        domains it has no intelligence on.
+        """
+        truth_category = self._truth.get(domain)
+        if truth_category is None:
+            return "Unknown"
+        rng = self._rng(domain)
+        if rng.random() < self.config.junk_label_rate:
+            return str(
+                DROPPED_RAW_CATEGORIES[int(rng.integers(len(DROPPED_RAW_CATEGORIES)))]
+            )
+        if rng.random() < self.config.accuracy_for(truth_category):
+            return truth_category
+        return self._wrong_label(truth_category, rng)
+
+    def bulk_lookup(self, domains: Iterable[str]) -> dict[str, str]:
+        """Label many domains (the paper queried every top-10K site)."""
+        return {d: self.lookup(d) for d in domains}
+
+    def ground_truth(self, domain: str) -> str | None:
+        """The true category — only available to the validation oracle.
+
+        In the real study this is what human review recovers; tests and
+        the manual-review simulation use it the same way.
+        """
+        return self._truth.get(domain)

@@ -1,0 +1,140 @@
+"""Taxonomy objects: categories, supercategories, lookup and merging.
+
+Wraps the static Table 3 data (:mod:`repro.world.categories_data`) in a
+queryable object used by every category-level analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+from ..core.errors import TaxonomyError
+from ..world.categories_data import (
+    ALL_CATEGORIES,
+    CURATED_CATEGORIES,
+    MERGED_RAW_CATEGORIES,
+    TABLE3_TAXONOMY,
+    CategorySpec,
+)
+
+
+@dataclass(frozen=True)
+class Taxonomy:
+    """An immutable category taxonomy with supercategory structure."""
+
+    specs: tuple[CategorySpec, ...]
+
+    def __post_init__(self) -> None:
+        names = [s.name for s in self.specs]
+        if len(names) != len(set(names)):
+            raise TaxonomyError("duplicate category names in taxonomy")
+
+    # -- constructors -------------------------------------------------------------
+
+    @classmethod
+    def final(cls) -> "Taxonomy":
+        """The paper's final working taxonomy: Table 3 + curated categories."""
+        return cls(ALL_CATEGORIES)
+
+    @classmethod
+    def table3(cls) -> "Taxonomy":
+        """Exactly the 22-super / 61-category taxonomy of Table 3."""
+        return cls(TABLE3_TAXONOMY)
+
+    # -- queries --------------------------------------------------------------------
+
+    @property
+    def categories(self) -> tuple[str, ...]:
+        return tuple(s.name for s in self.specs)
+
+    @property
+    def supercategories(self) -> tuple[str, ...]:
+        seen: list[str] = []
+        for s in self.specs:
+            if s.supercategory not in seen:
+                seen.append(s.supercategory)
+        return tuple(seen)
+
+    def __contains__(self, category: str) -> bool:
+        return any(s.name == category for s in self.specs)
+
+    def __len__(self) -> int:
+        return len(self.specs)
+
+    def supercategory_of(self, category: str) -> str:
+        for s in self.specs:
+            if s.name == category:
+                return s.supercategory
+        raise TaxonomyError(f"unknown category {category!r}")
+
+    def in_supercategory(self, supercategory: str) -> tuple[str, ...]:
+        out = tuple(s.name for s in self.specs if s.supercategory == supercategory)
+        if not out:
+            raise TaxonomyError(f"unknown supercategory {supercategory!r}")
+        return out
+
+    def is_curated(self, category: str) -> bool:
+        for s in self.specs:
+            if s.name == category:
+                return s.curated
+        raise TaxonomyError(f"unknown category {category!r}")
+
+    @property
+    def curated(self) -> tuple[str, ...]:
+        return tuple(s.name for s in self.specs if s.curated)
+
+    # -- label normalisation --------------------------------------------------------
+
+    def normalize(self, raw_label: str) -> str:
+        """Map a raw API label into this taxonomy.
+
+        Applies the merge table from Section 3.2 (e.g. ``Chat`` →
+        ``Chat & Messaging``); labels outside the taxonomy fall back to
+        ``Unknown``, mirroring "we exclude 19 categories and merge their
+        websites into our Other/Unknown category".
+        """
+        label = MERGED_RAW_CATEGORIES.get(raw_label, raw_label)
+        if label in self:
+            return label
+        return "Unknown"
+
+    def rollup(self, counts: Mapping[str, float]) -> dict[str, float]:
+        """Aggregate per-category values to supercategories."""
+        out: dict[str, float] = {}
+        for category, value in counts.items():
+            out.setdefault(self.supercategory_of(category), 0.0)
+            out[self.supercategory_of(category)] += value
+        return out
+
+
+def category_counts(
+    sites: Iterable[str],
+    labels: Mapping[str, str],
+    taxonomy: Taxonomy | None = None,
+) -> dict[str, int]:
+    """Count sites per category, sending unlabeled sites to Unknown."""
+    taxonomy = taxonomy or Taxonomy.final()
+    counts: dict[str, int] = {}
+    for site in sites:
+        category = labels.get(site, "Unknown")
+        if category not in taxonomy:
+            category = "Unknown"
+        counts[category] = counts.get(category, 0) + 1
+    return counts
+
+
+#: Convenience singletons.
+FINAL_TAXONOMY = Taxonomy.final()
+TABLE3 = Taxonomy.table3()
+
+# Validate the paper's headline counts at import time: Table 3 has
+# exactly 61 categories in 22 supercategories (Section 3.2).
+if len(TABLE3) != 61:
+    raise TaxonomyError(f"Table 3 must have 61 categories, found {len(TABLE3)}")
+if len(TABLE3.supercategories) != 22:
+    raise TaxonomyError(
+        f"Table 3 must have 22 supercategories, found {len(TABLE3.supercategories)}"
+    )
+if CURATED_CATEGORIES and len(FINAL_TAXONOMY) != 63:
+    raise TaxonomyError("final taxonomy must add exactly the 2 curated categories")

@@ -1,0 +1,253 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+generate   Build a synthetic telemetry dataset and save it to disk.
+inspect    Print the head of rank lists from a saved dataset.
+analyze    Run a named analysis over a saved dataset.
+crux       Produce the CrUX-style public rank-bucket export.
+world      Print facts about the synthetic world (countries, taxonomy).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from .core import Metric, Month, Platform, REFERENCE_MONTH, STUDY_MONTHS
+
+
+def _parse_month(text: str) -> Month:
+    try:
+        year, month = text.split("-")
+        return Month(int(year), int(month))
+    except (ValueError, TypeError) as exc:
+        raise argparse.ArgumentTypeError(
+            f"month must look like 2022-02, got {text!r}"
+        ) from exc
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'A World Wide View of Browsing the "
+                    "World Wide Web' (IMC 2022).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="generate and save a dataset")
+    gen.add_argument("--out", required=True, help="output directory")
+    gen.add_argument("--small", action="store_true",
+                     help="use the small test-scale universe")
+    gen.add_argument("--seed", type=int, default=2022)
+    gen.add_argument("--countries", nargs="*", default=None,
+                     help="ISO codes (default: all 45)")
+    gen.add_argument("--months", nargs="*", type=_parse_month, default=None,
+                     help="e.g. 2021-12 2022-02 (default: 2022-02; "
+                          "'all' months via --all-months)")
+    gen.add_argument("--all-months", action="store_true",
+                     help="generate all six study months")
+
+    ins = sub.add_parser("inspect", help="print rank-list heads")
+    ins.add_argument("--data", required=True)
+    ins.add_argument("--country", default="US")
+    ins.add_argument("--top", type=int, default=10)
+
+    ana = sub.add_parser("analyze", help="run an analysis on a saved dataset")
+    ana.add_argument("--data", required=True)
+    ana.add_argument(
+        "--analysis", required=True,
+        choices=("concentration", "composition", "overlap", "clusters"),
+    )
+    ana.add_argument("--small", action="store_true",
+                     help="dataset was generated with --small (labels)")
+    ana.add_argument("--seed", type=int, default=2022)
+
+    crux = sub.add_parser("crux", help="CrUX-style public export")
+    crux.add_argument("--data", required=True)
+    crux.add_argument("--out", required=True)
+
+    sub.add_parser("world", help="print world facts")
+    return parser
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    from .export.io import save_dataset
+    from .synth import GeneratorConfig, TelemetryGenerator
+
+    config = (GeneratorConfig.small(seed=args.seed) if args.small
+              else GeneratorConfig(seed=args.seed))
+    generator = TelemetryGenerator(config)
+    months = tuple(args.months) if args.months else (
+        STUDY_MONTHS if args.all_months else (REFERENCE_MONTH,)
+    )
+    dataset = generator.generate(
+        countries=tuple(args.countries) if args.countries else None,
+        months=months,
+    )
+    path = save_dataset(dataset, args.out)
+    print(f"wrote {len(dataset)} rank lists to {path}")
+    return 0
+
+
+def _cmd_inspect(args: argparse.Namespace) -> int:
+    from .export.io import load_dataset
+    from .report import render_table
+
+    dataset = load_dataset(args.data)
+    rows = []
+    for platform in dataset.platforms:
+        for metric in dataset.metrics:
+            ranked = dataset.get_or_none(
+                args.country, platform, metric, dataset.months[-1]
+            )
+            if ranked is None:
+                continue
+            rows.append((
+                platform.value, metric.value,
+                ", ".join(ranked.top(args.top).sites),
+            ))
+    print(render_table(
+        ("platform", "metric", f"top {args.top}"), rows,
+        title=f"{args.country}, {dataset.months[-1]}",
+    ))
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from .analysis import (
+        cluster_countries,
+        headline_concentration,
+        metric_overlap,
+        rbo_matrix_for,
+        composition_panel,
+    )
+    from .export.io import load_dataset
+    from .report import render_shares, render_table
+    from .synth import GeneratorConfig, TelemetryGenerator
+
+    dataset = load_dataset(args.data)
+    month = dataset.months[-1]
+
+    if args.analysis == "concentration":
+        rows = []
+        for (platform, metric), dist in sorted(
+            dataset.distributions().items(),
+            key=lambda kv: (kv[0][0].value, kv[0][1].value),
+        ):
+            h = headline_concentration(dist, platform, metric)
+            rows.append((f"{platform.value}/{metric.value}",
+                         f"{h.top1:.1%}", h.sites_for_quarter,
+                         f"{h.top10k:.1%}"))
+        print(render_table(
+            ("breakdown", "top-1 share", "sites for 25%", "top-10K share"),
+            rows, title="Traffic concentration (Figure 1)",
+        ))
+        return 0
+
+    if args.analysis == "overlap":
+        rows = []
+        for platform in dataset.platforms:
+            if not {Metric.PAGE_LOADS, Metric.TIME_ON_PAGE} <= set(dataset.metrics):
+                print("dataset lacks both metrics", file=sys.stderr)
+                return 2
+            overlap = metric_overlap(dataset, platform, month)
+            rows.append((platform.value,
+                         f"{overlap.intersection_stats.median:.1%}",
+                         f"{overlap.spearman_stats.median:.2f}"))
+        print(render_table(
+            ("platform", "median intersection", "median Spearman"), rows,
+            title="Loads vs time agreement (Section 4.4)",
+        ))
+        return 0
+
+    if args.analysis == "composition":
+        config = (GeneratorConfig.small(seed=args.seed) if args.small
+                  else GeneratorConfig(seed=args.seed))
+        labels = TelemetryGenerator(config).site_categories()
+        for metric in dataset.metrics:
+            panel = composition_panel(
+                dataset, labels, dataset.platforms[-1], metric, month,
+                top_n=10_000, perspective="traffic",
+            )
+            print(render_shares(
+                panel.shares,
+                f"{dataset.platforms[-1].value} / {metric.value}", top=8,
+            ))
+            print()
+        return 0
+
+    if args.analysis == "clusters":
+        matrix = rbo_matrix_for(
+            dataset, dataset.platforms[-1], dataset.metrics[0], month
+        )
+        report = cluster_countries(matrix)
+        print(render_table(
+            ("exemplar", "SC", "members"),
+            [(c.exemplar, f"{c.silhouette:+.2f}", " ".join(c.members))
+             for c in report.clusters],
+            title=f"{report.n_clusters} clusters, "
+                  f"avg SC {report.average_silhouette:+.2f}",
+        ))
+        return 0
+
+    raise AssertionError("unreachable")
+
+
+def _cmd_crux(args: argparse.Namespace) -> int:
+    import json
+
+    from .export.crux import export_crux
+    from .export.io import load_dataset
+
+    dataset = load_dataset(args.data)
+    export = export_crux(dataset, dataset.platforms[-1], dataset.months[-1])
+    payload = {
+        "platform": export.platform.value,
+        "metric": export.metric.value,
+        "month": str(export.month),
+        "global": export.global_buckets,
+        "countries": export.per_country,
+    }
+    out = Path(args.out)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(payload), encoding="utf-8")
+    print(f"wrote CrUX-style export ({len(export.global_buckets)} global "
+          f"sites, {len(export.per_country)} countries) to {out}")
+    return 0
+
+
+def _cmd_world(_: argparse.Namespace) -> int:
+    from .categories.taxonomy import TABLE3
+    from .report import render_table
+    from .world import COUNTRIES, NAMED_SITES, by_region_group
+
+    print(render_table(
+        ("region group", "countries"),
+        [(group, " ".join(c.code for c in members))
+         for group, members in sorted(by_region_group().items())],
+        title=f"{len(COUNTRIES)} study countries (Appendix A)",
+    ))
+    print(f"\nTaxonomy: {len(TABLE3)} categories in "
+          f"{len(TABLE3.supercategories)} supercategories (Table 3)")
+    print(f"Curated site roster: {len(NAMED_SITES)} named sites")
+    return 0
+
+
+_COMMANDS = {
+    "generate": _cmd_generate,
+    "inspect": _cmd_inspect,
+    "analyze": _cmd_analyze,
+    "crux": _cmd_crux,
+    "world": _cmd_world,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,46 @@
+"""Core data model: breakdown keys, ranked lists, traffic distributions."""
+
+from .dataset import BrowsingDataset
+from .distribution import TrafficDistribution, concentration_table
+from .errors import (
+    AnalysisError,
+    DatasetError,
+    DistributionError,
+    GenerationError,
+    MissingBreakdownError,
+    RankListError,
+    ReproError,
+    TaxonomyError,
+)
+from .rankedlist import RankedList
+from .types import (
+    DECEMBER,
+    REFERENCE_MONTH,
+    STUDY_MONTHS,
+    Breakdown,
+    Metric,
+    Month,
+    Platform,
+)
+
+__all__ = [
+    "AnalysisError",
+    "Breakdown",
+    "BrowsingDataset",
+    "DECEMBER",
+    "DatasetError",
+    "DistributionError",
+    "GenerationError",
+    "Metric",
+    "MissingBreakdownError",
+    "Month",
+    "Platform",
+    "RankListError",
+    "RankedList",
+    "REFERENCE_MONTH",
+    "ReproError",
+    "STUDY_MONTHS",
+    "TaxonomyError",
+    "TrafficDistribution",
+    "concentration_table",
+]

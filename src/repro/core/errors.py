@@ -1,0 +1,39 @@
+"""Exception hierarchy for the repro library."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all library-specific errors."""
+
+
+class DatasetError(ReproError):
+    """A problem with dataset construction or lookup."""
+
+
+class MissingBreakdownError(DatasetError, KeyError):
+    """A requested (country, platform, metric, month) slice does not exist."""
+
+    def __init__(self, breakdown: object) -> None:
+        super().__init__(f"no rank list for breakdown {breakdown}")
+        self.breakdown = breakdown
+
+
+class RankListError(ReproError):
+    """A malformed ranked list (duplicates, gaps, empty)."""
+
+
+class DistributionError(ReproError):
+    """A malformed traffic distribution (non-monotone, out of range)."""
+
+
+class TaxonomyError(ReproError):
+    """An unknown category or an inconsistent taxonomy definition."""
+
+
+class GenerationError(ReproError):
+    """The synthetic generator was configured inconsistently."""
+
+
+class AnalysisError(ReproError):
+    """An analysis was invoked with inputs it cannot support."""

@@ -1,0 +1,162 @@
+"""Fundamental enumerations and value types for the browsing dataset.
+
+The paper analyses Chrome telemetry broken down along four dimensions
+(Section 3.1): country, platform (operating system), popularity metric,
+and month.  This module defines those dimensions as small, hashable value
+types used as keys throughout the library.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterator
+
+
+class Platform(enum.Enum):
+    """Operating systems for which Chrome reports telemetry.
+
+    The paper restricts its analysis to the two largest platforms, Windows
+    (desktop) and Android (mobile); the remaining three are defined for
+    completeness and are supported by the synthetic generator but excluded
+    by default, mirroring Section 3.1.
+    """
+
+    WINDOWS = "windows"
+    ANDROID = "android"
+    MAC_OS = "mac_os"
+    LINUX = "linux"
+    IOS = "ios"
+
+    @property
+    def is_desktop(self) -> bool:
+        return self in (Platform.WINDOWS, Platform.MAC_OS, Platform.LINUX)
+
+    @property
+    def is_mobile(self) -> bool:
+        return not self.is_desktop
+
+    @classmethod
+    def studied(cls) -> tuple["Platform", "Platform"]:
+        """The two platforms the paper studies (Windows and Android)."""
+        return (cls.WINDOWS, cls.ANDROID)
+
+
+class Metric(enum.Enum):
+    """Popularity metrics tracked by Chrome telemetry.
+
+    ``INITIATED_PAGE_LOADS`` is defined but excluded from analyses by
+    default because it is nearly identical to completed page loads
+    (Section 3.1).
+    """
+
+    PAGE_LOADS = "page_loads"
+    TIME_ON_PAGE = "time_on_page"
+    INITIATED_PAGE_LOADS = "initiated_page_loads"
+
+    @classmethod
+    def studied(cls) -> tuple["Metric", "Metric"]:
+        """The two metrics the paper studies."""
+        return (cls.PAGE_LOADS, cls.TIME_ON_PAGE)
+
+
+@dataclass(frozen=True, order=True)
+class Month:
+    """A calendar month, ordered chronologically.
+
+    The study period is September 2021 through February 2022.
+    """
+
+    year: int
+    month: int
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.month <= 12:
+            raise ValueError(f"month must be in 1..12, got {self.month}")
+        if self.year < 1990 or self.year > 2100:
+            raise ValueError(f"implausible year {self.year}")
+
+    def next(self) -> "Month":
+        """The month immediately after this one."""
+        if self.month == 12:
+            return Month(self.year + 1, 1)
+        return Month(self.year, self.month + 1)
+
+    def prev(self) -> "Month":
+        """The month immediately before this one."""
+        if self.month == 1:
+            return Month(self.year - 1, 12)
+        return Month(self.year, self.month - 1)
+
+    def index(self) -> int:
+        """Months since year 0, for arithmetic and ordering."""
+        return self.year * 12 + (self.month - 1)
+
+    def is_adjacent(self, other: "Month") -> bool:
+        return abs(self.index() - other.index()) == 1
+
+    @property
+    def is_december(self) -> bool:
+        return self.month == 12
+
+    @classmethod
+    def range(cls, first: "Month", last: "Month") -> Iterator["Month"]:
+        """Yield months from ``first`` through ``last`` inclusive."""
+        if last < first:
+            raise ValueError("last month precedes first month")
+        current = first
+        while current <= last:
+            yield current
+            current = current.next()
+
+    def __str__(self) -> str:
+        return f"{self.year:04d}-{self.month:02d}"
+
+
+#: The six months of the paper's study period (Section 3.1).
+STUDY_MONTHS: tuple[Month, ...] = tuple(
+    Month.range(Month(2021, 9), Month(2022, 2))
+)
+
+#: February 2022 — the reference month used for most analyses (Section 3.1).
+REFERENCE_MONTH: Month = Month(2022, 2)
+
+#: December 2021 — the anomalous month called out in Section 4.5.
+DECEMBER: Month = Month(2021, 12)
+
+
+@dataclass(frozen=True, order=True)
+class Breakdown:
+    """A (country, platform, metric, month) key identifying one rank list.
+
+    Section 3.1: "rank order lists of the top million most popular websites
+    per month, broken down by country, platform, and popularity metric".
+    """
+
+    country: str
+    platform: Platform
+    metric: Metric
+    month: Month
+
+    def __post_init__(self) -> None:
+        if len(self.country) != 2 or not self.country.isupper():
+            raise ValueError(
+                f"country must be a 2-letter upper-case ISO code, got {self.country!r}"
+            )
+
+    def with_month(self, month: Month) -> "Breakdown":
+        return Breakdown(self.country, self.platform, self.metric, month)
+
+    def with_metric(self, metric: Metric) -> "Breakdown":
+        return Breakdown(self.country, self.platform, metric, self.month)
+
+    def with_platform(self, platform: Platform) -> "Breakdown":
+        return Breakdown(self.country, platform, self.metric, self.month)
+
+    def with_country(self, country: str) -> "Breakdown":
+        return Breakdown(country, self.platform, self.metric, self.month)
+
+    def __str__(self) -> str:
+        return (
+            f"{self.country}/{self.platform.value}/{self.metric.value}/{self.month}"
+        )

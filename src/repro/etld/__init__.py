@@ -1,0 +1,14 @@
+"""Public-suffix handling and cross-country domain merging."""
+
+from .merge import DEFAULT_DENYLIST, DomainMerger, merge_rank_lists
+from .psl import DEFAULT_PSL, PSL_RULES, PublicSuffixList, SuffixMatch
+
+__all__ = [
+    "DEFAULT_DENYLIST",
+    "DEFAULT_PSL",
+    "DomainMerger",
+    "PSL_RULES",
+    "PublicSuffixList",
+    "SuffixMatch",
+    "merge_rank_lists",
+]

@@ -1,0 +1,124 @@
+"""A minimal embedded Public Suffix List and the eTLD+1 algorithm.
+
+Section 3.1: "we merge websites when a secondary version exists under
+another eTLD (e.g., we aggregate google.co.uk with google.com), as
+defined by the Mozilla Public Suffix list".  The full PSL is ~10K
+entries; we embed the subset covering every suffix the synthetic world
+emits (all study-country ccTLDs plus the common gTLDs) and implement
+the standard matching rules, including wildcard entries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Plain public-suffix rules.  A leading ``*.`` marks a wildcard rule and
+#: a leading ``!`` an exception, per the PSL specification.
+PSL_RULES: frozenset[str] = frozenset(
+    {
+        # generic TLDs
+        "com", "org", "net", "gov", "edu", "mil", "int", "info", "biz",
+        "io", "gg", "tv", "live", "wiki", "app", "dev", "me", "co",
+        "online", "site", "store", "xyz", "news",
+        # second-level generic registries
+        "com.co", "net.co",
+        # Africa
+        "dz", "com.dz", "eg", "com.eg", "ke", "co.ke", "ma", "co.ma",
+        "ng", "com.ng", "tn", "com.tn", "za", "co.za",
+        # Asia
+        "jp", "co.jp", "ne.jp", "or.jp", "in", "co.in", "kr", "co.kr",
+        "or.kr", "tr", "com.tr", "vn", "com.vn", "tw", "com.tw", "id",
+        "co.id", "th", "co.th", "in.th", "ph", "com.ph", "hk", "com.hk",
+        # Europe
+        "uk", "co.uk", "org.uk", "ac.uk", "gov.uk", "fr", "ru", "com.ru",
+        "de", "it", "es", "com.es", "nl", "pl", "com.pl", "ua", "com.ua",
+        "be", "eu",
+        # Americas
+        "ca", "cr", "co.cr", "do", "com.do", "gt", "com.gt", "mx",
+        "com.mx", "pa", "com.pa", "us",
+        "ar", "com.ar", "bo", "com.bo", "br", "com.br", "cl", "ec",
+        "com.ec", "pe", "com.pe", "uy", "com.uy", "ve", "com.ve",
+        # Oceania
+        "au", "com.au", "net.au", "org.au", "nz", "co.nz", "org.nz",
+        # wildcard examples from the PSL spec, to exercise the matcher
+        "*.ck", "!www.ck",
+    }
+)
+
+
+@dataclass(frozen=True)
+class SuffixMatch:
+    """Decomposition of a hostname against the PSL."""
+
+    hostname: str
+    public_suffix: str
+    registrable_domain: str | None   # eTLD+1, None for bare suffixes
+
+    @property
+    def label(self) -> str | None:
+        """The registrable label (the eTLD+1 minus the suffix).
+
+        ``google.co.uk`` → ``google``; used for cross-eTLD merging.
+        """
+        if self.registrable_domain is None:
+            return None
+        return self.registrable_domain[: -(len(self.public_suffix) + 1)]
+
+
+class PublicSuffixList:
+    """Matcher over a rule set following the PSL algorithm.
+
+    Rules: the longest matching rule wins; wildcard rules (``*.foo``)
+    match one extra label; exception rules (``!bar.foo``) override
+    wildcards.  A hostname with no matching rule uses its last label as
+    the suffix (the PSL's implicit ``*`` rule).
+    """
+
+    def __init__(self, rules: frozenset[str] | set[str] = PSL_RULES) -> None:
+        self._plain: set[str] = set()
+        self._wildcards: set[str] = set()
+        self._exceptions: set[str] = set()
+        for rule in rules:
+            if rule.startswith("!"):
+                self._exceptions.add(rule[1:])
+            elif rule.startswith("*."):
+                self._wildcards.add(rule[2:])
+            else:
+                self._plain.add(rule)
+
+    def match(self, hostname: str) -> SuffixMatch:
+        """Decompose ``hostname`` into public suffix and eTLD+1."""
+        host = hostname.strip().strip(".").lower()
+        if not host or any(not part for part in host.split(".")):
+            raise ValueError(f"malformed hostname {hostname!r}")
+        labels = host.split(".")
+        suffix_len = 1  # implicit * rule
+        for start in range(len(labels)):
+            candidate = ".".join(labels[start:])
+            n = len(labels) - start
+            if candidate in self._exceptions:
+                # Exception: the suffix is the candidate minus its first label.
+                suffix_len = max(suffix_len, n - 1)
+                break
+            if candidate in self._plain:
+                suffix_len = max(suffix_len, n)
+            parent = ".".join(labels[start + 1 :])
+            if parent and parent in self._wildcards:
+                suffix_len = max(suffix_len, n)
+        suffix = ".".join(labels[-suffix_len:])
+        if len(labels) > suffix_len:
+            registrable = ".".join(labels[-(suffix_len + 1):])
+        else:
+            registrable = None
+        return SuffixMatch(host, suffix, registrable)
+
+    def public_suffix(self, hostname: str) -> str:
+        return self.match(hostname).public_suffix
+
+    def registrable_domain(self, hostname: str) -> str | None:
+        """The eTLD+1 of ``hostname`` (``www.google.co.uk`` → ``google.co.uk``)."""
+        return self.match(hostname).registrable_domain
+
+
+#: Module-level default instance (the rules are static data).
+DEFAULT_PSL = PublicSuffixList()

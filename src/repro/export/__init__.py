@@ -1,0 +1,22 @@
+"""Exports: CrUX-style public rank buckets and dataset persistence."""
+
+from .crux import (
+    CRUX_BUCKETS,
+    CruxExport,
+    bucket_of,
+    coarsen_list,
+    export_crux,
+    global_ranking,
+)
+from .io import load_dataset, save_dataset
+
+__all__ = [
+    "CRUX_BUCKETS",
+    "CruxExport",
+    "bucket_of",
+    "coarsen_list",
+    "export_crux",
+    "global_ranking",
+    "load_dataset",
+    "save_dataset",
+]

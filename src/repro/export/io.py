@@ -1,0 +1,112 @@
+"""Dataset persistence: save/load a BrowsingDataset as plain files.
+
+Layout::
+
+    <root>/manifest.json            # breakdown index + distributions
+    <root>/lists/<country>_<platform>_<metric>_<YYYY-MM>.txt
+                                    # one site per line, rank order
+
+The format is deliberately boring — greppable text files and one JSON
+manifest — so exported datasets can be consumed without this library.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from ..core.dataset import BrowsingDataset
+from ..core.distribution import TrafficDistribution
+from ..core.errors import DatasetError
+from ..core.rankedlist import RankedList
+from ..core.types import Breakdown, Metric, Month, Platform
+
+_FORMAT_VERSION = 1
+
+
+def _slug(breakdown: Breakdown) -> str:
+    return (
+        f"{breakdown.country}_{breakdown.platform.value}"
+        f"_{breakdown.metric.value}_{breakdown.month}"
+    )
+
+
+def save_dataset(dataset: BrowsingDataset, root: str | Path) -> Path:
+    """Write a dataset to ``root`` (created if needed); returns the path."""
+    root = Path(root)
+    lists_dir = root / "lists"
+    lists_dir.mkdir(parents=True, exist_ok=True)
+
+    breakdowns = []
+    for breakdown in sorted(
+        dataset.breakdowns(),
+        key=lambda b: (b.country, b.platform.value, b.metric.value, b.month),
+    ):
+        slug = _slug(breakdown)
+        path = lists_dir / f"{slug}.txt"
+        path.write_text("\n".join(dataset[breakdown].sites) + "\n", encoding="utf-8")
+        breakdowns.append(
+            {
+                "country": breakdown.country,
+                "platform": breakdown.platform.value,
+                "metric": breakdown.metric.value,
+                "month": [breakdown.month.year, breakdown.month.month],
+                "file": f"lists/{slug}.txt",
+            }
+        )
+
+    manifest = {
+        "format_version": _FORMAT_VERSION,
+        "metadata": {k: v for k, v in dataset.metadata.items()
+                     if isinstance(v, (str, int, float, bool))},
+        "breakdowns": breakdowns,
+        "distributions": [
+            {
+                "platform": platform.value,
+                "metric": metric.value,
+                **dist.to_dict(),
+            }
+            for (platform, metric), dist in sorted(
+                dataset.distributions().items(),
+                key=lambda kv: (kv[0][0].value, kv[0][1].value),
+            )
+        ],
+    }
+    (root / "manifest.json").write_text(
+        json.dumps(manifest, indent=2), encoding="utf-8"
+    )
+    return root
+
+
+def load_dataset(root: str | Path) -> BrowsingDataset:
+    """Load a dataset previously written by :func:`save_dataset`."""
+    root = Path(root)
+    manifest_path = root / "manifest.json"
+    if not manifest_path.is_file():
+        raise DatasetError(f"no manifest.json under {root}")
+    manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+    if manifest.get("format_version") != _FORMAT_VERSION:
+        raise DatasetError(
+            f"unsupported format version {manifest.get('format_version')!r}"
+        )
+
+    lists: dict[Breakdown, RankedList] = {}
+    for entry in manifest["breakdowns"]:
+        breakdown = Breakdown(
+            entry["country"],
+            Platform(entry["platform"]),
+            Metric(entry["metric"]),
+            Month(*entry["month"]),
+        )
+        path = root / entry["file"]
+        sites = [
+            line for line in path.read_text(encoding="utf-8").splitlines() if line
+        ]
+        lists[breakdown] = RankedList(sites)
+
+    distributions = {
+        (Platform(entry["platform"]), Metric(entry["metric"])):
+            TrafficDistribution.from_dict(entry)
+        for entry in manifest["distributions"]
+    }
+    return BrowsingDataset(lists, distributions, manifest.get("metadata", {}))

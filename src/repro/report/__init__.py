@@ -1,0 +1,14 @@
+"""Plain-text rendering of tables and figure shapes."""
+
+from .figures import render_heatmap, render_series, sparkline
+from .tables import comparison_row, render_comparison, render_shares, render_table
+
+__all__ = [
+    "comparison_row",
+    "render_comparison",
+    "render_heatmap",
+    "render_series",
+    "render_shares",
+    "render_table",
+    "sparkline",
+]

@@ -1,0 +1,83 @@
+"""ASCII "figures": sparkline-style series and heatmaps for the terminal.
+
+Benchmarks regenerate the paper's figures as data; these helpers make
+the shapes visible in plain text so a reader can eyeball who-wins and
+where crossovers fall without a plotting stack.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+_BLOCKS = " ▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float], lo: float | None = None,
+              hi: float | None = None) -> str:
+    """A unicode sparkline of a numeric series."""
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        return ""
+    lo = float(arr.min()) if lo is None else lo
+    hi = float(arr.max()) if hi is None else hi
+    if hi <= lo:
+        return _BLOCKS[4] * len(arr)
+    scaled = (arr - lo) / (hi - lo)
+    indices = np.clip((scaled * (len(_BLOCKS) - 1)).round().astype(int), 0, len(_BLOCKS) - 1)
+    return "".join(_BLOCKS[i] for i in indices)
+
+
+def render_series(
+    series: Mapping[str, Sequence[float]],
+    x_labels: Sequence[object] | None = None,
+    title: str | None = None,
+    value_format: str = "{:.2f}",
+) -> str:
+    """Render named series as label + sparkline + first/last values."""
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    if x_labels is not None:
+        lines.append(f"  x: {', '.join(str(x) for x in x_labels)}")
+    width = max((len(name) for name in series), default=0)
+    for name, values in series.items():
+        values = list(values)
+        if not values:
+            continue
+        first = value_format.format(values[0])
+        last = value_format.format(values[-1])
+        lines.append(f"  {name.ljust(width)}  {sparkline(values)}  {first} → {last}")
+    return "\n".join(lines)
+
+
+def render_heatmap(
+    labels: Sequence[str],
+    matrix: np.ndarray,
+    title: str | None = None,
+    lo: float | None = None,
+    hi: float | None = None,
+) -> str:
+    """A compact character heatmap of a square matrix (Figure 10 style)."""
+    m = np.asarray(matrix, dtype=float)
+    n = len(labels)
+    if m.shape != (n, n):
+        raise ValueError("matrix shape must match labels")
+    lo = float(np.nanmin(m)) if lo is None else lo
+    hi = float(np.nanmax(m)) if hi is None else hi
+    span = hi - lo if hi > lo else 1.0
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    label_width = max(len(s) for s in labels)
+    header = " " * (label_width + 1) + "".join(lbl[0] for lbl in labels)
+    lines.append(header)
+    for i, label in enumerate(labels):
+        cells = []
+        for j in range(n):
+            scaled = (m[i, j] - lo) / span
+            idx = int(np.clip(round(scaled * (len(_BLOCKS) - 1)), 0, len(_BLOCKS) - 1))
+            cells.append(_BLOCKS[idx])
+        lines.append(f"{label.rjust(label_width)} {''.join(cells)}")
+    return "\n".join(lines)

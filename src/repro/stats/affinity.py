@@ -1,0 +1,142 @@
+"""Affinity propagation clustering (Frey & Dueck 2007), from scratch.
+
+Section 5.3.1 clusters countries "using the affinity propagation
+algorithm on the pairwise weighted RBO values", chosen because it "does
+not require specifying the expected number of clusters and accommodates
+an arbitrary similarity score matrix with clusters of potentially
+varying density".
+
+This is a vectorised implementation of the message-passing updates with
+damping, operating directly on a similarity matrix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class AffinityResult:
+    """Outcome of an affinity-propagation run."""
+
+    labels: np.ndarray          # cluster index per point, -1 if not converged
+    exemplars: np.ndarray       # indices of the exemplar points
+    n_iterations: int
+    converged: bool
+
+    @property
+    def n_clusters(self) -> int:
+        return len(self.exemplars)
+
+    def members(self, cluster: int) -> np.ndarray:
+        """Indices of points in the given cluster."""
+        return np.flatnonzero(self.labels == cluster)
+
+
+def affinity_propagation(
+    similarity: np.ndarray,
+    preference: float | np.ndarray | None = None,
+    damping: float = 0.7,
+    max_iterations: int = 500,
+    convergence_iterations: int = 25,
+    seed: int = 0,
+) -> AffinityResult:
+    """Cluster points given a pairwise similarity matrix.
+
+    Parameters
+    ----------
+    similarity:
+        Square matrix ``S[i, k]`` = how well point k would serve as the
+        exemplar for point i.  Larger is more similar.  Need not be
+        symmetric, but for RBO-style inputs it is.
+    preference:
+        Self-similarity ``S[k, k]``.  Smaller values yield fewer
+        clusters.  Defaults to the median of the off-diagonal
+        similarities — the standard heuristic, and the natural choice
+        for reproducing the paper's 11 country clusters.
+    damping:
+        Message damping factor in [0.5, 1).
+    seed:
+        Seed for the tiny symmetric-degeneracy-breaking noise added to
+        the similarities (the same trick the reference implementation
+        and scikit-learn use).
+    """
+    s = np.array(similarity, dtype=float, copy=True)
+    if s.ndim != 2 or s.shape[0] != s.shape[1]:
+        raise ValueError("similarity must be a square matrix")
+    if not 0.5 <= damping < 1.0:
+        raise ValueError("damping must be in [0.5, 1)")
+    n = s.shape[0]
+    if n == 0:
+        raise ValueError("empty similarity matrix")
+    if n == 1:
+        return AffinityResult(np.zeros(1, dtype=int), np.zeros(1, dtype=int), 0, True)
+
+    off_diag = s[~np.eye(n, dtype=bool)]
+    if preference is None:
+        preference = float(np.median(off_diag))
+    s[np.diag_indices_from(s)] = preference
+
+    # Degeneracy-breaking noise, scaled far below the similarity spread.
+    rng = np.random.default_rng(seed)
+    spread = float(off_diag.max() - off_diag.min()) if n > 1 else 1.0
+    scale = (spread if spread > 0 else 1.0) * 1e-10
+    s += scale * rng.standard_normal((n, n))
+
+    r = np.zeros((n, n))
+    a = np.zeros((n, n))
+    idx = np.arange(n)
+    stable_count = 0
+    last_exemplars: np.ndarray | None = None
+    iteration = 0
+
+    for iteration in range(1, max_iterations + 1):
+        # Responsibilities: r(i,k) = s(i,k) - max_{k'!=k} (a(i,k') + s(i,k'))
+        aps = a + s
+        first_idx = np.argmax(aps, axis=1)
+        first_val = aps[idx, first_idx]
+        aps[idx, first_idx] = -np.inf
+        second_val = np.max(aps, axis=1)
+        r_new = s - first_val[:, None]
+        r_new[idx, first_idx] = s[idx, first_idx] - second_val
+        r = damping * r + (1.0 - damping) * r_new
+
+        # Availabilities: a(i,k) = min(0, r(k,k) + sum_{i' not in {i,k}} max(0, r(i',k)))
+        rp = np.maximum(r, 0.0)
+        rp[np.diag_indices_from(rp)] = r[np.diag_indices_from(r)]
+        col_sums = rp.sum(axis=0)
+        a_new = col_sums[None, :] - rp
+        diag = a_new[np.diag_indices_from(a_new)].copy()
+        a_new = np.minimum(a_new, 0.0)
+        a_new[np.diag_indices_from(a_new)] = diag
+        a = damping * a + (1.0 - damping) * a_new
+
+        exemplars = np.flatnonzero((r + a).diagonal() > 0)
+        if last_exemplars is not None and np.array_equal(exemplars, last_exemplars):
+            stable_count += 1
+            if stable_count >= convergence_iterations and len(exemplars) > 0:
+                break
+        else:
+            stable_count = 0
+        last_exemplars = exemplars
+
+    exemplars = np.flatnonzero((r + a).diagonal() > 0)
+    converged = stable_count >= convergence_iterations and len(exemplars) > 0
+    if len(exemplars) == 0:
+        # Degenerate run: fall back to a single cluster around the point
+        # with the largest net similarity, so callers always get labels.
+        exemplars = np.array([int(np.argmax(s.sum(axis=0)))])
+        converged = False
+
+    # Assign every point to its most similar exemplar; exemplars to themselves.
+    labels = np.argmax(s[:, exemplars], axis=1)
+    for cluster_index, exemplar in enumerate(exemplars):
+        labels[exemplar] = cluster_index
+    return AffinityResult(
+        labels=labels.astype(int),
+        exemplars=exemplars.astype(int),
+        n_iterations=iteration,
+        converged=converged,
+    )

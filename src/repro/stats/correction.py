@@ -1,0 +1,52 @@
+"""Multiple-testing corrections (Bonferroni, plus Holm as an extension).
+
+Section 4.3 applies a Bonferroni correction to the per-category
+platform-difference tests.  Holm–Bonferroni is provided as a uniformly
+more powerful alternative used by the ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def bonferroni(p_values: Sequence[float], alpha: float = 0.05) -> list[bool]:
+    """Reject H0_i iff p_i <= alpha / m.  Returns a rejection mask."""
+    _validate(p_values, alpha)
+    m = len(p_values)
+    if m == 0:
+        return []
+    threshold = alpha / m
+    return [p <= threshold for p in p_values]
+
+
+def bonferroni_adjusted(p_values: Sequence[float]) -> list[float]:
+    """Adjusted p-values min(1, m * p_i)."""
+    _validate(p_values, 0.05)
+    m = len(p_values)
+    return [min(1.0, p * m) for p in p_values]
+
+
+def holm(p_values: Sequence[float], alpha: float = 0.05) -> list[bool]:
+    """Holm–Bonferroni step-down rejection mask."""
+    _validate(p_values, alpha)
+    m = len(p_values)
+    if m == 0:
+        return []
+    order = sorted(range(m), key=lambda i: p_values[i])
+    reject = [False] * m
+    for step, idx in enumerate(order):
+        threshold = alpha / (m - step)
+        if p_values[idx] <= threshold:
+            reject[idx] = True
+        else:
+            break  # step-down: once one fails, all larger p-values fail
+    return reject
+
+
+def _validate(p_values: Sequence[float], alpha: float) -> None:
+    if not 0.0 < alpha < 1.0:
+        raise ValueError("alpha must be in (0, 1)")
+    for p in p_values:
+        if not 0.0 <= p <= 1.0:
+            raise ValueError(f"p-value out of range: {p}")

@@ -1,0 +1,122 @@
+"""Fisher's exact test and the binomial proportion comparison of §4.3.
+
+Section 4.3: "We then compare traffic volumes per category across
+desktop and mobile by computing Fisher's binomial proportion test
+(p = 0.05) with a Bonferroni correction."
+
+The traffic volumes being compared are *weighted shares* (fractions of
+modelled traffic), so to apply a count-based exact test we convert each
+share into an effective success count out of an effective sample size
+(:func:`proportion_test`), mirroring how one tests two proportions with
+Fisher's method.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+def _log_binom(n: int, k: int) -> float:
+    """log(n choose k) via lgamma, stable for large n."""
+    if k < 0 or k > n:
+        return float("-inf")
+    return (
+        math.lgamma(n + 1) - math.lgamma(k + 1) - math.lgamma(n - k + 1)
+    )
+
+
+def hypergeom_logpmf(k: int, total: int, successes: int, draws: int) -> float:
+    """log P[X = k] for X ~ Hypergeometric(total, successes, draws)."""
+    return (
+        _log_binom(successes, k)
+        + _log_binom(total - successes, draws - k)
+        - _log_binom(total, draws)
+    )
+
+
+def fisher_exact(table: tuple[tuple[int, int], tuple[int, int]]) -> float:
+    """Two-sided Fisher exact test p-value for a 2×2 contingency table.
+
+    Uses the standard point-probability method: sum the probabilities of
+    all tables (with the same margins) at most as likely as the observed
+    one.  Matches ``scipy.stats.fisher_exact(..., 'two-sided')``.
+    """
+    (a, b), (c, d) = table
+    for v in (a, b, c, d):
+        if v < 0:
+            raise ValueError("table entries must be non-negative")
+    total = a + b + c + d
+    if total == 0:
+        return 1.0
+    row1 = a + b
+    col1 = a + c
+    lo = max(0, row1 + col1 - total)
+    hi = min(row1, col1)
+    observed = hypergeom_logpmf(a, total, col1, row1)
+    # Sum pmf over all k whose probability <= observed (with tolerance
+    # for floating error, as scipy does).
+    eps = 1e-7
+    threshold = observed + math.log1p(eps)
+    p = 0.0
+    for k in range(lo, hi + 1):
+        logp = hypergeom_logpmf(k, total, col1, row1)
+        if logp <= threshold:
+            p += math.exp(logp)
+    return min(p, 1.0)
+
+
+@dataclass(frozen=True)
+class ProportionTestResult:
+    """Outcome of comparing two proportions."""
+
+    p_value: float
+    proportion_a: float
+    proportion_b: float
+
+    @property
+    def difference(self) -> float:
+        return self.proportion_a - self.proportion_b
+
+    def significant(self, alpha: float = 0.05) -> bool:
+        return self.p_value <= alpha
+
+
+def proportion_test(
+    share_a: float,
+    share_b: float,
+    effective_n: int = 100_000,
+) -> ProportionTestResult:
+    """Fisher-exact comparison of two traffic *shares*.
+
+    ``share_a`` and ``share_b`` are fractions in [0, 1] (e.g. the share
+    of Android vs Windows traffic that a category captures).  Each is
+    converted to a success count out of ``effective_n`` trials; the
+    effective sample size controls the test's power, standing in for the
+    (enormous, unpublished) underlying event counts in the telemetry.
+    """
+    for name, share in (("share_a", share_a), ("share_b", share_b)):
+        if not 0.0 <= share <= 1.0:
+            raise ValueError(f"{name} must be in [0, 1], got {share}")
+    if effective_n < 1:
+        raise ValueError("effective_n must be positive")
+    a = round(share_a * effective_n)
+    b = round(share_b * effective_n)
+    p = fisher_exact(((a, effective_n - a), (b, effective_n - b)))
+    return ProportionTestResult(p_value=p, proportion_a=share_a, proportion_b=share_b)
+
+
+def normalized_difference(a: float, w: float) -> float:
+    """The paper's platform-difference score (A − W) / max(A, W).
+
+    "This formula expresses the difference in weighted traffic volume as
+    a percentage of the larger value, with the sign representing which
+    platform (Android or Windows) is more prevalent."  Ranges over
+    [−1, 1]; 0 when both are zero.
+    """
+    if a < 0 or w < 0:
+        raise ValueError("traffic volumes must be non-negative")
+    larger = max(a, w)
+    if larger == 0.0:
+        return 0.0
+    return (a - w) / larger

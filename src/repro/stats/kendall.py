@@ -1,0 +1,57 @@
+"""Kendall's tau-b rank correlation, from definition.
+
+Not used by the paper directly, but provided as an alternative to
+Spearman's rho for the metric/temporal agreement analyses (ablation
+benchmarks compare the two — conclusions must not hinge on the choice
+of rank-correlation coefficient).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from ..core.rankedlist import RankedList
+
+
+def kendall_tau(x: Sequence[float], y: Sequence[float]) -> float:
+    """Kendall's tau-b (tie-adjusted), O(n²) from the definition.
+
+    Returns ``nan`` for fewer than 2 pairs or when either input is
+    constant.  Matches ``scipy.stats.kendalltau``.
+    """
+    if len(x) != len(y):
+        raise ValueError(f"length mismatch: {len(x)} vs {len(y)}")
+    n = len(x)
+    if n < 2:
+        return float("nan")
+    concordant = discordant = 0
+    ties_x = ties_y = 0
+    for i in range(n):
+        for j in range(i + 1, n):
+            dx = x[i] - x[j]
+            dy = y[i] - y[j]
+            if dx == 0 and dy == 0:
+                ties_x += 1
+                ties_y += 1
+            elif dx == 0:
+                ties_x += 1
+            elif dy == 0:
+                ties_y += 1
+            elif (dx > 0) == (dy > 0):
+                concordant += 1
+            else:
+                discordant += 1
+    total = n * (n - 1) // 2
+    denom = math.sqrt((total - ties_x) * (total - ties_y))
+    if denom == 0.0:
+        return float("nan")
+    return (concordant - discordant) / denom
+
+
+def kendall_from_lists(a: RankedList, b: RankedList) -> float:
+    """Kendall's tau over the intersection of two ranked lists."""
+    xs, ys = a.rank_pairs(b)
+    if len(xs) < 2:
+        return float("nan")
+    return kendall_tau(xs, ys)

@@ -1,0 +1,94 @@
+"""Outlier detection used to split globally vs nationally popular sites.
+
+Section 5.1: "we measure the distance between each point in Figure 7 and
+the upper bound on the endemicity score, and then perform outlier
+detection on this set".  Sites whose distance-from-maximum-endemicity is
+an *upper* outlier (far below the bound) are the globally popular ones.
+
+Two standard detectors are provided: Tukey's IQR fences and the modified
+z-score based on the median absolute deviation (MAD).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class OutlierResult:
+    """Mask plus the thresholds that produced it."""
+
+    mask: np.ndarray            # True where the value is an outlier
+    lower_fence: float
+    upper_fence: float
+
+    @property
+    def n_outliers(self) -> int:
+        return int(self.mask.sum())
+
+
+def iqr_outliers(values: Sequence[float], k: float = 1.5,
+                 side: str = "both") -> OutlierResult:
+    """Tukey's fences: outliers fall outside [Q1 − k·IQR, Q3 + k·IQR].
+
+    ``side`` restricts detection to ``"lower"``, ``"upper"`` or
+    ``"both"`` tails.
+    """
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        raise ValueError("no values")
+    if k <= 0:
+        raise ValueError("k must be positive")
+    if side not in ("both", "lower", "upper"):
+        raise ValueError(f"invalid side {side!r}")
+    q1, q3 = np.percentile(arr, [25, 75])
+    iqr = q3 - q1
+    lower = q1 - k * iqr
+    upper = q3 + k * iqr
+    if side == "lower":
+        mask = arr < lower
+    elif side == "upper":
+        mask = arr > upper
+    else:
+        mask = (arr < lower) | (arr > upper)
+    return OutlierResult(mask=mask, lower_fence=float(lower), upper_fence=float(upper))
+
+
+def mad_outliers(values: Sequence[float], threshold: float = 3.5,
+                 side: str = "both") -> OutlierResult:
+    """Modified z-score detector (Iglewicz & Hoaglin).
+
+    M_i = 0.6745 (x_i − median) / MAD; points with |M_i| > threshold are
+    outliers.  Robust to a heavy-tailed bulk, which suits the endemicity
+    distribution (98 % national mass, 2 % global tail).
+    """
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        raise ValueError("no values")
+    if threshold <= 0:
+        raise ValueError("threshold must be positive")
+    if side not in ("both", "lower", "upper"):
+        raise ValueError(f"invalid side {side!r}")
+    med = float(np.median(arr))
+    deviations = np.abs(arr - med)
+    mad = float(np.median(deviations))
+    # Degenerate bulk: when more than half the sample sits (numerically)
+    # on the median, the MAD is zero up to floating residue and the
+    # fences collapse onto the median.  Fall back to the mean absolute
+    # deviation, which still reflects the tail.
+    tolerance = 1e-9 * max(1.0, float(deviations.max(initial=0.0)))
+    if mad <= tolerance:
+        mad = float(np.mean(deviations)) or 1.0
+    scores = 0.6745 * (arr - med) / mad
+    lower_fence = med - threshold * mad / 0.6745
+    upper_fence = med + threshold * mad / 0.6745
+    if side == "lower":
+        mask = scores < -threshold
+    elif side == "upper":
+        mask = scores > threshold
+    else:
+        mask = np.abs(scores) > threshold
+    return OutlierResult(mask=mask, lower_fence=lower_fence, upper_fence=upper_fence)

@@ -1,0 +1,91 @@
+"""Silhouette coefficients for cluster validation (Section 5.3.1).
+
+"To measure the strength of clusters, we use Silhouette Coefficient,
+which, given cluster labels and pairwise distances between data points,
+quantifies how dense and well separated clusters are on a [−1, 1]
+scale."  (Rousseeuw 1987.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class SilhouetteReport:
+    """Per-point and aggregate silhouette values."""
+
+    values: np.ndarray          # silhouette per point
+    labels: np.ndarray
+
+    @property
+    def average(self) -> float:
+        """The overall average silhouette coefficient."""
+        return float(self.values.mean())
+
+    def cluster_average(self, cluster: int) -> float:
+        """Mean silhouette of one cluster's members."""
+        mask = self.labels == cluster
+        if not mask.any():
+            raise ValueError(f"no points in cluster {cluster}")
+        return float(self.values[mask].mean())
+
+    def per_cluster(self) -> dict[int, float]:
+        return {
+            int(c): self.cluster_average(int(c)) for c in np.unique(self.labels)
+        }
+
+
+def silhouette_samples(distances: np.ndarray, labels: np.ndarray) -> SilhouetteReport:
+    """Silhouette coefficient for each point given a distance matrix.
+
+    s(i) = (b(i) − a(i)) / max(a(i), b(i)) where a(i) is the mean
+    intra-cluster distance and b(i) the mean distance to the nearest
+    other cluster.  Singleton clusters score 0 by convention.
+    """
+    d = np.asarray(distances, dtype=float)
+    labels = np.asarray(labels)
+    if d.ndim != 2 or d.shape[0] != d.shape[1]:
+        raise ValueError("distances must be a square matrix")
+    n = d.shape[0]
+    if len(labels) != n:
+        raise ValueError("labels length must match the distance matrix")
+    if np.any(d < -1e-12):
+        raise ValueError("distances must be non-negative")
+    unique = np.unique(labels)
+    if len(unique) < 2:
+        raise ValueError("silhouette requires at least two clusters")
+
+    values = np.zeros(n, dtype=float)
+    for i in range(n):
+        own = labels[i]
+        own_mask = labels == own
+        own_size = int(own_mask.sum())
+        if own_size <= 1:
+            values[i] = 0.0
+            continue
+        a_i = d[i, own_mask].sum() / (own_size - 1)
+        b_i = np.inf
+        for other in unique:
+            if other == own:
+                continue
+            other_mask = labels == other
+            b_i = min(b_i, float(d[i, other_mask].mean()))
+        denom = max(a_i, b_i)
+        values[i] = 0.0 if denom == 0.0 else (b_i - a_i) / denom
+    return SilhouetteReport(values=values, labels=labels)
+
+
+def similarity_to_distance(similarity: np.ndarray) -> np.ndarray:
+    """Convert a similarity matrix in [0, 1] (e.g. RBO) to distances.
+
+    d = 1 − sim, with the diagonal forced to exactly zero.
+    """
+    s = np.asarray(similarity, dtype=float)
+    if np.any(s < -1e-9) or np.any(s > 1.0 + 1e-9):
+        raise ValueError("similarities must lie in [0, 1]")
+    d = 1.0 - np.clip(s, 0.0, 1.0)
+    np.fill_diagonal(d, 0.0)
+    return d

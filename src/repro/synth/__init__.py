@@ -1,0 +1,64 @@
+"""Synthetic Chrome-telemetry substrate (see DESIGN.md, substitution table)."""
+
+from .calibration import AnchorCheck, CalibrationReport, calibration_report
+from .domains import (
+    COUNTRY_SUFFIX,
+    endemic_domain,
+    global_domain,
+    multinational_domain,
+    pseudoword,
+    unique_labels,
+)
+from .generator import INSTALL_BASE_UNIT, GeneratorConfig, TelemetryGenerator
+from .privacy import (
+    TIME_SAMPLING_RATE,
+    PrivacyConfig,
+    apply_threshold,
+    threshold_rank,
+    time_sampling_noise_sigma,
+    unique_clients_at_rank,
+)
+from .traffic import (
+    country_distribution,
+    country_top1_share,
+    global_distribution,
+    global_distributions,
+)
+from .universe import (
+    NAMED_DOMAIN_OVERRIDES,
+    Universe,
+    UniverseConfig,
+    build_universe,
+)
+from .zipf import ZipfMandelbrot, fit_zipf_exponent
+
+__all__ = [
+    "AnchorCheck",
+    "COUNTRY_SUFFIX",
+    "CalibrationReport",
+    "calibration_report",
+    "GeneratorConfig",
+    "INSTALL_BASE_UNIT",
+    "NAMED_DOMAIN_OVERRIDES",
+    "PrivacyConfig",
+    "TIME_SAMPLING_RATE",
+    "TelemetryGenerator",
+    "Universe",
+    "UniverseConfig",
+    "ZipfMandelbrot",
+    "apply_threshold",
+    "build_universe",
+    "country_distribution",
+    "country_top1_share",
+    "endemic_domain",
+    "fit_zipf_exponent",
+    "global_distribution",
+    "global_distributions",
+    "global_domain",
+    "multinational_domain",
+    "pseudoword",
+    "threshold_rank",
+    "time_sampling_noise_sigma",
+    "unique_clients_at_rank",
+    "unique_labels",
+]

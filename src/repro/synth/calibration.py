@@ -1,0 +1,140 @@
+"""World self-check: verify the generated world against paper anchors.
+
+A maintainer changing a profile or site strength needs to know what
+broke.  ``calibration_report`` regenerates the cheap anchor statistics
+(the #1 sites, metric/month overlaps, exclusivity, the composition
+pluralities) and compares each to the paper's value, returning a
+machine-checkable report — the benchmarks assert the details, this is
+the fast smoke layer.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from ..core.types import Metric, Month, Platform, REFERENCE_MONTH
+from ..stats.descriptive import median
+from ..stats.spearman import spearman_from_lists
+from .generator import TelemetryGenerator
+
+#: Countries used for the overlap medians (a spread of regions; the full
+#: 45 would triple the runtime without moving the medians much).
+PROBE_COUNTRIES = ("US", "BR", "JP", "FR", "NG", "PL", "MX", "KR")
+
+
+@dataclass(frozen=True)
+class AnchorCheck:
+    """One calibration anchor: paper value vs measured, with a band."""
+
+    name: str
+    paper: float
+    measured: float
+    lo: float
+    hi: float
+
+    @property
+    def ok(self) -> bool:
+        return self.lo <= self.measured <= self.hi
+
+    def __str__(self) -> str:
+        flag = "ok " if self.ok else "OFF"
+        return (
+            f"[{flag}] {self.name}: paper={self.paper:.3f} "
+            f"measured={self.measured:.3f} band=[{self.lo:.3f}, {self.hi:.3f}]"
+        )
+
+
+@dataclass(frozen=True)
+class CalibrationReport:
+    """All anchor checks for one generator."""
+
+    checks: tuple[AnchorCheck, ...]
+
+    @property
+    def ok(self) -> bool:
+        return all(c.ok for c in self.checks)
+
+    def failures(self) -> tuple[AnchorCheck, ...]:
+        return tuple(c for c in self.checks if not c.ok)
+
+    def __str__(self) -> str:
+        return "\n".join(str(c) for c in self.checks)
+
+
+def calibration_report(
+    generator: TelemetryGenerator,
+    countries: tuple[str, ...] | None = None,
+) -> CalibrationReport:
+    """Measure the cheap anchors on a generator and band-check them.
+
+    Bands are deliberately loose on a small universe; on the full
+    configuration they should all hold comfortably.
+    """
+    from ..world.countries import COUNTRY_CODES
+
+    all_countries = tuple(countries) if countries else COUNTRY_CODES
+    probe = tuple(c for c in PROBE_COUNTRIES if c in all_countries) or all_countries
+
+    loads = {
+        c: generator.rank_list(c, Platform.WINDOWS, Metric.PAGE_LOADS)
+        for c in all_countries
+    }
+
+    # --- #1 sites -------------------------------------------------------------
+    google = generator.universe.canonical_of("google")
+    naver = generator.universe.canonical_of("naver")
+    youtube = generator.universe.canonical_of("youtube")
+    top1 = Counter(l[1] for l in loads.values())
+    google_share = top1.get(google, 0) / len(all_countries)
+    naver_tops_kr = 1.0 if ("KR" not in loads or loads["KR"][1] == naver) else 0.0
+    time_lists = {
+        c: generator.rank_list(c, Platform.WINDOWS, Metric.TIME_ON_PAGE)
+        for c in probe
+    }
+    youtube_time = sum(1 for l in time_lists.values() if l[1] == youtube) / len(probe)
+
+    # --- overlaps -------------------------------------------------------------
+    desktop_i, desktop_rho, mobile_i = [], [], []
+    for c in probe:
+        dl, dt = loads[c], time_lists[c]
+        al = generator.rank_list(c, Platform.ANDROID, Metric.PAGE_LOADS)
+        at = generator.rank_list(c, Platform.ANDROID, Metric.TIME_ON_PAGE)
+        desktop_i.append(dl.percent_intersection(dt))
+        desktop_rho.append(spearman_from_lists(dl, dt))
+        mobile_i.append(al.percent_intersection(at))
+    jan = {
+        c: generator.rank_list(c, Platform.WINDOWS, Metric.PAGE_LOADS, Month(2022, 1))
+        for c in probe
+    }
+    month_i = [loads[c].percent_intersection(jan[c]) for c in probe]
+
+    # --- exclusivity ----------------------------------------------------------
+    from ..analysis.endemicity import exclusivity_fraction
+
+    head = max(100, generator.config.list_size // 10)
+    exclusive, _ = exclusivity_fraction(loads, head_rank=head)
+
+    full_scale = generator.config.list_size >= 10_000
+    slack = 1.0 if full_scale else 1.8
+
+    def band(paper: float, tolerance: float) -> tuple[float, float]:
+        return paper - tolerance * slack, paper + tolerance * slack
+
+    checks = (
+        AnchorCheck("google #1 by loads (fraction of countries)",
+                    44 / 45, google_share, 0.85, 1.0),
+        AnchorCheck("naver tops KR by loads", 1.0, naver_tops_kr, 1.0, 1.0),
+        AnchorCheck("youtube #1 by time (probe fraction)",
+                    40 / 45, youtube_time, 0.5, 1.0),
+        AnchorCheck("desktop loads/time intersection", 0.65,
+                    median(desktop_i), *band(0.65, 0.08)),
+        AnchorCheck("desktop loads/time Spearman", 0.65,
+                    median(desktop_rho), *band(0.65, 0.15)),
+        AnchorCheck("mobile loads/time intersection", 0.74,
+                    median(mobile_i), *band(0.74, 0.08)),
+        AnchorCheck("adjacent-month intersection", 0.88,
+                    median(month_i), *band(0.88, 0.07)),
+        AnchorCheck("top-1K exclusivity", 0.539, exclusive, *band(0.539, 0.10)),
+    )
+    return CalibrationReport(checks)

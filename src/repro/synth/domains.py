@@ -1,0 +1,110 @@
+"""Domain-string synthesis for the generated website universe.
+
+The telemetry is keyed by *domain*, so the generator must emit realistic
+hostnames: multinational sites appear under a per-country ccTLD variant
+(google.com at home, google.co.uk in the UK, ...), endemic sites under
+their home country's suffix or .com, and global rank-and-file sites
+under common gTLDs.  The eTLD merge step (:mod:`repro.etld`) then
+collapses the ccTLD variants back together, exactly the clean-up the
+paper performs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: The "home" suffix used for a multinational's storefront in each study
+#: country.  The US storefront (and any unlisted country) uses .com.
+COUNTRY_SUFFIX: dict[str, str] = {
+    "DZ": "dz", "EG": "com.eg", "KE": "co.ke", "MA": "co.ma", "NG": "com.ng",
+    "TN": "tn", "ZA": "co.za",
+    "JP": "co.jp", "IN": "co.in", "KR": "co.kr", "TR": "com.tr",
+    "VN": "com.vn", "TW": "com.tw", "ID": "co.id", "TH": "co.th",
+    "PH": "com.ph", "HK": "com.hk",
+    "GB": "co.uk", "FR": "fr", "RU": "ru", "DE": "de", "IT": "it",
+    "ES": "es", "NL": "nl", "PL": "pl", "UA": "com.ua", "BE": "be",
+    "CA": "ca", "CR": "co.cr", "DO": "com.do", "GT": "com.gt",
+    "MX": "com.mx", "PA": "com.pa", "US": "com",
+    "AU": "com.au", "NZ": "co.nz",
+    "AR": "com.ar", "BO": "com.bo", "BR": "com.br", "CL": "cl",
+    "CO": "com.co", "EC": "com.ec", "PE": "com.pe", "UY": "com.uy",
+    "VE": "com.ve",
+}
+
+#: gTLD mix for procedural global sites (weights roughly web-realistic).
+_GLOBAL_TLDS: tuple[str, ...] = ("com", "org", "net", "io", "tv", "co", "info")
+_GLOBAL_TLD_WEIGHTS: tuple[float, ...] = (0.62, 0.10, 0.08, 0.08, 0.04, 0.04, 0.04)
+
+_CONSONANTS = "bcdfghjklmnprstvwz"
+_VOWELS = "aeiou"
+
+
+def pseudoword(rng: np.random.Generator, syllables: int = 3) -> str:
+    """A pronounceable fake site label, e.g. ``katupo``."""
+    if syllables < 1:
+        raise ValueError("need at least one syllable")
+    parts = []
+    for _ in range(syllables):
+        c = _CONSONANTS[int(rng.integers(len(_CONSONANTS)))]
+        v = _VOWELS[int(rng.integers(len(_VOWELS)))]
+        parts.append(c + v)
+    return "".join(parts)
+
+
+def unique_labels(rng: np.random.Generator, count: int, taken: set[str]) -> list[str]:
+    """``count`` pseudoword labels, unique among themselves and ``taken``.
+
+    Collisions get a numeric disambiguator, so generation never stalls.
+    """
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    labels: list[str] = []
+    for _ in range(count):
+        label = pseudoword(rng, syllables=int(rng.integers(2, 5)))
+        if label in taken:
+            label = f"{label}{int(rng.integers(10, 9999))}"
+            while label in taken:
+                label = f"{pseudoword(rng)}{int(rng.integers(10, 9999))}"
+        taken.add(label)
+        labels.append(label)
+    return labels
+
+
+def global_domain(label: str, rng: np.random.Generator) -> str:
+    """Domain for a procedural global site: label + weighted gTLD."""
+    tld = rng.choice(_GLOBAL_TLDS, p=_GLOBAL_TLD_WEIGHTS)
+    return f"{label}.{tld}"
+
+
+def endemic_domain(label: str, country: str, rng: np.random.Generator) -> str:
+    """Domain for an endemic site: usually the home ccTLD, sometimes .com.
+
+    Real national sites split between their ccTLD and .com; we use a
+    70/30 split so the eTLD logic sees both shapes.
+    """
+    suffix = COUNTRY_SUFFIX.get(country)
+    if suffix is None:
+        raise KeyError(f"no suffix configured for country {country!r}")
+    if rng.random() < 0.30:
+        return f"{label}.com"
+    return f"{label}.{suffix}"
+
+
+def multinational_domain(label: str, country: str) -> str:
+    """The per-country storefront domain for a multi-ccTLD site."""
+    suffix = COUNTRY_SUFFIX.get(country, "com")
+    return f"{label}.{suffix}"
+
+
+def neighbor_domain(label: str, country: str, rng: np.random.Generator) -> str:
+    """Domain for a few-country regional site.
+
+    Sites serving a small set of neighbouring countries mostly run on a
+    gTLD (60 %), falling back to the primary country's ccTLD.
+    """
+    if rng.random() < 0.60:
+        return global_domain(label, rng)
+    suffix = COUNTRY_SUFFIX.get(country)
+    if suffix is None:
+        raise KeyError(f"no suffix configured for country {country!r}")
+    return f"{label}.{suffix}"

@@ -1,0 +1,125 @@
+"""Simulation of Chrome's privacy pipeline (Section 3.1).
+
+Three safeguards shape the dataset the paper received, and all three are
+modelled so the downstream code paths exist and can be exercised:
+
+1. **Client thresholding** — "the dataset excludes any websites with
+   fewer visits from unique clients than a set threshold"; smaller
+   countries therefore have fewer than 10K sites.  We model per-site
+   unique-client counts as the country's install base times the site's
+   traffic share and truncate lists at the threshold.
+
+2. **Time-on-page down-sampling** — "each page foreground event has only
+   approximately a 0.35 % chance of being uploaded", adding sampling
+   noise to time-based ranks.  The generator injects extra score noise
+   for the time metric whose magnitude follows from the sampling rate.
+
+3. **Non-public domain exclusion** — domains not linked from public
+   websites are excluded; the universe flags a configurable fraction of
+   sites as non-public and the generator drops them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import math
+
+from ..core.distribution import TrafficDistribution
+from ..core.rankedlist import RankedList
+
+
+#: Chrome's approximate foreground-event upload probability.
+TIME_SAMPLING_RATE: float = 0.0035
+
+
+@dataclass(frozen=True)
+class PrivacyConfig:
+    """Knobs for the simulated privacy pipeline."""
+
+    client_threshold: int = 50
+    time_sampling_rate: float = TIME_SAMPLING_RATE
+    exclude_non_public: bool = True
+
+    def __post_init__(self) -> None:
+        if self.client_threshold < 0:
+            raise ValueError("client_threshold must be non-negative")
+        if not 0.0 < self.time_sampling_rate <= 1.0:
+            raise ValueError("time_sampling_rate must be in (0, 1]")
+
+
+def unique_clients_at_rank(
+    rank: int,
+    install_base: float,
+    distribution: TrafficDistribution,
+    visits_per_client: float = 40.0,
+) -> float:
+    """Expected unique clients visiting the site at ``rank`` in a month.
+
+    A site receiving share ``s`` of page loads from an install base of
+    ``B`` clients making ``v`` loads each sees about ``B·(1 − e^{−s·v})``
+    unique clients (Poissonised visits).
+    """
+    if rank < 1:
+        raise ValueError("rank must be >= 1")
+    if install_base <= 0 or visits_per_client <= 0:
+        raise ValueError("install_base and visits_per_client must be positive")
+    share = distribution.share_of_rank(rank)
+    return install_base * (1.0 - math.exp(-share * visits_per_client))
+
+
+def threshold_rank(
+    install_base: float,
+    distribution: TrafficDistribution,
+    threshold: int,
+    visits_per_client: float = 40.0,
+    max_rank: int = 1_000_000,
+) -> int:
+    """The deepest rank whose site still clears the client threshold.
+
+    Unique-client counts fall monotonically with rank (the distribution's
+    per-rank share does), so binary search applies.
+    """
+    if threshold <= 0:
+        return max_rank
+    if unique_clients_at_rank(1, install_base, distribution, visits_per_client) < threshold:
+        return 0
+    lo, hi = 1, max_rank
+    while lo < hi:
+        mid = (lo + hi + 1) // 2
+        clients = unique_clients_at_rank(mid, install_base, distribution, visits_per_client)
+        if clients >= threshold:
+            lo = mid
+        else:
+            hi = mid - 1
+    return lo
+
+
+def apply_threshold(
+    ranked: RankedList,
+    install_base: float,
+    distribution: TrafficDistribution,
+    config: PrivacyConfig,
+    visits_per_client: float = 40.0,
+) -> RankedList:
+    """Truncate a rank list at the privacy threshold."""
+    cutoff = threshold_rank(
+        install_base, distribution, config.client_threshold,
+        visits_per_client, max_rank=len(ranked),
+    )
+    return ranked.top(cutoff)
+
+
+def time_sampling_noise_sigma(rate: float, typical_events: float = 20_000.0) -> float:
+    """Log-score noise implied by down-sampling time-on-page events.
+
+    With ``n = rate × typical_events`` sampled events per (site, month),
+    the relative error of the time estimate is ~1/√n; for small relative
+    errors this equals the standard deviation of the log estimate.
+    """
+    if not 0.0 < rate <= 1.0:
+        raise ValueError("rate must be in (0, 1]")
+    if typical_events <= 0:
+        raise ValueError("typical_events must be positive")
+    sampled = rate * typical_events
+    return 1.0 / math.sqrt(max(sampled, 1e-9))

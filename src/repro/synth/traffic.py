@@ -1,0 +1,85 @@
+"""Traffic-distribution curves for the synthetic telemetry.
+
+Section 4.1.1: Chrome provided the traffic-volume distribution data
+directly, aggregated globally per (platform, metric).  We rebuild those
+curves from the concentration anchors the paper reports
+(:data:`repro.world.profiles.TRAFFIC_ANCHORS`), and additionally provide
+per-country variants whose head concentration is jittered inside the
+reported 12–33 % band ("the top ranked website in each country captures
+12–33 % of all page loads (median, 20 %)").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.distribution import TrafficDistribution
+from ..core.types import Metric, Platform
+from ..world.countries import get_country
+from ..world.profiles import (
+    PER_COUNTRY_TOP1_MEDIAN,
+    PER_COUNTRY_TOP1_RANGE,
+    TRAFFIC_ANCHORS,
+)
+
+
+def global_distribution(platform: Platform, metric: Metric) -> TrafficDistribution:
+    """The global curve for one (platform, metric), from paper anchors."""
+    try:
+        anchors = TRAFFIC_ANCHORS[(platform, metric)]
+    except KeyError:
+        raise KeyError(
+            f"no traffic anchors for ({platform.value}, {metric.value}); "
+            "the paper only reports curves for Windows/Android × loads/time"
+        ) from None
+    return TrafficDistribution(anchors)
+
+
+def global_distributions() -> dict[tuple[Platform, Metric], TrafficDistribution]:
+    """All four global curves (Figure 1's series)."""
+    return {key: TrafficDistribution(a) for key, a in TRAFFIC_ANCHORS.items()}
+
+
+def country_top1_share(country: str, seed: int = 2022) -> float:
+    """A deterministic per-country head share inside the 12–33 % band.
+
+    Drawn from a triangular distribution peaked at the reported median
+    (20 %), seeded per country so the value is stable across runs.
+    """
+    get_country(country)  # validate
+    rng = np.random.default_rng(
+        np.random.SeedSequence([seed, 0x70D1, *(ord(ch) for ch in country)])
+    )
+    lo, hi = PER_COUNTRY_TOP1_RANGE
+    return float(rng.triangular(lo, PER_COUNTRY_TOP1_MEDIAN, hi))
+
+
+def country_distribution(
+    country: str,
+    platform: Platform,
+    metric: Metric,
+    seed: int = 2022,
+) -> TrafficDistribution:
+    """A per-country curve: the global shape with a jittered head.
+
+    The shift applied at rank 1 decays quadratically in log-rank so the
+    long-tail shares stay near the global curve, and monotonicity of the
+    anchors is restored by a running maximum.
+    """
+    base = TRAFFIC_ANCHORS[(platform, metric)]
+    target_top1 = country_top1_share(country, seed)
+    base_top1 = base[0][1]
+    delta = target_top1 - base_top1
+    log_total = np.log10(base[-1][0])
+    adjusted: list[tuple[float, float]] = []
+    for rank, share in base:
+        decay = (1.0 - np.log10(rank) / log_total) ** 2
+        adjusted.append((rank, float(np.clip(share + delta * decay, 1e-4, 1.0))))
+    # Restore strict monotonicity if a large negative delta crossed anchors.
+    monotone: list[tuple[float, float]] = []
+    floor = 0.0
+    for rank, share in adjusted:
+        share = max(share, floor + 1e-6)
+        monotone.append((rank, min(share, 1.0)))
+        floor = share
+    return TrafficDistribution(monotone)

@@ -1,0 +1,536 @@
+"""Instantiating the synthetic website universe.
+
+A :class:`Universe` is the fully materialised ground truth the
+generator scores: every named anchor, every national champion, and the
+procedurally generated rank-and-file sites (global, regional/language,
+and per-country endemic pools), each with a category, base strength,
+platform/metric/seasonal multipliers and a canonical identity.
+
+Pool composition encodes Section 5.2's finding that global and national
+site populations have different category mixes: the global pool samples
+categories proportionally to ``prevalence × global_fraction`` while the
+endemic pools use ``prevalence × (1 − global_fraction)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.errors import GenerationError
+from ..world.categories_data import ALL_CATEGORIES
+from ..world.countries import COUNTRIES, by_region_group
+from ..world.profiles import profile_for
+from ..world.sites import CHAMPION_RULES, NAMED_SITES, Archetype, resolve_scope
+from .domains import (
+    COUNTRY_SUFFIX,
+    endemic_domain,
+    global_domain,
+    multinational_domain,
+    neighbor_domain,
+    unique_labels,
+)
+
+#: Real-world domains for named sites whose canonical identity is not
+#: simply ``<name>.com``.
+NAMED_DOMAIN_OVERRIDES: dict[str, str] = {
+    "wikipedia": "wikipedia.org",
+    "twitch": "twitch.tv",
+    "ampproject": "ampproject.org",
+    "telegram": "telegram.org",
+    "pixiv": "pixiv.net",
+    "craigslist": "craigslist.org",
+    "arca-live": "arca.live",
+    "noonoo-tv": "noonoo.tv",
+    "namu-wiki": "namu.wiki",
+    "ok": "ok.ru",
+    "nicovideo": "nicovideo.jp",
+    "vnexpress": "vnexpress.net",
+    "2dehands": "2dehands.be",
+    "leboncoin": "leboncoin.fr",
+    "allegro": "allegro.pl",
+    "marktplaats": "marktplaats.nl",
+    "sahibinden": "sahibinden.com.tr",
+    "trendyol": "trendyol.com.tr",
+    "kuleuven": "kuleuven.be",
+    "ouedkniss": "ouedkniss.dz",
+    "hespress": "hespress.co.ma",
+    "yapo": "yapo.cl",
+    "globo": "globo.com.br",
+    "uol": "uol.com.br",
+    "bbc": "bbc.co.uk",
+    "tvnz": "tvnz.co.nz",
+    "cricbuzz": "cricbuzz.co.in",
+    "dcinside": "dcinside.co.kr",
+    "fmkorea": "fmkorea.co.kr",
+    "inven": "inven.co.kr",
+    "nexon": "nexon.co.kr",
+    "wavve": "wavve.co.kr",
+    "afreecatv": "afreecatv.co.kr",
+    "daum": "daum.co.kr",
+    "naver": "naver.com",
+    "rakuten": "rakuten.co.jp",
+    "pixnet": "pixnet.com.tw",
+    "ixdzs": "ixdzs.com.tw",
+    "uukanshu": "uukanshu.com.tw",
+    "czbooks": "czbooks.com.tw",
+    "zalo": "zalo.com.vn",
+    "sex333": "sex333.com.vn",
+    "avito": "avito.ru",
+    "ozon": "ozon.ru",
+    "youm7": "youm7.com.eg",
+    "marca": "marca.es",
+}
+
+_ARCH_CODE = {Archetype.GLOBAL: 0, Archetype.REGIONAL: 1, Archetype.ENDEMIC: 2}
+
+
+@dataclass(frozen=True)
+class UniverseConfig:
+    """Pool sizes and composition knobs for universe construction."""
+
+    seed: int = 2022
+    global_pool: int = 600
+    regional_pool: int = 220          # per region group
+    language_pool: int = 150          # per multi-country language
+    endemic_pool: int = 14_000        # per country
+    #: Few-country regional sites: each lives in its primary country
+    #: plus 1–3 related (same group / shared language) countries.  This
+    #: tier is what makes Section 5.1's arithmetic work: ~46 % of the
+    #: sites ranking top-1K somewhere also show up in another country's
+    #: top-10K, and most of those are exactly such near-neighbour sites.
+    neighbor_pool: int = 10_000       # per country
+    #: Strong mid-tier sites per country: the ranks ~30-150 zone that
+    #: neither the curated anchors (above it) nor the capped procedural
+    #: mass (below it) can populate.  Category mix follows
+    #: prevalence × exp(mu) × head_boost, which is how Figure 3's
+    #: mid-rank composition (News & Media peaking near the top-50) is
+    #: planted.  ~60 % endemic, 40 % shared with 1-2 related countries.
+    strong_pool: int = 80             # per country
+    nonpublic_fraction: float = 0.01  # Section 3.1: non-public domains excluded
+
+    def __post_init__(self) -> None:
+        for name in ("global_pool", "regional_pool", "language_pool",
+                     "endemic_pool", "neighbor_pool", "strong_pool"):
+            if getattr(self, name) < 0:
+                raise GenerationError(f"{name} must be non-negative")
+        if not 0.0 <= self.nonpublic_fraction < 1.0:
+            raise GenerationError("nonpublic_fraction must be in [0, 1)")
+
+    @classmethod
+    def small(cls, seed: int = 2022) -> "UniverseConfig":
+        """A laptop-test-sized universe (pairs with list_size ≈ 1500)."""
+        return cls(
+            seed=seed,
+            global_pool=220,
+            regional_pool=70,
+            language_pool=50,
+            endemic_pool=1_500,
+            neighbor_pool=1_100,
+            strong_pool=40,
+        )
+
+
+@dataclass
+class Universe:
+    """The materialised site universe (see module docstring)."""
+
+    config: UniverseConfig
+    canonical: list[str]              # canonical identity per site
+    labels: list[str]                 # registrable label per site
+    category_id: np.ndarray           # int16 index into categories
+    categories: tuple[str, ...]       # category names, index-aligned
+    log_strength: np.ndarray
+    log_mobile: np.ndarray
+    log_time: np.ndarray
+    log_december: np.ndarray
+    noise_scale: np.ndarray
+    archetype: np.ndarray             # int8: 0 global / 1 regional / 2 endemic
+    home: list[str | None]            # country code for endemic sites
+    multi_cctld: np.ndarray           # bool
+    has_android_app: np.ndarray       # bool
+    non_public: np.ndarray            # bool
+    tags: dict[int, tuple[str, ...]]  # uid -> descriptive tags (named/champions)
+    named_uid: dict[str, int]         # named-site name -> uid
+    country_candidates: dict[str, np.ndarray] = field(default_factory=dict)
+    country_boost: dict[str, np.ndarray] = field(default_factory=dict)
+
+    # -- convenience -----------------------------------------------------------------
+
+    @property
+    def n_sites(self) -> int:
+        return len(self.canonical)
+
+    def category_of(self, uid: int) -> str:
+        return self.categories[int(self.category_id[uid])]
+
+    def canonical_of(self, name: str) -> str:
+        """Canonical identity of a named site ("naver" → "naver.com")."""
+        return self.canonical[self.named_uid[name]]
+
+    def category_by_canonical(self) -> dict[str, str]:
+        """canonical identity → category name, for the whole universe."""
+        return {
+            self.canonical[uid]: self.categories[int(self.category_id[uid])]
+            for uid in range(self.n_sites)
+        }
+
+    def domain_in_country(self, uid: int, country: str) -> str:
+        """The domain string this site shows in ``country``'s telemetry."""
+        if self.multi_cctld[uid]:
+            return multinational_domain(self.labels[uid], country)
+        return self.canonical[uid]
+
+    def candidates(self, country: str) -> np.ndarray:
+        try:
+            return self.country_candidates[country]
+        except KeyError:
+            raise GenerationError(f"no candidate pool for country {country!r}") from None
+
+
+def _sample_categories(
+    rng: np.random.Generator,
+    count: int,
+    weight_fn,
+) -> np.ndarray:
+    """Sample category ids for ``count`` procedural sites."""
+    names = [spec.name for spec in ALL_CATEGORIES]
+    weights = np.array([max(weight_fn(profile_for(n)), 0.0) for n in names])
+    total = weights.sum()
+    if total <= 0:
+        raise GenerationError("category weights sum to zero")
+    return rng.choice(len(names), size=count, p=weights / total)
+
+
+#: Hard ceiling on procedural site strength.  Named anchors start at
+#: ~5.7 and national champions at 5.5; rank-and-file sites must stay
+#: below the curated head, however lucky their log-normal draw (24K
+#: draws per country reach 4σ tails otherwise).
+PROCEDURAL_STRENGTH_CAP: float = 5.30
+
+
+def _strengths_for(rng: np.random.Generator, category_ids: np.ndarray,
+                   categories: tuple[str, ...]) -> np.ndarray:
+    """Log-normal base strengths drawn per category profile, capped."""
+    mus = np.array([profile_for(c).mu for c in categories])
+    sigmas = np.array([profile_for(c).sigma for c in categories])
+    z = rng.standard_normal(len(category_ids))
+    raw = mus[category_ids] + sigmas[category_ids] * z
+    per_cat_cap = mus[category_ids] + 2.75 * sigmas[category_ids]
+    return np.minimum(raw, np.minimum(per_cat_cap, PROCEDURAL_STRENGTH_CAP))
+
+
+#: Universes are deterministic functions of their config and expensive to
+#: build (~20 s at full scale), so they are memoised for the process
+#: lifetime.  Treat a built Universe as immutable.
+_UNIVERSE_CACHE: dict[UniverseConfig, Universe] = {}
+
+
+def build_universe(config: UniverseConfig | None = None) -> Universe:
+    """Materialise the full universe from the world ground truth (memoised)."""
+    config = config or UniverseConfig()
+    cached = _UNIVERSE_CACHE.get(config)
+    if cached is not None:
+        return cached
+    universe = _build_universe_uncached(config)
+    _UNIVERSE_CACHE[config] = universe
+    return universe
+
+
+def _build_universe_uncached(config: UniverseConfig) -> Universe:
+    rng = np.random.default_rng(np.random.SeedSequence([config.seed, 0xA11CE]))
+    categories = tuple(spec.name for spec in ALL_CATEGORIES)
+    cat_index = {name: i for i, name in enumerate(categories)}
+
+    canonical: list[str] = []
+    labels: list[str] = []
+    cat_ids: list[int] = []
+    strengths: list[float] = []
+    log_mobile: list[float] = []
+    log_time: list[float] = []
+    log_december: list[float] = []
+    noise_scale: list[float] = []
+    archetype: list[int] = []
+    home: list[str | None] = []
+    multi: list[bool] = []
+    has_app: list[bool] = []
+    tags: dict[int, tuple[str, ...]] = {}
+    named_uid: dict[str, int] = {}
+    scope_by_uid: dict[int, tuple[str, ...]] = {}
+
+    taken_labels: set[str] = set()
+
+    def _append(
+        label: str,
+        canon: str,
+        category: str,
+        strength: float,
+        lm: float,
+        lt: float,
+        ld: float,
+        ns: float,
+        arch: Archetype,
+        home_country: str | None,
+        is_multi: bool,
+        app: bool,
+        site_tags: tuple[str, ...] = (),
+    ) -> int:
+        uid = len(canonical)
+        canonical.append(canon)
+        labels.append(label)
+        cat_ids.append(cat_index[category])
+        strengths.append(strength)
+        log_mobile.append(lm)
+        log_time.append(lt)
+        log_december.append(ld)
+        noise_scale.append(ns)
+        archetype.append(_ARCH_CODE[arch])
+        home.append(home_country)
+        multi.append(is_multi)
+        has_app.append(app)
+        if site_tags:
+            tags[uid] = site_tags
+        return uid
+
+    # ---- named anchors ----------------------------------------------------------
+    for site in NAMED_SITES:
+        taken_labels.add(site.name)
+        if site.multi_cctld:
+            canon = site.name
+        else:
+            canon = NAMED_DOMAIN_OVERRIDES.get(site.name, f"{site.name}.com")
+        scope = resolve_scope(site.scope)
+        arch = site.archetype
+        uid = _append(
+            site.name, canon, site.category, site.log_strength,
+            float(np.log(site.mobile_mult)), float(np.log(site.time_mult)),
+            float(np.log(site.december_mult)), site.noise_scale, arch,
+            scope[0] if arch is Archetype.ENDEMIC else None,
+            site.multi_cctld, site.has_android_app, site.tags,
+        )
+        named_uid[site.name] = uid
+        scope_by_uid[uid] = scope
+
+    # ---- national champions -----------------------------------------------------
+    for rule in CHAMPION_RULES:
+        lo, hi = rule.log_strength_range
+        for country in rule.countries:
+            label = unique_labels(rng, 1, taken_labels)[0]
+            suffix = COUNTRY_SUFFIX[country]
+            canon = f"{label}.{suffix}"
+            strength = float(rng.uniform(lo, hi))
+            uid = _append(
+                label, canon, rule.category, strength,
+                float(np.log(rule.mobile_mult)),
+                float(np.log(rule.time_mult)),
+                float(np.log(rule.december_mult)),
+                0.30, Archetype.ENDEMIC, country, False, rule.has_app,
+                (rule.tag, "champion"),
+            )
+            scope_by_uid[uid] = (country,)
+
+    # ---- procedural pools ----------------------------------------------------------
+    def _emit_pool(
+        count: int,
+        weight_fn,
+        arch: Archetype,
+        home_key: str | None,
+        domain_fn,
+        store_home: bool = False,
+    ) -> list[int]:
+        if count == 0:
+            return []
+        ids = _sample_categories(rng, count, weight_fn)
+        strength_arr = _strengths_for(rng, ids, categories)
+        # Popular sites have stable ranks (Section 4.5: "top sites are
+        # typically stable between months"), so noise shrinks with
+        # strength: rank-and-file sites churn, the procedural head barely
+        # moves and can never overtake the curated anchors.
+        noise_arr = np.clip(1.0 - 0.18 * (strength_arr - 1.0), 0.30, 1.0)
+        pool_labels = unique_labels(rng, count, taken_labels)
+        uids = []
+        for i in range(count):
+            category = categories[int(ids[i])]
+            profile = profile_for(category)
+            uid = _append(
+                pool_labels[i], domain_fn(pool_labels[i]), category,
+                float(strength_arr[i]),
+                float(np.log(profile.mobile_mult)),
+                float(np.log(profile.time_mult)),
+                float(np.log(profile.december_mult)),
+                float(noise_arr[i]), arch,
+                home_key if (arch is Archetype.ENDEMIC or store_home) else None,
+                False, False,
+            )
+            uids.append(uid)
+        return uids
+
+    global_uids = _emit_pool(
+        config.global_pool,
+        lambda p: p.prevalence * p.global_fraction,
+        Archetype.GLOBAL, None,
+        lambda lbl: global_domain(lbl, rng),
+    )
+
+    region_groups = by_region_group()
+    regional_uids: dict[str, list[int]] = {}
+    for group in sorted(region_groups):
+        regional_uids[group] = _emit_pool(
+            config.regional_pool,
+            lambda p: p.prevalence * (1.0 - 0.5 * p.global_fraction),
+            Archetype.REGIONAL, None,
+            lambda lbl: global_domain(lbl, rng),
+        )
+
+    lang_speakers: dict[str, list[str]] = {}
+    for country in COUNTRIES:
+        for lang in country.languages:
+            lang_speakers.setdefault(lang, []).append(country.code)
+    multi_langs = sorted(l for l, cs in lang_speakers.items() if len(cs) >= 2)
+    language_uids: dict[str, list[int]] = {}
+    for lang in multi_langs:
+        language_uids[lang] = _emit_pool(
+            config.language_pool,
+            lambda p: p.prevalence * (1.0 - 0.5 * p.global_fraction),
+            Archetype.REGIONAL, None,
+            lambda lbl: global_domain(lbl, rng),
+        )
+
+    endemic_uids: dict[str, list[int]] = {}
+    for country in COUNTRIES:
+        code = country.code
+        endemic_uids[code] = _emit_pool(
+            config.endemic_pool,
+            lambda p: p.prevalence * (1.0 - p.global_fraction),
+            Archetype.ENDEMIC, code,
+            lambda lbl: endemic_domain(lbl, code, rng),
+        )
+
+    # Strong mid-tier sites (see UniverseConfig.strong_pool).
+    import math as _math
+
+    strong_membership: dict[str, list[int]] = {c.code: [] for c in COUNTRIES}
+    related_map: dict[str, list[str]] = {}
+    for country in COUNTRIES:
+        related = {
+            other.code
+            for other in COUNTRIES
+            if other.code != country.code
+            and (other.region_group == country.region_group
+                 or country.shares_language(other))
+        }
+        related_map[country.code] = sorted(related)
+    for country in COUNTRIES:
+        code = country.code
+        n_strong = config.strong_pool
+        if n_strong:
+            ids = _sample_categories(
+                rng, n_strong,
+                lambda p: p.prevalence * _math.exp(p.mu) * p.head_boost,
+            )
+            strong_labels = unique_labels(rng, n_strong, taken_labels)
+            shared_mask = rng.random(n_strong) < 0.40
+            related = related_map[code]
+            for i in range(n_strong):
+                category = categories[int(ids[i])]
+                profile = profile_for(category)
+                strength = float(rng.uniform(5.35, 6.55))
+                arch = (Archetype.REGIONAL
+                        if shared_mask[i] and related else Archetype.ENDEMIC)
+                uid = _append(
+                    strong_labels[i],
+                    neighbor_domain(strong_labels[i], code, rng),
+                    category, strength,
+                    float(np.log(profile.mobile_mult)),
+                    float(np.log(profile.time_mult)),
+                    float(np.log(profile.december_mult)),
+                    0.30, arch, code, False, bool(rng.random() < 0.65),
+                    ("strong",),
+                )
+                strong_membership[code].append(uid)
+                if arch is Archetype.REGIONAL:
+                    k = int(rng.integers(1, 3))
+                    picks = rng.choice(len(related), size=min(k, len(related)),
+                                       replace=False)
+                    for idx in picks:
+                        strong_membership[related[int(idx)]].append(uid)
+
+    # Few-country neighbour sites: primary country plus 1-3 related ones.
+    neighbor_membership: dict[str, list[int]] = {c.code: [] for c in COUNTRIES}
+    for country in COUNTRIES:
+        code = country.code
+        uids = _emit_pool(
+            config.neighbor_pool,
+            lambda p: p.prevalence * (1.0 - p.global_fraction),
+            Archetype.REGIONAL, code,
+            lambda lbl: neighbor_domain(lbl, code, rng),
+            store_home=True,
+        )
+        related = related_map[code]
+        neighbor_membership[code].extend(uids)
+        if related:
+            extra_counts = rng.integers(1, 4, size=len(uids))
+            for uid, k in zip(uids, extra_counts):
+                picks = rng.choice(len(related), size=min(int(k), len(related)),
+                                   replace=False)
+                for idx in picks:
+                    neighbor_membership[related[int(idx)]].append(uid)
+
+    n = len(canonical)
+    non_public = np.zeros(n, dtype=bool)
+    if config.nonpublic_fraction > 0:
+        # Only procedural sites can be non-public; named anchors and
+        # champions are by definition prominent public sites.
+        procedural_start = len(named_uid) + sum(len(r.countries) for r in CHAMPION_RULES)
+        draw = rng.random(n - procedural_start) < config.nonpublic_fraction
+        non_public[procedural_start:] = draw
+
+    universe = Universe(
+        config=config,
+        canonical=canonical,
+        labels=labels,
+        category_id=np.asarray(cat_ids, dtype=np.int16),
+        categories=categories,
+        log_strength=np.asarray(strengths, dtype=np.float64),
+        log_mobile=np.asarray(log_mobile, dtype=np.float64),
+        log_time=np.asarray(log_time, dtype=np.float64),
+        log_december=np.asarray(log_december, dtype=np.float64),
+        noise_scale=np.asarray(noise_scale, dtype=np.float64),
+        archetype=np.asarray(archetype, dtype=np.int8),
+        home=home,
+        multi_cctld=np.asarray(multi, dtype=bool),
+        has_android_app=np.asarray(has_app, dtype=bool),
+        non_public=non_public,
+        tags=tags,
+        named_uid=named_uid,
+    )
+
+    # ---- per-country candidate pools and named boosts ---------------------------------
+    named_in_country: dict[str, list[int]] = {c.code: [] for c in COUNTRIES}
+    for uid, scope in scope_by_uid.items():
+        for code in scope:
+            named_in_country[code].append(uid)
+
+    boosts_by_name = {s.name: s.country_boosts for s in NAMED_SITES}
+    for country in COUNTRIES:
+        code = country.code
+        pool: list[int] = list(named_in_country[code])
+        pool.extend(global_uids)
+        pool.extend(regional_uids[country.region_group])
+        for lang in country.languages:
+            pool.extend(language_uids.get(lang, []))
+        pool.extend(endemic_uids[code])
+        pool.extend(neighbor_membership[code])
+        pool.extend(strong_membership[code])
+        candidate = np.asarray(sorted(set(pool)), dtype=np.int64)
+        boost = np.zeros(len(candidate), dtype=np.float64)
+        position = {int(uid): i for i, uid in enumerate(candidate)}
+        for name, uid in named_uid.items():
+            delta = boosts_by_name.get(name, {}).get(code)
+            if delta is not None and uid in position:
+                boost[position[uid]] = delta
+        universe.country_candidates[code] = candidate
+        universe.country_boost[code] = boost
+
+    return universe

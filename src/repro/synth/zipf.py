@@ -1,0 +1,86 @@
+"""Zipf–Mandelbrot utilities for heavy-tailed popularity modelling.
+
+Web traffic per rank is approximately Zipfian, but the paper's measured
+concentration curve (Figure 1) is steeper at the head than any single
+power law — which is why :class:`repro.core.distribution.TrafficDistribution`
+interpolates measured anchors instead.  This module provides the pure
+power-law machinery used by ablation benchmarks (how wrong would a
+plain-Zipf traffic model be?) and by property tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ZipfMandelbrot:
+    """f(r) ∝ 1 / (r + q)^s over ranks 1..n."""
+
+    s: float
+    q: float = 0.0
+    n: int = 1_000_000
+
+    def __post_init__(self) -> None:
+        if self.s <= 0:
+            raise ValueError("exponent s must be positive")
+        if self.q < 0:
+            raise ValueError("shift q must be non-negative")
+        if self.n < 1:
+            raise ValueError("n must be positive")
+
+    def shares(self, upto: int | None = None) -> np.ndarray:
+        """Normalised per-rank shares for ranks 1..(upto or n).
+
+        Normalisation is over the full support 1..n, so a prefix's sum is
+        the cumulative share of the head.
+        """
+        upto = self.n if upto is None else min(upto, self.n)
+        if upto < 1:
+            raise ValueError("upto must be >= 1")
+        ranks = np.arange(1, upto + 1, dtype=float)
+        raw = 1.0 / np.power(ranks + self.q, self.s)
+        return raw / self._normaliser()
+
+    def cumulative_share(self, rank: int) -> float:
+        """Share of total mass captured by the top ``rank`` items."""
+        if rank < 1:
+            raise ValueError("rank must be >= 1")
+        return float(self.shares(min(rank, self.n)).sum())
+
+    def _normaliser(self) -> float:
+        # Exact sum for moderate n; Euler–Maclaurin tail for large n so we
+        # never materialise a million-element array just to normalise.
+        cutoff = 100_000
+        head = min(self.n, cutoff)
+        ranks = np.arange(1, head + 1, dtype=float)
+        total = float(np.sum(1.0 / np.power(ranks + self.q, self.s)))
+        if self.n > cutoff:
+            a, b = cutoff + 0.5, self.n + 0.5
+            if abs(self.s - 1.0) < 1e-12:
+                total += float(np.log((b + self.q) / (a + self.q)))
+            else:
+                total += float(
+                    ((a + self.q) ** (1.0 - self.s) - (b + self.q) ** (1.0 - self.s))
+                    / (self.s - 1.0)
+                )
+        return total
+
+
+def fit_zipf_exponent(shares: np.ndarray, skip_head: int = 0) -> float:
+    """Least-squares slope of log(share) vs log(rank): the Zipf exponent.
+
+    ``skip_head`` drops the first ranks, where real traffic deviates most
+    from a power law.
+    """
+    arr = np.asarray(shares, dtype=float)
+    if arr.ndim != 1 or len(arr) - skip_head < 2:
+        raise ValueError("need at least two usable shares")
+    ranks = np.arange(1, len(arr) + 1, dtype=float)[skip_head:]
+    vals = arr[skip_head:]
+    if np.any(vals <= 0):
+        raise ValueError("shares must be positive to fit in log space")
+    slope, _ = np.polyfit(np.log(ranks), np.log(vals), 1)
+    return float(-slope)

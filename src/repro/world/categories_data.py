@@ -1,0 +1,185 @@
+"""The website category taxonomy (Table 3) plus curated special categories.
+
+Section 3.2: starting from Cloudflare's 26 super-categories / 114
+categories, the authors drop 19 low-accuracy categories, merge similar
+ones, and end with **22 super-categories and 61 categories** (Table 3).
+Two additional use-case-defining categories — *Search Engines* and
+*Social Networks* — failed the API accuracy bar and were manually
+curated instead; we model them as ``curated`` categories layered on top
+of the API taxonomy, exactly as the paper does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CategorySpec:
+    """One category in the final taxonomy."""
+
+    name: str
+    supercategory: str
+    curated: bool = False
+
+
+def _cat(name: str, supercategory: str) -> CategorySpec:
+    return CategorySpec(name, supercategory)
+
+
+#: Table 3 — the final 22-super-category / 61-category taxonomy.
+TABLE3_TAXONOMY: tuple[CategorySpec, ...] = (
+    # Adult Themes
+    _cat("Pornography", "Adult Themes"),
+    _cat("Adult Themes", "Adult Themes"),
+    # Business & Economy
+    _cat("Business", "Business & Economy"),
+    _cat("Economy & Finance", "Business & Economy"),
+    # Education
+    _cat("Educational Institutions", "Education"),
+    _cat("Education", "Education"),
+    _cat("Science", "Education"),
+    # Entertainment
+    _cat("News & Media", "Entertainment"),
+    _cat("Audio Streaming", "Entertainment"),
+    _cat("Music", "Entertainment"),
+    _cat("Magazines", "Entertainment"),
+    _cat("Cartoons & Anime", "Entertainment"),
+    _cat("Movies & Home Video", "Entertainment"),
+    _cat("Arts", "Entertainment"),
+    _cat("Entertainment", "Entertainment"),
+    _cat("Gaming", "Entertainment"),
+    _cat("Video Streaming", "Entertainment"),
+    _cat("Television", "Entertainment"),
+    _cat("Comic Books", "Entertainment"),
+    _cat("Paranormal", "Entertainment"),
+    # Gambling
+    _cat("Gambling", "Gambling"),
+    # Government & Politics
+    _cat("Government & Politics", "Government & Politics"),
+    _cat("Politics, Advocacy, and Government-Related", "Government & Politics"),
+    # Health
+    _cat("Health & Fitness", "Health"),
+    _cat("Sex Education", "Health"),
+    # Internet Communication
+    _cat("Forums", "Internet Communication"),
+    _cat("Webmail", "Internet Communication"),
+    _cat("Chat & Messaging", "Internet Communication"),
+    # Job Search & Careers
+    _cat("Job Search & Careers", "Job Search & Careers"),
+    # Miscellaneous
+    _cat("Redirect", "Miscellaneous"),
+    # Questionable Content
+    _cat("Drugs", "Questionable Content"),
+    _cat("Questionable Content", "Questionable Content"),
+    _cat("Hacking", "Questionable Content"),
+    # Real Estate
+    _cat("Real Estate", "Real Estate"),
+    # Religion
+    _cat("Religion", "Religion"),
+    # Shopping & Auctions
+    _cat("Ecommerce", "Shopping & Auctions"),
+    _cat("Auctions & Marketplaces", "Shopping & Auctions"),
+    _cat("Coupons", "Shopping & Auctions"),
+    # Society & Lifestyle
+    _cat("Lifestyle", "Society & Lifestyle"),
+    _cat("Clothing and Fashion", "Society & Lifestyle"),
+    _cat("Food & Drink", "Society & Lifestyle"),
+    _cat("Hobbies & Interests", "Society & Lifestyle"),
+    _cat("Home & Garden", "Society & Lifestyle"),
+    _cat("Pets", "Society & Lifestyle"),
+    _cat("Parenting", "Society & Lifestyle"),
+    _cat("Photography", "Society & Lifestyle"),
+    _cat("Astrology", "Society & Lifestyle"),
+    _cat("Dating & Relationships", "Society & Lifestyle"),
+    _cat("Arts & Crafts", "Society & Lifestyle"),
+    _cat("Sexuality", "Society & Lifestyle"),
+    _cat("Tobacco", "Society & Lifestyle"),
+    _cat("Body Art", "Society & Lifestyle"),
+    _cat("Digital Postcards", "Society & Lifestyle"),
+    # Sports
+    _cat("Sports", "Sports"),
+    # Technology
+    _cat("Technology", "Technology"),
+    # Travel
+    _cat("Travel", "Travel"),
+    # Vehicles
+    _cat("Vehicles", "Vehicles"),
+    # Violence
+    _cat("Weapons", "Violence"),
+    _cat("Violence", "Violence"),
+    # Weather
+    _cat("Weather", "Weather"),
+    # Unknown
+    _cat("Unknown", "Unknown"),
+)
+
+#: The two manually curated categories (Section 3.2): the API's labels for
+#: these were below the 80 % accuracy bar, so the authors verified sites
+#: by hand.  We attach them to the supercategories they naturally live in.
+CURATED_CATEGORIES: tuple[CategorySpec, ...] = (
+    CategorySpec("Search Engines", "Search Engines", curated=True),
+    CategorySpec("Social Networks", "Social Networks", curated=True),
+)
+
+#: Full working taxonomy = Table 3 + curated categories.
+ALL_CATEGORIES: tuple[CategorySpec, ...] = TABLE3_TAXONOMY + CURATED_CATEGORIES
+
+
+#: Categories the accuracy analysis dropped (Appendix B: 19 excluded
+#: categories whose sites were folded into Other/Unknown).  These exist in
+#: the *raw* simulated API vocabulary but not in the final taxonomy; the
+#: validation workflow (repro.categories.validation) rediscovers that they
+#: are inaccurate and excludes them.
+DROPPED_RAW_CATEGORIES: tuple[str, ...] = (
+    "Content Servers",
+    "CDNs",
+    "Advertising",
+    "Parked Domains",
+    "Login Screens",
+    "Malware",
+    "Phishing",
+    "Spam",
+    "Cryptomining",
+    "Anonymizers",
+    "Translation Services",
+    "File Sharing",
+    "P2P",
+    "Dynamic DNS",
+    "Newly Registered Domains",
+    "Newly Seen Domains",
+    "Placeholders",
+    "Military",
+    "Swimwear & Lingerie",
+)
+
+#: Raw API categories that the cleaning step *merges* into a single final
+#: category (Section 3.2's example: Chat, Instant Messengers and Messaging
+#: become "Chat & Messaging").
+MERGED_RAW_CATEGORIES: dict[str, str] = {
+    "Chat": "Chat & Messaging",
+    "Instant Messengers": "Chat & Messaging",
+    "Messaging": "Chat & Messaging",
+    "Blogs": "Lifestyle",
+    "Personal Sites": "Lifestyle",
+    "Streaming Video": "Video Streaming",
+    "Internet Radio": "Audio Streaming",
+    "Online Games": "Gaming",
+    "Game Publishers": "Gaming",
+    "Stock Trading": "Economy & Finance",
+    "Cryptocurrency": "Economy & Finance",
+}
+
+
+def category_names() -> tuple[str, ...]:
+    """Names of the 61 Table 3 categories, in table order."""
+    return tuple(spec.name for spec in TABLE3_TAXONOMY)
+
+
+def supercategory_names() -> tuple[str, ...]:
+    """Names of the 22 Table 3 supercategories, in first-seen order."""
+    seen: list[str] = []
+    for spec in TABLE3_TAXONOMY:
+        if spec.supercategory not in seen:
+            seen.append(spec.supercategory)
+    return tuple(seen)

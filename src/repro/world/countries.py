@@ -1,0 +1,152 @@
+"""The 45 study countries (Appendix A) with generation-relevant metadata.
+
+The paper limits analysis to 45 countries — at most 10 per continent —
+each with at least 10K websites above Chrome's privacy threshold.  For
+the synthetic world each country carries:
+
+* ``continent`` and ``languages`` — drive the regional-affinity structure
+  that Section 5.3 recovers ("clusters ... follow patterns of shared
+  geography and shared language");
+* ``region_group`` — the latent cluster the generator plants and that
+  affinity propagation should (approximately) rediscover;
+* ``web_scale`` — relative size of the Chrome install base, weighting the
+  globally aggregated traffic curves (Section 4.1.1 notes global curves
+  are "more heavily weighted towards countries with more web usage");
+* ``list_size`` — how many sites clear the privacy threshold (10K for
+  every study country, by construction; the generator can also emit
+  smaller non-study countries to exercise the thresholding code path).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Country:
+    """Static metadata for one country in the synthetic world."""
+
+    code: str
+    name: str
+    continent: str
+    languages: tuple[str, ...]
+    region_group: str
+    web_scale: float = 1.0
+    list_size: int = 10_000
+
+    def __post_init__(self) -> None:
+        if len(self.code) != 2 or not self.code.isupper():
+            raise ValueError(f"bad ISO code {self.code!r}")
+        if self.web_scale <= 0:
+            raise ValueError("web_scale must be positive")
+        if self.list_size < 1:
+            raise ValueError("list_size must be positive")
+
+    def shares_language(self, other: "Country") -> bool:
+        return bool(set(self.languages) & set(other.languages))
+
+
+def _c(
+    code: str,
+    name: str,
+    continent: str,
+    languages: tuple[str, ...],
+    region_group: str,
+    web_scale: float,
+) -> Country:
+    return Country(code, name, continent, languages, region_group, web_scale)
+
+
+#: All 45 study countries, Appendix A order within continent.
+COUNTRIES: tuple[Country, ...] = (
+    # -- Africa (7) ---------------------------------------------------------------
+    _c("DZ", "Algeria", "Africa", ("ar", "fr"), "north_africa", 1.1),
+    _c("EG", "Egypt", "Africa", ("ar",), "north_africa", 2.4),
+    _c("KE", "Kenya", "Africa", ("en", "sw"), "subsaharan", 0.8),
+    _c("MA", "Morocco", "Africa", ("ar", "fr"), "north_africa", 1.0),
+    _c("NG", "Nigeria", "Africa", ("en",), "subsaharan", 1.6),
+    _c("TN", "Tunisia", "Africa", ("ar", "fr"), "north_africa", 0.5),
+    _c("ZA", "South Africa", "Africa", ("en",), "subsaharan", 1.3),
+    # -- Asia (10) ----------------------------------------------------------------
+    _c("JP", "Japan", "Asia", ("ja",), "japan", 6.0),
+    _c("IN", "India", "Asia", ("hi", "en"), "india", 9.0),
+    _c("KR", "South Korea", "Asia", ("ko",), "korea", 3.0),
+    _c("TR", "Turkey", "Asia", ("tr",), "turkey", 2.2),
+    _c("VN", "Vietnam", "Asia", ("vi",), "southeast_asia", 1.8),
+    _c("TW", "Taiwan", "Asia", ("zh",), "east_asia_zh", 1.5),
+    _c("ID", "Indonesia", "Asia", ("id",), "southeast_asia", 2.8),
+    _c("TH", "Thailand", "Asia", ("th",), "southeast_asia", 1.6),
+    _c("PH", "Philippines", "Asia", ("en", "tl"), "southeast_asia", 1.7),
+    _c("HK", "Hong Kong", "Asia", ("zh", "en"), "east_asia_zh", 0.9),
+    # -- Europe (10) --------------------------------------------------------------
+    _c("GB", "United Kingdom", "Europe", ("en",), "anglosphere", 4.0),
+    _c("FR", "France", "Europe", ("fr",), "france_benelux", 3.8),
+    _c("RU", "Russia", "Europe", ("ru",), "russia", 4.5),
+    _c("DE", "Germany", "Europe", ("de",), "europe_central", 4.2),
+    _c("IT", "Italy", "Europe", ("it",), "europe_central", 3.0),
+    _c("ES", "Spain", "Europe", ("es",), "europe_central", 2.6),
+    _c("NL", "Netherlands", "Europe", ("nl",), "france_benelux", 1.2),
+    _c("PL", "Poland", "Europe", ("pl",), "europe_central", 1.9),
+    _c("UA", "Ukraine", "Europe", ("uk", "ru"), "europe_central", 1.4),
+    _c("BE", "Belgium", "Europe", ("fr", "nl"), "france_benelux", 0.8),
+    # -- North America (7) ----------------------------------------------------------
+    _c("CA", "Canada", "North America", ("en", "fr"), "anglosphere", 2.4),
+    _c("CR", "Costa Rica", "North America", ("es",), "latam_es", 0.4),
+    _c("DO", "Dominican Republic", "North America", ("es",), "latam_es", 0.5),
+    _c("GT", "Guatemala", "North America", ("es",), "latam_es", 0.6),
+    _c("MX", "Mexico", "North America", ("es",), "latam_es", 3.4),
+    _c("PA", "Panama", "North America", ("es",), "latam_es", 0.3),
+    _c("US", "United States", "North America", ("en",), "anglosphere", 10.0),
+    # -- Oceania (2) -----------------------------------------------------------------
+    _c("AU", "Australia", "Oceania", ("en",), "anglosphere", 1.8),
+    _c("NZ", "New Zealand", "Oceania", ("en",), "anglosphere", 0.5),
+    # -- South America (9) -------------------------------------------------------------
+    _c("AR", "Argentina", "South America", ("es",), "latam_es", 1.8),
+    _c("BO", "Bolivia", "South America", ("es",), "latam_es", 0.5),
+    _c("BR", "Brazil", "South America", ("pt",), "brazil", 5.5),
+    _c("CL", "Chile", "South America", ("es",), "latam_es", 1.1),
+    _c("CO", "Colombia", "South America", ("es",), "latam_es", 1.6),
+    _c("EC", "Ecuador", "South America", ("es",), "latam_es", 0.7),
+    _c("PE", "Peru", "South America", ("es",), "latam_es", 1.2),
+    _c("UY", "Uruguay", "South America", ("es",), "latam_es", 0.3),
+    _c("VE", "Venezuela", "South America", ("es",), "latam_es", 0.9),
+)
+
+_BY_CODE: dict[str, Country] = {c.code: c for c in COUNTRIES}
+
+#: ISO codes of all 45 study countries, sorted.
+COUNTRY_CODES: tuple[str, ...] = tuple(sorted(_BY_CODE))
+
+
+def get_country(code: str) -> Country:
+    """Look up a study country by ISO code."""
+    try:
+        return _BY_CODE[code]
+    except KeyError:
+        raise KeyError(f"unknown study country {code!r}") from None
+
+
+def by_continent() -> dict[str, tuple[Country, ...]]:
+    """Countries grouped by continent, mirroring Appendix A."""
+    groups: dict[str, list[Country]] = {}
+    for country in COUNTRIES:
+        groups.setdefault(country.continent, []).append(country)
+    return {k: tuple(v) for k, v in groups.items()}
+
+
+def by_region_group() -> dict[str, tuple[Country, ...]]:
+    """Countries grouped by the latent region group the generator plants."""
+    groups: dict[str, list[Country]] = {}
+    for country in COUNTRIES:
+        groups.setdefault(country.region_group, []).append(country)
+    return {k: tuple(v) for k, v in groups.items()}
+
+
+def language_neighbors(code: str) -> tuple[str, ...]:
+    """Codes of other study countries sharing at least one language."""
+    country = get_country(code)
+    return tuple(
+        other.code
+        for other in COUNTRIES
+        if other.code != code and country.shares_language(other)
+    )

@@ -1,0 +1,358 @@
+"""Per-category behavioural profiles and paper-calibrated traffic anchors.
+
+This module is the quantitative heart of the substitution described in
+DESIGN.md: every qualitative finding the paper reports about a category
+(mobile- vs desktop-leaning, loads- vs time-leaning, December shifts,
+globally vs nationally popular, head- vs tail-heavy) is encoded here as a
+generation parameter, so the analysis pipeline can *recover* it from the
+synthesised rank lists the same way the paper recovered it from Chrome
+telemetry.
+
+The profile fields:
+
+``prevalence``
+    Relative share of sites carrying this category in the per-country
+    site pools (drives the %-of-domains panels of Figure 2).
+``mu`` / ``sigma``
+    Location and spread of the log-normal base-strength distribution for
+    the category's rank-and-file sites.  A high ``mu`` pushes the
+    category toward the head of rank lists (News & Media peaks among the
+    top-50, Figure 3); a low ``mu`` with high ``prevalence`` makes a
+    long-tail category (Business rises to ~8 % of the top-10K).
+``mobile_mult``
+    Android score multiplier; >1 means mobile-leaning (Figure 4: e.g.
+    Pornography, Dating & Relationships, Gambling), <1 desktop-leaning
+    (Educational Institutions, Webmail, Gaming, Economy & Finance).
+``time_mult``
+    Time-on-page score multiplier; >1 means time-leaning (Figure 5:
+    Video Streaming, Movies & Home Video, News & Media), <1
+    loads-leaning (Ecommerce, Educational Institutions, Economy &
+    Finance).
+``december_mult``
+    Seasonal multiplier applied in December (Section 4.5: Ecommerce up,
+    Education down).
+``global_fraction``
+    Fraction of the category's sites drawn as *global* archetypes
+    (Section 5.2 / Figure 8: technology, pornography and gaming are
+    disproportionately global; educational institutions, politics and
+    finance are national).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..core.types import Metric, Platform
+from .categories_data import ALL_CATEGORIES
+
+
+@dataclass(frozen=True)
+class CategoryProfile:
+    """Generation parameters for one website category."""
+
+    prevalence: float = 1.0
+    mu: float = 0.0
+    sigma: float = 1.0
+    mobile_mult: float = 1.0
+    time_mult: float = 1.0
+    december_mult: float = 1.0
+    global_fraction: float = 0.05
+    #: Extra multiplier on the category's weight in the per-country
+    #: *strong-site* pool (the ranks ~30-150 zone of Figure 3); the base
+    #: weight is prevalence × exp(mu).
+    head_boost: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.prevalence < 0:
+            raise ValueError("prevalence must be non-negative")
+        if self.sigma <= 0:
+            raise ValueError("sigma must be positive")
+        for field_name in ("mobile_mult", "time_mult", "december_mult"):
+            if getattr(self, field_name) <= 0:
+                raise ValueError(f"{field_name} must be positive")
+        if not 0.0 <= self.global_fraction <= 1.0:
+            raise ValueError("global_fraction must be in [0, 1]")
+        if self.head_boost < 0:
+            raise ValueError("head_boost must be non-negative")
+
+
+_DEFAULT = CategoryProfile()
+
+#: Hand-tuned overrides for the categories the paper's findings hinge on.
+#: Categories not listed here take supercategory defaults, then _DEFAULT.
+_CATEGORY_OVERRIDES: dict[str, CategoryProfile] = {
+    # -- the two curated use-case categories -------------------------------------
+    "Search Engines": CategoryProfile(
+        prevalence=0.08, mu=3.2, sigma=1.2,
+        mobile_mult=1.0, time_mult=0.45, global_fraction=0.5,
+    ),
+    "Social Networks": CategoryProfile(
+        prevalence=0.25, mu=2.2, sigma=1.2,
+        mobile_mult=1.15, time_mult=1.3, global_fraction=0.45,
+    ),
+    # -- adult -----------------------------------------------------------------------
+    "Pornography": CategoryProfile(
+        prevalence=4.5, mu=0.7, sigma=1.3,
+        mobile_mult=1.5, time_mult=1.40, global_fraction=0.30,
+    ),
+    "Adult Themes": CategoryProfile(
+        prevalence=0.8, mu=-0.2, sigma=1.0, mobile_mult=1.6, global_fraction=0.15,
+    ),
+    # -- business / economy ---------------------------------------------------------
+    "Business": CategoryProfile(
+        prevalence=11.0, mu=-0.35, sigma=0.95,
+        mobile_mult=0.55, time_mult=0.85, global_fraction=0.06,
+    ),
+    "Economy & Finance": CategoryProfile(
+        prevalence=4.0, mu=0.1, sigma=1.0,
+        mobile_mult=0.6, time_mult=0.6, global_fraction=0.03,
+    ),
+    # -- education ---------------------------------------------------------------------
+    "Educational Institutions": CategoryProfile(
+        prevalence=4.5, mu=0.0, sigma=1.0,
+        mobile_mult=0.45, time_mult=0.6, december_mult=0.55, global_fraction=0.01,
+    ),
+    "Education": CategoryProfile(
+        prevalence=3.0, mu=0.0, sigma=1.0,
+        mobile_mult=0.7, time_mult=0.8, december_mult=0.7, global_fraction=0.06,
+    ),
+    "Science": CategoryProfile(
+        prevalence=1.2, mu=-0.2, sigma=0.9,
+        mobile_mult=0.7, december_mult=0.8, global_fraction=0.10,
+    ),
+    # -- entertainment ------------------------------------------------------------------
+    "News & Media": CategoryProfile(
+        prevalence=3.2, mu=1.1, sigma=0.85,
+        mobile_mult=1.10, time_mult=1.35, global_fraction=0.02,
+        head_boost=2.4,
+    ),
+    "Video Streaming": CategoryProfile(
+        prevalence=1.6, mu=1.6, sigma=1.7,
+        mobile_mult=0.8, time_mult=2.4, global_fraction=0.20,
+    ),
+    "Movies & Home Video": CategoryProfile(
+        prevalence=1.4, mu=0.5, sigma=1.2,
+        mobile_mult=1.1, time_mult=2.0, global_fraction=0.12,
+    ),
+    "Television": CategoryProfile(
+        prevalence=1.0, mu=0.6, sigma=1.1,
+        mobile_mult=0.95, time_mult=1.8, global_fraction=0.0,
+    ),
+    "Gaming": CategoryProfile(
+        prevalence=4.0, mu=0.45, sigma=1.25,
+        mobile_mult=0.55, time_mult=1.35, global_fraction=0.22,
+    ),
+    "Cartoons & Anime": CategoryProfile(
+        prevalence=1.0, mu=0.3, sigma=1.2,
+        mobile_mult=1.2, time_mult=1.5, global_fraction=0.12,
+    ),
+    "Comic Books": CategoryProfile(
+        prevalence=0.6, mu=0.0, sigma=1.0, mobile_mult=1.3, time_mult=1.3,
+        global_fraction=0.08,
+    ),
+    "Music": CategoryProfile(
+        prevalence=1.6, mu=0.3, sigma=1.0, mobile_mult=1.25, time_mult=1.2,
+        global_fraction=0.15,
+    ),
+    "Audio Streaming": CategoryProfile(
+        prevalence=0.7, mu=0.4, sigma=1.1, mobile_mult=1.1, time_mult=1.6,
+        global_fraction=0.18,
+    ),
+    "Magazines": CategoryProfile(
+        prevalence=1.2, mu=0.1, sigma=0.9, mobile_mult=1.7, time_mult=1.2,
+        global_fraction=0.05,
+    ),
+    "Entertainment": CategoryProfile(
+        prevalence=2.4, mu=0.2, sigma=1.0, mobile_mult=1.3, time_mult=1.2,
+        global_fraction=0.10,
+    ),
+    "Arts": CategoryProfile(prevalence=0.8, mu=-0.2, sigma=0.9, global_fraction=0.08),
+    "Paranormal": CategoryProfile(
+        prevalence=0.2, mu=-0.5, sigma=0.8, mobile_mult=1.4, global_fraction=0.05,
+    ),
+    # -- gambling -------------------------------------------------------------------------
+    "Gambling": CategoryProfile(
+        prevalence=1.5, mu=0.2, sigma=1.1,
+        mobile_mult=1.75, time_mult=1.2, global_fraction=0.06,
+    ),
+    # -- government / politics ---------------------------------------------------------------
+    "Government & Politics": CategoryProfile(
+        prevalence=2.6, mu=0.15, sigma=1.0,
+        mobile_mult=0.8, time_mult=0.8, global_fraction=0.0,
+    ),
+    "Politics, Advocacy, and Government-Related": CategoryProfile(
+        prevalence=1.0, mu=-0.2, sigma=0.9, mobile_mult=0.9, global_fraction=0.01,
+    ),
+    # -- health ----------------------------------------------------------------------------
+    "Health & Fitness": CategoryProfile(
+        prevalence=2.2, mu=-0.1, sigma=0.9, mobile_mult=1.25, global_fraction=0.04,
+    ),
+    "Sex Education": CategoryProfile(
+        prevalence=0.3, mu=-0.4, sigma=0.8, mobile_mult=1.4, global_fraction=0.08,
+    ),
+    # -- internet communication ---------------------------------------------------------------
+    "Forums": CategoryProfile(
+        prevalence=2.0, mu=0.3, sigma=1.1,
+        mobile_mult=0.9, time_mult=1.35, global_fraction=0.08,
+    ),
+    "Webmail": CategoryProfile(
+        prevalence=0.9, mu=1.1, sigma=1.1,
+        mobile_mult=0.5, time_mult=1.1, global_fraction=0.12,
+    ),
+    "Chat & Messaging": CategoryProfile(
+        prevalence=0.9, mu=1.2, sigma=1.3,
+        mobile_mult=0.95, time_mult=1.2, global_fraction=0.28,
+    ),
+    # -- job search -------------------------------------------------------------------------
+    "Job Search & Careers": CategoryProfile(
+        prevalence=1.2, mu=0.0, sigma=0.9, mobile_mult=0.85, time_mult=0.8,
+        global_fraction=0.04,
+    ),
+    # -- misc / questionable --------------------------------------------------------------------
+    "Redirect": CategoryProfile(
+        prevalence=0.7, mu=-0.3, sigma=1.0, time_mult=0.4, global_fraction=0.25,
+    ),
+    "Drugs": CategoryProfile(prevalence=0.3, mu=-0.6, sigma=0.8, global_fraction=0.06),
+    "Questionable Content": CategoryProfile(
+        prevalence=0.8, mu=-0.4, sigma=0.9, mobile_mult=1.3, global_fraction=0.10,
+    ),
+    "Hacking": CategoryProfile(prevalence=0.3, mu=-0.5, sigma=0.9, global_fraction=0.15),
+    # -- shopping ----------------------------------------------------------------------------
+    "Ecommerce": CategoryProfile(
+        prevalence=5.0, mu=0.55, sigma=1.15,
+        mobile_mult=1.05, time_mult=0.55, december_mult=1.45, global_fraction=0.08,
+    ),
+    "Auctions & Marketplaces": CategoryProfile(
+        prevalence=1.2, mu=0.3, sigma=1.1,
+        mobile_mult=1.0, time_mult=0.7, december_mult=1.3, global_fraction=0.07,
+    ),
+    "Coupons": CategoryProfile(
+        prevalence=0.5, mu=-0.3, sigma=0.8,
+        mobile_mult=1.2, time_mult=0.6, december_mult=1.5, global_fraction=0.04,
+    ),
+    # -- society & lifestyle ------------------------------------------------------------------
+    "Lifestyle": CategoryProfile(
+        prevalence=2.6, mu=-0.25, sigma=0.9, mobile_mult=1.45, global_fraction=0.05,
+    ),
+    "Clothing and Fashion": CategoryProfile(
+        prevalence=1.4, mu=-0.2, sigma=0.9, mobile_mult=1.45, december_mult=1.25,
+        global_fraction=0.06,
+    ),
+    "Food & Drink": CategoryProfile(
+        prevalence=1.5, mu=-0.2, sigma=0.9, mobile_mult=1.3, global_fraction=0.04,
+    ),
+    "Hobbies & Interests": CategoryProfile(
+        prevalence=1.6, mu=-0.25, sigma=0.9, mobile_mult=1.15, global_fraction=0.15,
+    ),
+    "Home & Garden": CategoryProfile(
+        prevalence=1.0, mu=-0.3, sigma=0.85, mobile_mult=1.2, global_fraction=0.04,
+    ),
+    "Pets": CategoryProfile(prevalence=0.5, mu=-0.4, sigma=0.8, mobile_mult=1.2,
+                            global_fraction=0.05),
+    "Parenting": CategoryProfile(prevalence=0.4, mu=-0.4, sigma=0.8, mobile_mult=1.3,
+                                 global_fraction=0.03),
+    "Photography": CategoryProfile(
+        prevalence=0.7, mu=-0.1, sigma=1.0, mobile_mult=1.1, global_fraction=0.22,
+    ),
+    "Astrology": CategoryProfile(
+        prevalence=0.3, mu=-0.3, sigma=0.8, mobile_mult=1.6, global_fraction=0.04,
+    ),
+    "Dating & Relationships": CategoryProfile(
+        prevalence=0.9, mu=0.0, sigma=1.0,
+        mobile_mult=1.95, time_mult=1.2, global_fraction=0.15,
+    ),
+    "Arts & Crafts": CategoryProfile(
+        prevalence=0.5, mu=-0.4, sigma=0.8, mobile_mult=1.2, global_fraction=0.06,
+    ),
+    "Sexuality": CategoryProfile(
+        prevalence=0.3, mu=-0.4, sigma=0.8, mobile_mult=1.4, global_fraction=0.08,
+    ),
+    "Tobacco": CategoryProfile(prevalence=0.1, mu=-0.7, sigma=0.7, global_fraction=0.03),
+    "Body Art": CategoryProfile(prevalence=0.15, mu=-0.6, sigma=0.7, mobile_mult=1.3,
+                                global_fraction=0.04),
+    "Digital Postcards": CategoryProfile(
+        prevalence=0.1, mu=-0.7, sigma=0.7, global_fraction=0.03,
+    ),
+    # -- remaining single-category supercategories -----------------------------------------------
+    "Real Estate": CategoryProfile(
+        prevalence=1.2, mu=-0.1, sigma=0.9, mobile_mult=0.9, time_mult=0.8,
+        global_fraction=0.01,
+    ),
+    "Religion": CategoryProfile(prevalence=0.6, mu=-0.4, sigma=0.9, global_fraction=0.03),
+    "Sports": CategoryProfile(
+        prevalence=1.8, mu=0.45, sigma=1.0, mobile_mult=1.3, time_mult=1.15,
+        global_fraction=0.05,
+    ),
+    "Technology": CategoryProfile(
+        prevalence=10.0, mu=0.1, sigma=1.35,
+        mobile_mult=0.62, time_mult=0.9, global_fraction=0.26,
+    ),
+    "Travel": CategoryProfile(
+        prevalence=1.6, mu=-0.1, sigma=0.95, mobile_mult=0.95, time_mult=0.8,
+        global_fraction=0.08,
+    ),
+    "Vehicles": CategoryProfile(
+        prevalence=1.2, mu=-0.2, sigma=0.9, mobile_mult=0.85, global_fraction=0.04,
+    ),
+    "Weapons": CategoryProfile(prevalence=0.2, mu=-0.6, sigma=0.8, global_fraction=0.05),
+    "Violence": CategoryProfile(prevalence=0.1, mu=-0.8, sigma=0.7, global_fraction=0.05),
+    "Weather": CategoryProfile(
+        prevalence=0.4, mu=0.4, sigma=0.9, mobile_mult=1.2, time_mult=0.6,
+        global_fraction=0.03,
+    ),
+    "Unknown": CategoryProfile(
+        prevalence=8.0, mu=-0.5, sigma=1.1, global_fraction=0.08,
+    ),
+}
+
+_KNOWN_NAMES = {spec.name for spec in ALL_CATEGORIES}
+_unknown = set(_CATEGORY_OVERRIDES) - _KNOWN_NAMES
+if _unknown:  # fail at import time: a typo here corrupts the whole world
+    raise ValueError(f"profiles reference unknown categories: {sorted(_unknown)}")
+
+
+def profile_for(category: str) -> CategoryProfile:
+    """The generation profile for ``category`` (default profile if untuned)."""
+    if category not in _KNOWN_NAMES:
+        raise KeyError(f"unknown category {category!r}")
+    return _CATEGORY_OVERRIDES.get(category, _DEFAULT)
+
+
+def all_profiles() -> dict[str, CategoryProfile]:
+    """Profiles for every category in the working taxonomy."""
+    return {spec.name: profile_for(spec.name) for spec in ALL_CATEGORIES}
+
+
+def scaled_profile(category: str, prevalence_scale: float) -> CategoryProfile:
+    """A profile with prevalence scaled — used by ablation experiments."""
+    base = profile_for(category)
+    return replace(base, prevalence=base.prevalence * prevalence_scale)
+
+
+# ---------------------------------------------------------------------------
+# Traffic-distribution anchors (Figure 1 / Section 4.1.2)
+# ---------------------------------------------------------------------------
+
+#: Cumulative-share anchor points per (platform, metric), straight from the
+#: concentration numbers reported in Section 4.1.2.  Interpolated by
+#: :class:`repro.core.distribution.TrafficDistribution`.
+TRAFFIC_ANCHORS: dict[tuple[Platform, Metric], tuple[tuple[float, float], ...]] = {
+    (Platform.WINDOWS, Metric.PAGE_LOADS): (
+        (1, 0.17), (6, 0.25), (100, 0.397), (10_000, 0.70), (1_000_000, 0.955),
+    ),
+    (Platform.WINDOWS, Metric.TIME_ON_PAGE): (
+        (1, 0.24), (7, 0.50), (100, 0.62), (10_000, 0.86), (1_000_000, 0.97),
+    ),
+    (Platform.ANDROID, Metric.PAGE_LOADS): (
+        (1, 0.12), (10, 0.25), (100, 0.36), (10_000, 0.72), (1_000_000, 0.95),
+    ),
+    (Platform.ANDROID, Metric.TIME_ON_PAGE): (
+        (1, 0.10), (8, 0.25), (100, 0.43), (10_000, 0.79), (1_000_000, 0.96),
+    ),
+}
+
+#: Per-country concentration: the top-ranked site captures 12–33 % of page
+#: loads (median 20 %, Section 4.1.2).  The generator jitters each
+#: country's curve head within this band.
+PER_COUNTRY_TOP1_RANGE: tuple[float, float] = (0.12, 0.33)
+PER_COUNTRY_TOP1_MEDIAN: float = 0.20

@@ -1,0 +1,499 @@
+"""The synthetic website universe: named anchors and national champions.
+
+Two kinds of ground truth live here:
+
+* :data:`NAMED_SITES` — a curated roster of the individual websites the
+  paper discusses by name (Google, YouTube, Naver, the KR forums, HBO
+  Max, shopee's per-country storefronts, ...), each with an explicit
+  strength and the platform/metric/seasonal behaviour the paper reports
+  for it.  These populate the heads of the generated rank lists, so
+  site-level findings ("Google is #1 by page loads in 44/45 countries,
+  Naver tops South Korea"; "users spend the most time on YouTube in
+  40/45 countries") are reproducible.
+
+* :data:`CHAMPION_RULES` — procedural rules that give each country its
+  *national champions*: the top-10 bank, government portal, news outlet,
+  classified-ads site, and so on that Section 5.3.2 finds are "only ever
+  top-10 in one country".
+
+Everything else in the universe (the ~hundreds of thousands of
+rank-and-file sites) is generated procedurally by
+:mod:`repro.synth.universe` from the category profiles.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from .countries import COUNTRIES, get_country
+
+
+class Archetype(enum.Enum):
+    """How widely a site's appeal extends (Section 5.1's latent truth)."""
+
+    GLOBAL = "global"       # nonzero appeal in every study country
+    REGIONAL = "regional"   # appeal within a language/geography group
+    ENDEMIC = "endemic"     # appeal in exactly one country
+
+
+@dataclass(frozen=True)
+class NamedSite:
+    """A curated website with explicit generation parameters.
+
+    ``log_strength`` is the natural-log base score on the (Windows,
+    page-loads) reference dimension.  Procedural sites top out around
+    +4.5, so anchors at 6+ occupy list heads.  ``scope`` entries are
+    selectors: ``"global"``, ``"region:<group>"``, ``"lang:<code>"`` or a
+    2-letter country code.
+    """
+
+    name: str
+    category: str
+    scope: tuple[str, ...]
+    log_strength: float
+    mobile_mult: float = 1.0
+    time_mult: float = 1.0
+    december_mult: float = 1.0
+    noise_scale: float = 0.35
+    multi_cctld: bool = False
+    has_android_app: bool = False
+    country_boosts: dict[str, float] = field(default_factory=dict)
+    tags: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("site needs a name")
+        if self.mobile_mult <= 0 or self.time_mult <= 0 or self.december_mult <= 0:
+            raise ValueError(f"{self.name}: multipliers must be positive")
+        if self.noise_scale < 0:
+            raise ValueError(f"{self.name}: noise_scale must be non-negative")
+
+    @property
+    def archetype(self) -> Archetype:
+        if "global" in self.scope:
+            return Archetype.GLOBAL
+        country_codes = {c.code for c in COUNTRIES}
+        concrete = [s for s in self.scope if s in country_codes]
+        if len(self.scope) == len(concrete) == 1:
+            return Archetype.ENDEMIC
+        return Archetype.REGIONAL
+
+
+def resolve_scope(scope: tuple[str, ...]) -> tuple[str, ...]:
+    """Expand scope selectors into a sorted tuple of country codes."""
+    if "global" in scope:
+        return tuple(sorted(c.code for c in COUNTRIES))
+    codes: set[str] = set()
+    for selector in scope:
+        if selector.startswith("region:"):
+            group = selector.split(":", 1)[1]
+            matched = [c.code for c in COUNTRIES if c.region_group == group]
+            if not matched:
+                raise ValueError(f"unknown region group {group!r}")
+            codes.update(matched)
+        elif selector.startswith("lang:"):
+            lang = selector.split(":", 1)[1]
+            matched = [c.code for c in COUNTRIES if lang in c.languages]
+            if not matched:
+                raise ValueError(f"no study country speaks {lang!r}")
+            codes.update(matched)
+        else:
+            codes.add(get_country(selector).code)
+    return tuple(sorted(codes))
+
+
+def _site(
+    name: str,
+    category: str,
+    scope: tuple[str, ...],
+    log_strength: float,
+    **kwargs,
+) -> NamedSite:
+    return NamedSite(name, category, scope, log_strength, **kwargs)
+
+
+#: The curated anchor roster.  Strengths are on the Windows/page-loads
+#: reference dimension; see module docstring for the scale.
+NAMED_SITES: tuple[NamedSite, ...] = (
+    # ---- the global mega-head (Section 4.1.2) -----------------------------------
+    _site("google", "Search Engines", ("global",), 9.00,
+          time_mult=0.67, mobile_mult=1.0, noise_scale=0.12, multi_cctld=True,
+          has_android_app=True, country_boosts={"US": 0.45},
+          tags=("search", "portal")),
+    _site("youtube", "Video Streaming", ("global",), 8.45,
+          time_mult=1.50, mobile_mult=0.28, noise_scale=0.12,
+          has_android_app=True, country_boosts={"US": -0.30},
+          tags=("video-sharing",)),
+    _site("facebook", "Social Networks", ("global",), 7.90,
+          time_mult=1.20, mobile_mult=0.85, noise_scale=0.22,
+          has_android_app=True, tags=("social",)),
+    _site("whatsapp", "Chat & Messaging", ("global",), 7.45,
+          time_mult=1.10, mobile_mult=0.15, noise_scale=0.25,
+          has_android_app=True, tags=("messaging",)),
+    _site("instagram", "Social Networks", ("global",), 6.80,
+          time_mult=1.25, mobile_mult=0.50, noise_scale=0.30,
+          has_android_app=True, tags=("social",)),
+    _site("twitter", "Social Networks", ("global",), 6.35,
+          time_mult=1.20, mobile_mult=0.60, noise_scale=0.30,
+          has_android_app=True, tags=("social",)),
+    _site("wikipedia", "Education", ("global",), 6.45,
+          time_mult=0.85, mobile_mult=1.05, noise_scale=0.30,
+          tags=("reference",)),
+    _site("amazon", "Ecommerce", ("global",), 6.75,
+          time_mult=0.60, mobile_mult=0.75, december_mult=1.50,
+          multi_cctld=True, has_android_app=True, noise_scale=0.30,
+          country_boosts={"US": 0.6, "GB": 0.5, "DE": 0.5, "JP": 0.5, "IN": 0.4,
+                          "IT": 0.3, "ES": 0.3, "FR": 0.3, "CA": 0.3},
+          tags=("ecommerce",)),
+    _site("roblox", "Gaming", ("global",), 7.00,
+          time_mult=1.45, mobile_mult=0.20, noise_scale=0.30,
+          has_android_app=True, country_boosts={"KR": -2.5},
+          tags=("gaming",)),
+    _site("netflix", "Video Streaming", tuple(
+        sorted(set(c.code for c in COUNTRIES) - {"JP", "VN", "RU"})), 6.90,
+          time_mult=2.20, mobile_mult=0.15, noise_scale=0.28,
+          has_android_app=True, tags=("streaming",)),
+    _site("twitch", "Gaming", ("global",), 6.85,
+          time_mult=1.85, mobile_mult=0.30, noise_scale=0.30,
+          has_android_app=True, tags=("gaming", "video-sharing")),
+    # ---- work & school (desktop-leaning, Section 4.3) ------------------------------
+    _site("office", "Business", ("global",), 6.35,
+          time_mult=0.95, mobile_mult=0.10, noise_scale=0.30,
+          tags=("business-platform",)),
+    _site("sharepoint", "Business", ("global",), 5.80,
+          time_mult=0.90, mobile_mult=0.08, noise_scale=0.32,
+          tags=("business-platform",)),
+    _site("zoom", "Business", ("global",), 5.85,
+          time_mult=1.20, mobile_mult=0.25, noise_scale=0.32,
+          tags=("videoconferencing",)),
+    _site("linkedin", "Job Search & Careers", ("global",), 5.90,
+          time_mult=0.90, mobile_mult=0.55, noise_scale=0.32,
+          has_android_app=True, tags=("job-search",)),
+    # ---- adult (mobile-leaning, Sections 4.2.2 / 4.3) --------------------------------
+    _site("xnxx", "Pornography", ("global",), 7.10,
+          time_mult=1.50, mobile_mult=1.45, noise_scale=0.28, tags=("adult",)),
+    _site("xvideos", "Pornography", ("global",), 7.00,
+          time_mult=1.50, mobile_mult=1.42, noise_scale=0.28, tags=("adult",)),
+    _site("pornhub", "Pornography", ("global",), 6.95,
+          time_mult=1.55, mobile_mult=1.40, noise_scale=0.28,
+          country_boosts={"KR": -4.0, "TR": -4.0, "VN": -4.0, "RU": -4.0},
+          tags=("adult",)),
+    # Censoring countries (Section 5.3.2): KR/TR/VN/RU suppress the big three.
+    # xnxx / xvideos share the same suppression via country_boosts below.
+    _site("ampproject", "Redirect", ("global",), 4.60,
+          time_mult=0.50, mobile_mult=14.0, noise_scale=0.30,
+          tags=("amp",)),
+    # ---- search & portals beyond Google -----------------------------------------------
+    _site("bing", "Search Engines", ("global",), 5.95,
+          time_mult=0.50, mobile_mult=0.35, noise_scale=0.30, tags=("search",)),
+    _site("duckduckgo", "Search Engines", ("global",), 5.75,
+          time_mult=0.50, mobile_mult=0.70, noise_scale=0.32, tags=("search",)),
+    _site("yahoo", "Search Engines", ("global",), 6.00,
+          time_mult=0.80, mobile_mult=0.80, noise_scale=0.30,
+          country_boosts={"JP": 2.35, "TW": 0.8}, tags=("search", "portal")),
+    _site("yandex", "Search Engines", ("lang:ru",), 8.05,
+          time_mult=0.70, mobile_mult=0.90, noise_scale=0.25, multi_cctld=True,
+          tags=("search", "portal")),
+    _site("naver", "Search Engines", ("KR",), 9.40,
+          time_mult=0.50, mobile_mult=1.05, noise_scale=0.15,
+          tags=("search", "portal")),
+    _site("daum", "Search Engines", ("KR",), 6.95,
+          time_mult=0.70, mobile_mult=0.95, noise_scale=0.28,
+          tags=("search", "portal")),
+    # ---- Russia / Ukraine ----------------------------------------------------------------
+    _site("vk", "Social Networks", ("lang:ru",), 7.35,
+          time_mult=1.30, mobile_mult=0.90, noise_scale=0.26, tags=("social",)),
+    _site("ok", "Social Networks", ("lang:ru",), 6.55,
+          time_mult=1.25, mobile_mult=0.95, noise_scale=0.30, tags=("social",)),
+    _site("avito", "Auctions & Marketplaces", ("RU",), 7.10,
+          time_mult=0.75, noise_scale=0.30, tags=("classifieds",)),
+    _site("ozon", "Ecommerce", ("RU",), 6.55, time_mult=0.60,
+          december_mult=1.45, noise_scale=0.30, tags=("ecommerce",)),
+    # ---- South Korea's endemic platforms (Section 5.3.2) ------------------------------------
+    _site("dcinside", "Forums", ("KR",), 6.80, time_mult=1.40, noise_scale=0.28,
+          tags=("forum",)),
+    _site("arca-live", "Forums", ("KR",), 6.32, time_mult=1.40, noise_scale=0.28,
+          tags=("forum",)),
+    _site("fmkorea", "Forums", ("KR",), 6.30, time_mult=1.40, noise_scale=0.28,
+          tags=("forum",)),
+    _site("inven", "Forums", ("KR",), 6.25, time_mult=1.35, noise_scale=0.28,
+          tags=("forum", "gaming")),
+    _site("namu-wiki", "Education", ("KR",), 6.85, time_mult=1.10,
+          noise_scale=0.28, tags=("reference",)),
+    _site("nexon", "Gaming", ("KR",), 6.22, time_mult=1.30, mobile_mult=0.4,
+          noise_scale=0.28, tags=("gaming",)),
+    _site("wavve", "Video Streaming", ("KR",), 6.12, time_mult=2.0,
+          mobile_mult=0.3, noise_scale=0.30, tags=("streaming",)),
+    _site("noonoo-tv", "Video Streaming", ("KR",), 6.05, time_mult=2.0,
+          mobile_mult=0.5, noise_scale=0.30, tags=("streaming", "free-content")),
+    _site("afreecatv", "Video Streaming", ("KR",), 6.15, time_mult=1.9,
+          mobile_mult=0.4, noise_scale=0.30, tags=("video-sharing",)),
+    # ---- Japan ---------------------------------------------------------------------------------
+    _site("nicovideo", "Video Streaming", ("JP",), 7.25, time_mult=1.8,
+          mobile_mult=0.5, noise_scale=0.26, tags=("video-sharing",)),
+    _site("rakuten", "Ecommerce", ("JP",), 7.35, time_mult=0.60,
+          december_mult=1.4, noise_scale=0.26, tags=("ecommerce",)),
+    _site("pixiv", "Arts", ("JP", "TW", "KR"), 6.10, time_mult=1.3,
+          noise_scale=0.30, tags=("artist-community",)),
+    # ---- Vietnam ---------------------------------------------------------------------------------
+    _site("zalo", "Chat & Messaging", ("VN",), 7.25, time_mult=1.1,
+          mobile_mult=0.6, noise_scale=0.26, tags=("messaging",)),
+    _site("vnexpress", "News & Media", ("VN",), 7.05, time_mult=1.4,
+          noise_scale=0.28, tags=("news",)),
+    _site("sex333", "Pornography", ("VN",), 6.80, time_mult=1.3,
+          mobile_mult=2.2, noise_scale=0.30, tags=("adult",)),
+    # ---- East / Southeast Asia ------------------------------------------------------------------
+    _site("shopee", "Ecommerce", ("region:southeast_asia", "TW"), 7.00,
+          time_mult=0.60, mobile_mult=1.1, december_mult=1.45,
+          multi_cctld=True, noise_scale=0.26, tags=("ecommerce",)),
+    _site("lazada", "Ecommerce", ("region:southeast_asia",), 6.40,
+          time_mult=0.60, december_mult=1.4, multi_cctld=True,
+          noise_scale=0.30, tags=("ecommerce",)),
+    _site("bilibili", "Video Streaming", ("region:east_asia_zh",), 6.30,
+          time_mult=1.9, mobile_mult=0.6, noise_scale=0.30,
+          tags=("video-sharing",)),
+    _site("pixnet", "Lifestyle", ("TW",), 6.20, time_mult=1.1,
+          noise_scale=0.30, tags=("blog",)),
+    _site("ixdzs", "Entertainment", ("TW",), 5.95, time_mult=1.6,
+          noise_scale=0.32, tags=("ebooks",)),
+    _site("uukanshu", "Entertainment", ("TW",), 5.90, time_mult=1.6,
+          noise_scale=0.32, tags=("ebooks",)),
+    _site("czbooks", "Entertainment", ("TW",), 5.85, time_mult=1.6,
+          noise_scale=0.32, tags=("ebooks",)),
+    # ---- Latin America ---------------------------------------------------------------------------
+    _site("mercadolibre", "Ecommerce", ("region:latam_es", "BR"), 7.00,
+          time_mult=0.60, december_mult=1.45, multi_cctld=True,
+          noise_scale=0.26, tags=("ecommerce",)),
+    _site("yapo", "Auctions & Marketplaces", ("CL",), 6.80, time_mult=0.75,
+          noise_scale=0.30, tags=("classifieds",)),
+    _site("globo", "News & Media", ("BR",), 7.15, time_mult=1.45,
+          noise_scale=0.26, tags=("news", "television")),
+    _site("uol", "News & Media", ("BR",), 6.60, time_mult=1.35,
+          noise_scale=0.28, tags=("news", "portal")),
+    # ---- Europe ----------------------------------------------------------------------------------
+    _site("bbc", "News & Media", ("GB",), 7.10, time_mult=1.45,
+          noise_scale=0.26, tags=("news",)),
+    _site("leboncoin", "Auctions & Marketplaces", ("FR",), 7.00,
+          time_mult=0.75, noise_scale=0.28, tags=("classifieds",)),
+    _site("allegro", "Ecommerce", ("PL",), 7.25, time_mult=0.60,
+          december_mult=1.45, noise_scale=0.26, tags=("ecommerce",)),
+    _site("2dehands", "Auctions & Marketplaces", ("BE",), 6.80,
+          time_mult=0.75, noise_scale=0.30, tags=("classifieds",)),
+    _site("kuleuven", "Educational Institutions", ("BE",), 5.90,
+          time_mult=0.65, mobile_mult=0.4, december_mult=0.55,
+          noise_scale=0.30, tags=("university",)),
+    _site("marktplaats", "Auctions & Marketplaces", ("NL",), 6.95,
+          time_mult=0.75, noise_scale=0.28, tags=("classifieds",)),
+    # ---- North Africa / Middle East ------------------------------------------------------------------
+    _site("ouedkniss", "Auctions & Marketplaces", ("DZ",), 6.90,
+          time_mult=0.75, noise_scale=0.28, tags=("classifieds",)),
+    _site("youm7", "News & Media", ("EG",), 7.00, time_mult=1.4,
+          noise_scale=0.28, tags=("news",)),
+    _site("hespress", "News & Media", ("MA",), 6.95, time_mult=1.4,
+          noise_scale=0.28, tags=("news",)),
+    _site("sahibinden", "Auctions & Marketplaces", ("TR",), 7.05,
+          time_mult=0.75, noise_scale=0.26, tags=("classifieds",)),
+    _site("trendyol", "Ecommerce", ("TR",), 7.10, time_mult=0.6,
+          december_mult=1.4, noise_scale=0.26, tags=("ecommerce",)),
+    # ---- Anglosphere & global misc ----------------------------------------------------------------------
+    _site("reddit", "Forums", ("global",), 6.10, time_mult=1.45,
+          mobile_mult=0.75, noise_scale=0.28,
+          country_boosts={"US": 0.5, "CA": 0.4, "GB": 0.3, "AU": 0.4, "NZ": 0.4},
+          tags=("forum",)),
+    _site("craigslist", "Auctions & Marketplaces", ("US", "CA"), 6.70,
+          time_mult=0.80, noise_scale=0.28, tags=("classifieds",)),
+    _site("ebay", "Auctions & Marketplaces", ("global",), 5.95,
+          time_mult=0.65, december_mult=1.35, multi_cctld=True,
+          noise_scale=0.30,
+          country_boosts={"US": 0.4, "GB": 0.4, "DE": 0.4, "AU": 0.3},
+          tags=("ecommerce",)),
+    _site("aliexpress", "Ecommerce", ("global",), 5.90, time_mult=0.60,
+          december_mult=1.4, multi_cctld=True, noise_scale=0.32,
+          country_boosts={"RU": 0.8, "BR": 0.4, "ES": 0.4}, tags=("ecommerce",)),
+    _site("spotify", "Audio Streaming", ("global",), 5.95, time_mult=1.6,
+          mobile_mult=0.35, noise_scale=0.30, has_android_app=True,
+          tags=("streaming",)),
+    _site("tiktok", "Social Networks", ("global",), 6.15, time_mult=1.4,
+          mobile_mult=0.8, noise_scale=0.30, has_android_app=True,
+          tags=("social", "video-sharing")),
+    _site("telegram", "Chat & Messaging", ("global",), 6.00, time_mult=1.2,
+          mobile_mult=0.6, noise_scale=0.30,
+          country_boosts={"RU": 0.7, "UA": 0.7, "IN": 0.3}, tags=("messaging",)),
+    _site("discord", "Chat & Messaging", ("global",), 5.90, time_mult=1.6,
+          mobile_mult=0.25, noise_scale=0.30, tags=("messaging", "gaming")),
+    _site("paypal", "Economy & Finance", ("global",), 5.70, time_mult=0.6,
+          mobile_mult=0.6, noise_scale=0.30, tags=("payments",)),
+    _site("booking", "Travel", ("global",), 5.60, time_mult=0.8,
+          mobile_mult=0.8, noise_scale=0.32, tags=("travel-booking",)),
+    _site("accuweather", "Weather", ("global",), 5.40, time_mult=0.55,
+          mobile_mult=1.3, noise_scale=0.32, tags=("weather",)),
+    _site("github", "Technology", ("global",), 5.80, time_mult=1.1,
+          mobile_mult=0.25, noise_scale=0.30, tags=("technology",)),
+    _site("stackoverflow", "Technology", ("global",), 5.70, time_mult=0.95,
+          mobile_mult=0.30, noise_scale=0.30, tags=("technology",)),
+    _site("canva", "Technology", ("global",), 5.60, time_mult=1.2,
+          mobile_mult=0.5, noise_scale=0.32, tags=("graphic-design",)),
+    _site("hbomax", "Video Streaming", ("US", "MX", "BR", "AR", "CL", "CO"),
+          6.00, time_mult=2.1, mobile_mult=0.2, noise_scale=0.30,
+          tags=("streaming",)),
+    _site("primevideo", "Video Streaming", tuple(
+        sorted(set(c.code for c in COUNTRIES) - {"VN", "RU"})), 5.90,
+          time_mult=2.0, mobile_mult=0.2, noise_scale=0.32,
+          tags=("streaming",)),
+    _site("cricbuzz", "Sports", ("IN",), 6.90, time_mult=1.2,
+          mobile_mult=1.4, noise_scale=0.28, tags=("sports",)),
+    _site("hotstar", "Video Streaming", ("IN",), 6.45, time_mult=2.0,
+          mobile_mult=0.6, noise_scale=0.28, tags=("streaming",)),
+    _site("tvnz", "Television", ("NZ",), 6.60, time_mult=1.8,
+          noise_scale=0.30, tags=("television",)),
+    _site("espn", "Sports", ("US",), 6.60, time_mult=1.2, noise_scale=0.30,
+          tags=("sports",)),
+    _site("marca", "Sports", ("ES",), 6.80, time_mult=1.25, noise_scale=0.28,
+          tags=("sports", "news")),
+)
+
+# Apply the censorship suppression to the other two major adult sites the
+# paper names (Section 5.3.2: KR, TR, VN and RU keep all three out of
+# their top 10; VN retains its local site sex333).
+_CENSOR = {"KR": -4.0, "TR": -4.0, "VN": -4.0, "RU": -4.0}
+NAMED_SITES = tuple(
+    NamedSite(
+        s.name, s.category, s.scope, s.log_strength,
+        mobile_mult=s.mobile_mult, time_mult=s.time_mult,
+        december_mult=s.december_mult, noise_scale=s.noise_scale,
+        multi_cctld=s.multi_cctld, has_android_app=s.has_android_app,
+        country_boosts={**_CENSOR, **s.country_boosts},
+        tags=s.tags,
+    )
+    if s.name in ("xnxx", "xvideos") else s
+    for s in NAMED_SITES
+)
+
+#: Named sites *without* a dedicated Android app.  Everything else on
+#: the roster ships one — the basis for Section 4.1.2's "of the 114
+#: sites ranking in the top 10 ... on Windows but not Android, 93 (82 %)
+#: have a dedicated Android app".
+_NO_ANDROID_APP: frozenset[str] = frozenset({
+    "xnxx", "xvideos", "pornhub", "sex333",          # adult web-first
+    "ampproject",                                     # infrastructure
+    "kuleuven",                                       # university portal
+    "ixdzs", "uukanshu", "czbooks",                   # ebook sites
+    "noonoo-tv",                                      # pirated streaming
+    "craigslist",                                     # famously web-only
+    "arca-live", "namu-wiki",                         # community wikis
+    "sharepoint",                                     # enterprise web portal
+})
+NAMED_SITES = tuple(
+    s if s.name in _NO_ANDROID_APP or s.has_android_app else NamedSite(
+        s.name, s.category, s.scope, s.log_strength,
+        mobile_mult=s.mobile_mult, time_mult=s.time_mult,
+        december_mult=s.december_mult, noise_scale=s.noise_scale,
+        multi_cctld=s.multi_cctld, has_android_app=True,
+        country_boosts=s.country_boosts, tags=s.tags,
+    )
+    for s in NAMED_SITES
+)
+
+_seen_names: set[str] = set()
+for _s in NAMED_SITES:
+    if _s.name in _seen_names:
+        raise ValueError(f"duplicate named site {_s.name!r}")
+    _seen_names.add(_s.name)
+
+
+@dataclass(frozen=True)
+class ChampionRule:
+    """A procedural rule planting one strong endemic site per country.
+
+    Section 5.3.2 finds whole classes of sites that are top-10 in exactly
+    one country: government portals (26 countries), news outlets (20),
+    banks (17), classified ads, broadcasters, universities (mostly the
+    global south), gambling (mostly the global south), ...
+    """
+
+    category: str
+    countries: tuple[str, ...]
+    log_strength_range: tuple[float, float]
+    time_mult: float = 1.0
+    mobile_mult: float = 1.0
+    december_mult: float = 1.0
+    tag: str = ""
+    has_app: bool = False
+
+
+_GLOBAL_SOUTH = (
+    "DZ", "EG", "KE", "MA", "NG", "TN", "ZA",
+    "IN", "VN", "ID", "TH", "PH",
+    "CR", "DO", "GT", "MX", "PA",
+    "AR", "BO", "BR", "CL", "CO", "EC", "PE", "UY", "VE",
+)
+
+_ALL = tuple(sorted(c.code for c in COUNTRIES))
+
+#: Per-country champion rules.  Countries listed get exactly one endemic
+#: champion site of the category with a strength drawn from the range.
+CHAMPION_RULES: tuple[ChampionRule, ...] = (
+    ChampionRule("News & Media", tuple(sorted(set(_ALL) - {"VN", "BR", "GB", "EG", "MA"})),
+                 (6.6, 7.7), time_mult=1.25, mobile_mult=1.05, tag="news", has_app=True),
+    ChampionRule("Government & Politics",
+                 ("DZ", "EG", "MA", "TN", "KE", "NG", "ZA", "IN", "TR", "VN",
+                  "ID", "TH", "PH", "IT", "ES", "PL", "UA", "MX", "GT", "CR",
+                  "AR", "BR", "CL", "CO", "PE", "UY"),
+                 (6.6, 7.5), time_mult=0.8, mobile_mult=0.8, tag="government"),
+    ChampionRule("Economy & Finance",
+                 ("BR", "IN", "TR", "MX", "AR", "CL", "CO", "PE", "VE", "NG",
+                  "KE", "ZA", "ID", "TH", "PL", "UA", "EG"),
+                 (6.6, 7.45), time_mult=0.6, mobile_mult=0.7, tag="bank", has_app=True),
+    ChampionRule("Auctions & Marketplaces",
+                 ("EG", "TN", "KE", "NG", "ZA", "IN", "ID", "TH", "PH", "UA",
+                  "HK", "NZ", "AU", "CR", "DO", "GT", "PA", "BO", "EC", "PE",
+                  "UY", "VE"),
+                 (6.7, 7.4), time_mult=0.75, tag="classifieds", has_app=True),
+    ChampionRule("Television",
+                 ("BR", "IT", "ES", "PL", "FR", "DE", "GB", "AU", "TH", "PH", "MX"),
+                 (6.0, 6.8), time_mult=1.8, tag="television"),
+    ChampionRule("Educational Institutions",
+                 ("AR", "BO", "BR", "CL", "CO", "EC", "PE", "UY", "MX", "BE"),
+                 (5.7, 6.3), time_mult=0.65, mobile_mult=0.4,
+                 december_mult=0.5, tag="university"),
+    ChampionRule("Gambling",
+                 ("NG", "KE", "ZA", "BR", "AR", "CO", "PE", "MX", "ID", "TH",
+                  "PH", "VN", "GB", "IT"),
+                 (5.9, 6.5), time_mult=1.2, mobile_mult=1.7, tag="gambling"),
+    ChampionRule("Sports",
+                 ("IN", "NG", "KE", "ZA", "BR", "AR", "MX", "EG", "GB"),
+                 (6.0, 6.6), time_mult=1.2, mobile_mult=1.3, tag="sports", has_app=True),
+    ChampionRule("Video Streaming",
+                 ("PL", "TR", "TH", "ID", "PH", "AR", "MX", "CO", "EG", "MA",
+                  "DZ", "UA", "VE", "BO", "DO"),
+                 (6.0, 6.7), time_mult=2.0, mobile_mult=0.5,
+                 tag="local-streaming", has_app=True),
+    ChampionRule("Webmail", ("FR", "DE", "IT", "PL", "RU", "UA", "ES"),
+                 (6.0, 6.6), time_mult=1.1, mobile_mult=0.5, tag="webmail", has_app=True),
+    ChampionRule("Forums", ("TW", "HK", "PL", "DE", "JP"),
+                 (6.0, 6.6), time_mult=1.4, tag="forum"),
+    ChampionRule("Chat & Messaging", ("TW", "TH", "JP"),
+                 (6.1, 6.6), time_mult=1.1, mobile_mult=0.7, tag="messaging"),
+    # Local e-commerce champions for markets without a curated one
+    # (Section 4.2.1: e-commerce in the top 10 of 32 countries).
+    ChampionRule("Ecommerce",
+                 ("IN", "EG", "MA", "DZ", "TN", "KE", "NG", "ZA", "UA", "VN",
+                  "KR", "AU", "NZ"),
+                 (6.6, 7.3), time_mult=0.55, mobile_mult=1.05,
+                 december_mult=1.45, tag="ecommerce", has_app=True),
+    # Secondary national portals (Section 5.3.2: 21 countries have a
+    # second top-10 search or portal site).
+    ChampionRule("Search Engines",
+                 ("IN", "VN", "TH", "ID", "PH", "EG", "MA", "NG", "PL", "UA",
+                  "TW", "HK", "AR", "MX", "CO"),
+                 (6.5, 7.1), time_mult=0.6, mobile_mult=1.0, tag="portal", has_app=True),
+)
+
+
+def champion_countries(tag: str) -> tuple[str, ...]:
+    """Countries receiving a champion with the given tag."""
+    for rule in CHAMPION_RULES:
+        if rule.tag == tag:
+            return rule.countries
+    raise KeyError(f"no champion rule tagged {tag!r}")

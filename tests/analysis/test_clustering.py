@@ -1,0 +1,79 @@
+"""Tests for country clustering (Figures 11, 21)."""
+
+import pytest
+
+from repro.analysis.clustering import (
+    cluster_countries,
+    clusters_share_language_or_region,
+)
+from repro.analysis.similarity import rbo_matrix_for
+from repro.core import Metric, Platform, REFERENCE_MONTH
+
+
+@pytest.fixture(scope="module")
+def matrix(reference_dataset):
+    return rbo_matrix_for(
+        reference_dataset, Platform.WINDOWS, Metric.PAGE_LOADS,
+        REFERENCE_MONTH, depth=1_500,
+    )
+
+
+@pytest.fixture(scope="module")
+def report(matrix):
+    return cluster_countries(matrix)
+
+
+class TestClusterReport:
+    def test_every_country_clustered_once(self, report, matrix):
+        members = [c for cluster in report.clusters for c in cluster.members]
+        assert sorted(members) == sorted(matrix.countries)
+
+    def test_plural_clusters(self, report):
+        # Paper found 11 clusters among 45 countries; we accept a band.
+        assert 4 <= report.n_clusters <= 20
+
+    def test_exemplar_is_a_member(self, report):
+        for cluster in report.clusters:
+            assert cluster.exemplar in cluster.members
+
+    def test_cluster_of_lookup(self, report):
+        cluster = report.cluster_of("US")
+        assert "US" in cluster.members
+        with pytest.raises(KeyError):
+            report.cluster_of("XX")
+
+    def test_clusters_are_weak_but_positive(self, report):
+        # Paper: "clusters are only weakly bound together, with an
+        # average SC of only 0.11".
+        assert -0.1 <= report.average_silhouette <= 0.5
+
+
+class TestGeographicCoherence:
+    def test_clusters_track_language_or_region(self, report):
+        # Most multi-country clusters should share language or region
+        # (the paper's own clusters are weak too — avg SC 0.11, with a
+        # mixed sub-Saharan-Africa/India group).
+        assert clusters_share_language_or_region(report) >= 0.5
+
+    def test_some_spanish_american_countries_cluster(self, report):
+        latam = ["MX", "AR", "CL", "CO", "PE", "EC", "UY", "GT"]
+        together = max(
+            sum(1 for c in latam if c in cluster.members)
+            for cluster in report.clusters
+        )
+        assert together >= 3
+
+    def test_north_africa_groups(self, report):
+        africa = ["DZ", "MA", "TN", "EG"]
+        together = max(
+            sum(1 for c in africa if c in cluster.members)
+            for cluster in report.clusters
+        )
+        assert together >= 2
+
+    def test_korea_or_japan_isolated_or_small(self, report):
+        # JP and KR have "distinct browsing patterns separating them
+        # from all other country clusters".
+        kr = report.cluster_of("KR")
+        jp = report.cluster_of("JP")
+        assert min(kr.size, jp.size) <= 4

@@ -1,0 +1,106 @@
+"""Tests for category composition (Figure 2 / Section 4.2.2)."""
+
+import pytest
+
+from repro.analysis.composition import (
+    composition_panel,
+    dominant_category,
+    figure2_panels,
+)
+from repro.core import Metric, Platform, REFERENCE_MONTH
+
+
+class TestPanels:
+    def test_shares_sum_to_one(self, reference_dataset, labels):
+        panel = composition_panel(
+            reference_dataset, labels, Platform.WINDOWS, Metric.PAGE_LOADS,
+            REFERENCE_MONTH, top_n=1_000, perspective="domains",
+        )
+        assert sum(panel.shares.values()) == pytest.approx(1.0, abs=1e-6)
+
+    def test_per_country_covers_45(self, reference_dataset, labels):
+        panel = composition_panel(
+            reference_dataset, labels, Platform.WINDOWS, Metric.PAGE_LOADS,
+            REFERENCE_MONTH, top_n=1_000,
+        )
+        assert len(panel.per_country) == 45
+
+    def test_invalid_perspective(self, reference_dataset, labels):
+        with pytest.raises(ValueError):
+            composition_panel(
+                reference_dataset, labels, Platform.WINDOWS, Metric.PAGE_LOADS,
+                REFERENCE_MONTH, 100, perspective="magic",
+            )
+
+    def test_figure2_panel_grid(self, reference_dataset, labels):
+        panels = figure2_panels(
+            reference_dataset, labels, REFERENCE_MONTH, top_ns=(100, 1_000),
+            countries=("US", "BR", "JP"),
+        )
+        # 2 platforms x 2 metrics x 2 top-Ns x 2 perspectives
+        assert len(panels) == 16
+
+
+class TestPaperShape:
+    """Headline composition claims of Section 4.2.2."""
+
+    def test_search_engines_capture_plurality_of_page_loads(
+        self, reference_dataset, labels
+    ):
+        panel = composition_panel(
+            reference_dataset, labels, Platform.WINDOWS, Metric.PAGE_LOADS,
+            REFERENCE_MONTH, top_n=1_500, perspective="traffic",
+        )
+        assert dominant_category(panel) == "Search Engines"
+
+    def test_video_streaming_dominates_windows_time(self, reference_dataset, labels):
+        panel = composition_panel(
+            reference_dataset, labels, Platform.WINDOWS, Metric.TIME_ON_PAGE,
+            REFERENCE_MONTH, top_n=1_500, perspective="traffic",
+        )
+        assert dominant_category(panel) == "Video Streaming"
+        # "33% of time spent on top-10K websites" — generous band here.
+        assert panel.shares["Video Streaming"] > 0.20
+
+    def test_adult_content_leads_mobile_time(self, reference_dataset, labels):
+        panel = composition_panel(
+            reference_dataset, labels, Platform.ANDROID, Metric.TIME_ON_PAGE,
+            REFERENCE_MONTH, top_n=1_500, perspective="traffic",
+        )
+        top3 = [c for c, _ in panel.top_categories(3)]
+        assert "Pornography" in top3
+
+    def test_search_loads_share_exceeds_search_time_share(
+        self, reference_dataset, labels
+    ):
+        loads = composition_panel(
+            reference_dataset, labels, Platform.WINDOWS, Metric.PAGE_LOADS,
+            REFERENCE_MONTH, top_n=1_500, perspective="traffic",
+        )
+        time = composition_panel(
+            reference_dataset, labels, Platform.WINDOWS, Metric.TIME_ON_PAGE,
+            REFERENCE_MONTH, top_n=1_500, perspective="traffic",
+        )
+        assert loads.shares["Search Engines"] > time.shares["Search Engines"]
+
+    def test_counting_skews_toward_tail_categories(self, reference_dataset, labels):
+        by_count = composition_panel(
+            reference_dataset, labels, Platform.WINDOWS, Metric.PAGE_LOADS,
+            REFERENCE_MONTH, top_n=1_500, perspective="domains",
+        )
+        by_traffic = composition_panel(
+            reference_dataset, labels, Platform.WINDOWS, Metric.PAGE_LOADS,
+            REFERENCE_MONTH, top_n=1_500, perspective="traffic",
+        )
+        # Search engines: few sites, most traffic.
+        assert by_traffic.shares["Search Engines"] > by_count.shares.get("Search Engines", 0.0)
+        # Business: many sites, little traffic.
+        assert by_count.shares["Business"] > by_traffic.shares.get("Business", 0.0)
+
+    def test_dominant_category_respects_exclusions(self, reference_dataset, labels):
+        panel = composition_panel(
+            reference_dataset, labels, Platform.WINDOWS, Metric.PAGE_LOADS,
+            REFERENCE_MONTH, top_n=1_500, perspective="domains",
+        )
+        with pytest.raises(ValueError):
+            dominant_category(panel, exclude=tuple(panel.shares))

@@ -1,0 +1,71 @@
+"""Tests for the concentration analysis (Figure 1 / Section 4.1)."""
+
+import pytest
+
+from repro.analysis.concentration import (
+    all_concentration_curves,
+    concentration_curve,
+    headline_concentration,
+    per_country_top1,
+    sites_for_traffic_share,
+)
+from repro.core import Metric, Platform
+from repro.synth.traffic import global_distribution
+from repro.world.countries import COUNTRY_CODES
+
+W_LOADS = global_distribution(Platform.WINDOWS, Metric.PAGE_LOADS)
+W_TIME = global_distribution(Platform.WINDOWS, Metric.TIME_ON_PAGE)
+A_LOADS = global_distribution(Platform.ANDROID, Metric.PAGE_LOADS)
+
+
+class TestCurves:
+    def test_paper_anchor_rows(self):
+        curve = concentration_curve(W_LOADS, Platform.WINDOWS, Metric.PAGE_LOADS)
+        assert curve.share_at(1) == pytest.approx(0.17)
+        assert curve.share_at(10_000) == pytest.approx(0.70)
+        assert curve.share_at(1_000_000) == pytest.approx(0.955)
+
+    def test_rows_are_monotone(self):
+        curve = concentration_curve(W_TIME, Platform.WINDOWS, Metric.TIME_ON_PAGE)
+        shares = [row.cumulative_share for row in curve.rows]
+        assert shares == sorted(shares)
+
+    def test_missing_rank_raises(self):
+        curve = concentration_curve(W_LOADS, Platform.WINDOWS, Metric.PAGE_LOADS)
+        with pytest.raises(KeyError):
+            curve.share_at(42)
+
+    def test_all_curves_from_dataset(self, reference_dataset):
+        curves = all_concentration_curves(reference_dataset)
+        assert len(curves) == 4
+
+
+class TestHeadlines:
+    def test_windows_loads_headlines(self):
+        headline = headline_concentration(W_LOADS, Platform.WINDOWS, Metric.PAGE_LOADS)
+        assert headline.top1 == pytest.approx(0.17)
+        assert headline.sites_for_quarter == 6         # "25% ... only six sites"
+        assert headline.top10k == pytest.approx(0.70)
+
+    def test_windows_time_headlines(self):
+        headline = headline_concentration(W_TIME, Platform.WINDOWS, Metric.TIME_ON_PAGE)
+        assert headline.top1 == pytest.approx(0.24)
+        assert headline.sites_for_half == 7            # "half ... just 7 sites"
+
+    def test_android_less_concentrated(self):
+        android = headline_concentration(A_LOADS, Platform.ANDROID, Metric.PAGE_LOADS)
+        windows = headline_concentration(W_LOADS, Platform.WINDOWS, Metric.PAGE_LOADS)
+        assert android.sites_for_quarter > windows.sites_for_quarter
+        assert android.sites_for_quarter == 10         # "Ten websites ... 25%"
+
+    def test_sites_for_traffic_share_helper(self):
+        assert sites_for_traffic_share(W_LOADS, 0.25) == 6
+
+
+class TestPerCountry:
+    def test_per_country_top1_in_band(self):
+        shares, stats = per_country_top1(COUNTRY_CODES)
+        assert len(shares) == 45
+        assert 0.12 <= min(shares.values())
+        assert max(shares.values()) <= 0.33
+        assert 0.15 <= stats.median <= 0.25

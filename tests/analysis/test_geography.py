@@ -1,0 +1,89 @@
+"""Tests for the geographic-structure analysis (Section 5.3)."""
+
+import math
+
+import pytest
+
+from repro.analysis.geography import (
+    GLOBAL_SOUTH,
+    decompose_similarity,
+    explained_variance,
+    global_south_patterns,
+)
+from repro.analysis.similarity import rbo_matrix_for
+from repro.core import Metric, Platform, REFERENCE_MONTH
+from repro.world.countries import COUNTRY_CODES
+
+
+@pytest.fixture(scope="module")
+def matrix(reference_dataset):
+    return rbo_matrix_for(
+        reference_dataset, Platform.WINDOWS, Metric.PAGE_LOADS,
+        REFERENCE_MONTH, depth=1_500,
+    )
+
+
+class TestGlobalSouthRoster:
+    def test_subset_of_study_countries(self):
+        assert GLOBAL_SOUTH <= set(COUNTRY_CODES)
+
+    def test_sensible_membership(self):
+        assert {"NG", "IN", "BR", "VN"} <= GLOBAL_SOUTH
+        assert not {"US", "GB", "DE", "JP"} & GLOBAL_SOUTH
+
+
+class TestDecomposition:
+    def test_ordering_of_relationship_classes(self, matrix):
+        decomposition = decompose_similarity(matrix)
+        # Same region group > shared language > unrelated.
+        assert decomposition.same_region_group > decomposition.unrelated
+        if not math.isnan(decomposition.shared_language):
+            assert decomposition.shared_language > decomposition.unrelated
+
+    def test_lifts_positive(self, matrix):
+        decomposition = decompose_similarity(matrix)
+        assert decomposition.language_lift > 0 or math.isnan(
+            decomposition.shared_language
+        )
+
+    def test_pair_counts_partition(self, matrix):
+        decomposition = decompose_similarity(matrix)
+        assert sum(decomposition.n_pairs.values()) == 45 * 44 // 2
+
+
+class TestExplainedVariance:
+    def test_partial_explanation(self, matrix):
+        r2 = explained_variance(matrix)
+        # "Geographic proximity and shared language only partially
+        # explain country differences": clearly positive, clearly
+        # below a full explanation.
+        assert 0.02 <= r2 <= 0.8
+
+
+class TestGlobalSouthPatterns:
+    def test_paper_classes_concentrate_in_south(self, reference_dataset, generator):
+        lists = reference_dataset.select(
+            Platform.WINDOWS, Metric.PAGE_LOADS, REFERENCE_MONTH
+        )
+        uni = generator.universe
+        tags = {uni.canonical[uid]: t for uid, t in uni.tags.items()}
+        patterns = global_south_patterns(lists, tags, top_k=25)
+        # Universities / gambling / sports skew to the global south
+        # (Section 5.3.2).  Sports includes the named ESPN/Marca anchors
+        # (US/ES), so assert the aggregate skew plus the two cleanly
+        # southern classes.
+        south = north = 0
+        for tag in ("university", "gambling", "sports"):
+            south += len(patterns[tag].south_countries)
+            north += len(patterns[tag].north_countries)
+        assert south / max(south + north, 1) >= 0.6
+        for tag in ("university", "gambling"):
+            if patterns[tag].south_countries or patterns[tag].north_countries:
+                assert patterns[tag].south_fraction >= 0.6, tag
+
+    def test_empty_class_handled(self, reference_dataset, generator):
+        lists = reference_dataset.select(
+            Platform.WINDOWS, Metric.PAGE_LOADS, REFERENCE_MONTH
+        )
+        patterns = global_south_patterns(lists, {}, class_tags=("nothing",))
+        assert patterns["nothing"].south_fraction == 0.0

@@ -1,0 +1,120 @@
+"""Tests for loads-vs-time comparisons (Section 4.4 / Figure 5)."""
+
+import pytest
+
+from repro.analysis.metrics_compare import (
+    LOADS_LEANING,
+    OTHER,
+    TIME_LEANING,
+    category_overlap,
+    classify_leaning,
+    leaning_composition,
+    metric_overlap,
+)
+from repro.core import Metric, Platform, REFERENCE_MONTH
+
+
+class TestMetricOverlap:
+    def test_intersections_bounded(self, reference_dataset):
+        overlap = metric_overlap(reference_dataset, Platform.WINDOWS, REFERENCE_MONTH)
+        assert len(overlap.intersections) == 45
+        for value in overlap.intersections.values():
+            assert 0.0 < value <= 1.0
+
+    def test_mobile_agreement_exceeds_desktop(self, reference_dataset):
+        desktop = metric_overlap(reference_dataset, Platform.WINDOWS, REFERENCE_MONTH)
+        mobile = metric_overlap(reference_dataset, Platform.ANDROID, REFERENCE_MONTH)
+        assert mobile.intersection_stats.median > desktop.intersection_stats.median
+        assert mobile.spearman_stats.median > desktop.spearman_stats.median
+
+    def test_rank_correlation_is_modest_not_perfect(self, reference_dataset):
+        overlap = metric_overlap(reference_dataset, Platform.WINDOWS, REFERENCE_MONTH)
+        assert 0.3 < overlap.spearman_stats.median < 0.95
+
+    def test_category_overlap_runs(self, reference_dataset, labels):
+        loads = reference_dataset.get("US", Platform.WINDOWS, Metric.PAGE_LOADS,
+                                      REFERENCE_MONTH)
+        time = reference_dataset.get("US", Platform.WINDOWS, Metric.TIME_ON_PAGE,
+                                     REFERENCE_MONTH)
+        intersection, rho = category_overlap(loads, time, labels, "Technology")
+        assert 0.0 <= intersection <= 1.0
+
+    def test_category_overlap_empty_category(self, reference_dataset, labels):
+        loads = reference_dataset.get("US", Platform.WINDOWS, Metric.PAGE_LOADS,
+                                      REFERENCE_MONTH)
+        time = reference_dataset.get("US", Platform.WINDOWS, Metric.TIME_ON_PAGE,
+                                     REFERENCE_MONTH)
+        intersection, rho = category_overlap(loads, time, labels, "Digital Postcards")
+        assert intersection in (0.0,) or 0 <= intersection <= 1
+
+
+class TestClassifyLeaning:
+    def test_classes_partition_union(self, reference_dataset):
+        loads = reference_dataset.get("US", Platform.WINDOWS, Metric.PAGE_LOADS,
+                                      REFERENCE_MONTH)
+        time = reference_dataset.get("US", Platform.WINDOWS, Metric.TIME_ON_PAGE,
+                                     REFERENCE_MONTH)
+        result = classify_leaning(loads, time, reference_dataset,
+                                  Platform.WINDOWS, "US")
+        union = set(loads.sites) | set(time.sites)
+        assert set(result.classes) == union
+        n = len(union)
+        n_time = len(result.sites_in(TIME_LEANING))
+        n_loads = len(result.sites_in(LOADS_LEANING))
+        assert n_time == pytest.approx(0.2 * n, rel=0.02)
+        assert n_loads == pytest.approx(0.2 * n, rel=0.02)
+        assert n_time + n_loads + len(result.sites_in(OTHER)) == n
+
+    def test_time_only_sites_lean_time(self, reference_dataset):
+        loads = reference_dataset.get("US", Platform.WINDOWS, Metric.PAGE_LOADS,
+                                      REFERENCE_MONTH)
+        time = reference_dataset.get("US", Platform.WINDOWS, Metric.TIME_ON_PAGE,
+                                     REFERENCE_MONTH)
+        result = classify_leaning(loads, time, reference_dataset,
+                                  Platform.WINDOWS, "US")
+        time_only = set(time.sites) - set(loads.sites)
+        loads_leaning = set(result.sites_in(LOADS_LEANING))
+        # A site absent from the loads list takes the loads floor share,
+        # so it can be time-leaning or middling, but essentially never
+        # loads-leaning.
+        misfires = len(time_only & loads_leaning) / max(len(time_only), 1)
+        assert misfires < 0.10
+
+    def test_tail_fraction_validation(self, reference_dataset):
+        loads = reference_dataset.get("US", Platform.WINDOWS, Metric.PAGE_LOADS,
+                                      REFERENCE_MONTH)
+        time = reference_dataset.get("US", Platform.WINDOWS, Metric.TIME_ON_PAGE,
+                                     REFERENCE_MONTH)
+        with pytest.raises(ValueError):
+            classify_leaning(loads, time, reference_dataset, Platform.WINDOWS,
+                             "US", tail_fraction=0.6)
+
+
+class TestLeaningComposition:
+    @pytest.fixture(scope="class")
+    def composition(self, reference_dataset, labels):
+        return leaning_composition(
+            reference_dataset, labels, Platform.WINDOWS, REFERENCE_MONTH,
+            countries=("US", "BR", "JP", "FR", "NG", "MX", "IN", "DE"),
+        )
+
+    def test_all_classes_present(self, composition):
+        assert set(composition.shares) == {LOADS_LEANING, TIME_LEANING, OTHER}
+
+    def test_video_streaming_overrepresented_in_time_leaning(self, composition):
+        time_video = composition.shares[TIME_LEANING].get("Video Streaming")
+        loads_video = composition.shares[LOADS_LEANING].get("Video Streaming")
+        assert time_video is not None
+        if loads_video is not None:
+            assert time_video.median >= loads_video.median
+
+    def test_commerce_overrepresented_in_loads_leaning(self, composition):
+        loads_cats = composition.overrepresented_in(LOADS_LEANING)
+        assert any(c in loads_cats for c in
+                   ("Ecommerce", "Economy & Finance", "Educational Institutions"))
+
+    def test_time_leaning_highlights_paper_categories(self, composition):
+        time_cats = composition.overrepresented_in(TIME_LEANING)
+        assert any(c in time_cats for c in
+                   ("Video Streaming", "Movies & Home Video", "News & Media",
+                    "Television"))

@@ -1,0 +1,63 @@
+"""Tests for global-vs-national share by rank (Figure 9)."""
+
+import pytest
+
+from repro.analysis.endemicity import score_endemicity
+from repro.analysis.popularity_mix import (
+    global_share_by_rank,
+    national_majority_rank,
+)
+from repro.core import Metric, Platform, REFERENCE_MONTH
+
+BUCKETS = ((1, 10), (11, 20), (21, 50), (51, 100), (101, 200), (201, 500))
+
+
+@pytest.fixture(scope="module")
+def lists(reference_dataset):
+    return reference_dataset.select(
+        Platform.WINDOWS, Metric.PAGE_LOADS, REFERENCE_MONTH
+    )
+
+
+@pytest.fixture(scope="module")
+def shares(lists):
+    endemicity = score_endemicity(lists, eligible_rank=200)
+    return global_share_by_rank(lists, endemicity, buckets=BUCKETS)
+
+
+class TestStructure:
+    def test_one_row_per_bucket(self, shares):
+        assert [row.bucket for row in shares] == list(BUCKETS)
+
+    def test_values_are_fractions(self, shares):
+        for row in shares:
+            assert 0.0 <= row.stats.q25 <= row.stats.median <= row.stats.q75 <= 1.0
+
+    def test_45_countries_per_bucket(self, shares):
+        for row in shares:
+            assert len(row.per_country) == 45
+
+
+class TestPaperShape:
+    def test_global_sites_predominate_in_top10(self, shares):
+        # Paper: median of 6-7 of the top 10 are globally popular.
+        top10 = shares[0]
+        assert top10.stats.median >= 0.5
+
+    def test_national_share_grows_down_the_ranks(self, shares):
+        top10 = shares[0].stats.median
+        ranks_101_200 = next(r for r in shares if r.bucket == (101, 200))
+        # Paper: 65-73 % national at ranks 101-200.
+        assert ranks_101_200.stats.median < top10
+        assert ranks_101_200.stats.median <= 0.5
+
+    def test_national_majority_reached_early(self, shares):
+        bucket = national_majority_rank(shares)
+        assert bucket is not None
+        # Paper: parity "starting at top 20".
+        assert bucket[0] <= 101
+
+    def test_monotone_trend_overall(self, shares):
+        medians = [row.stats.median for row in shares]
+        # Allow small local wiggles but require a strong overall drop.
+        assert medians[0] - medians[-1] > 0.3

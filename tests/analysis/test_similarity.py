@@ -1,0 +1,106 @@
+"""Tests for country similarity (Figures 10, 12)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.similarity import (
+    intersection_curves,
+    pairwise_intersections,
+    rbo_matrix_for,
+    weighted_rbo_matrix,
+)
+from repro.core import Metric, Platform, REFERENCE_MONTH
+
+SUBSET = ("US", "GB", "CA", "AU", "NZ", "FR", "BE", "NL", "JP", "KR",
+          "MX", "AR", "CL", "CO", "BR", "DZ", "MA", "TN", "EG", "TW", "HK")
+
+
+@pytest.fixture(scope="module")
+def matrix(reference_dataset):
+    return rbo_matrix_for(
+        reference_dataset, Platform.WINDOWS, Metric.PAGE_LOADS,
+        REFERENCE_MONTH, depth=1_500, countries=SUBSET,
+    )
+
+
+class TestMatrix:
+    def test_symmetric_with_unit_diagonal(self, matrix):
+        assert np.allclose(matrix.values, matrix.values.T)
+        assert np.allclose(np.diag(matrix.values), 1.0)
+
+    def test_values_bounded(self, matrix):
+        assert np.all(matrix.values >= 0.0)
+        assert np.all(matrix.values <= 1.0 + 1e-9)
+
+    def test_pair_lookup(self, matrix):
+        assert matrix.pair("US", "GB") == matrix.pair("GB", "US")
+
+    def test_shape_validation(self):
+        from repro.analysis.similarity import SimilarityMatrix
+        with pytest.raises(ValueError):
+            SimilarityMatrix(("A", "B"), np.zeros((3, 3)))
+
+
+class TestGeographicStructure:
+    """Section 5.3.1's qualitative patterns."""
+
+    def test_north_africa_more_similar_than_cross_region(self, matrix):
+        within = matrix.pair("DZ", "MA")
+        across = matrix.pair("DZ", "JP")
+        assert within > across
+
+    def test_spanish_america_cluster(self, matrix):
+        within = np.mean([matrix.pair("MX", "AR"), matrix.pair("AR", "CL"),
+                          matrix.pair("CL", "CO")])
+        across = np.mean([matrix.pair("MX", "KR"), matrix.pair("AR", "JP")])
+        assert within > across
+
+    def test_brazil_less_similar_to_spanish_cluster_than_members(self, matrix):
+        member = matrix.pair("AR", "CL")
+        brazil = matrix.pair("AR", "BR")
+        assert member > brazil
+
+    def test_anglosphere_spans_continents(self, matrix):
+        assert matrix.pair("US", "AU") > matrix.pair("US", "JP")
+        assert matrix.pair("GB", "NZ") > matrix.pair("GB", "KR")
+
+    def test_korea_is_an_outlier(self, matrix):
+        kr_mean = matrix.mean_similarity("KR")
+        others = [matrix.mean_similarity(c) for c in SUBSET if c not in ("KR", "JP")]
+        assert kr_mean < np.median(others)
+
+    def test_taiwan_hong_kong_tight(self, matrix):
+        assert matrix.pair("TW", "HK") > matrix.pair("TW", "FR")
+
+    def test_most_similar_to_helper(self, matrix):
+        closest = [c for c, _ in matrix.most_similar_to("DZ", k=3)]
+        assert set(closest) & {"MA", "TN", "EG"}
+
+
+class TestIntersectionCurves:
+    def test_pairwise_curve_structure(self, reference_dataset):
+        lists = reference_dataset.select(
+            Platform.WINDOWS, Metric.PAGE_LOADS, REFERENCE_MONTH, SUBSET
+        )
+        curve = pairwise_intersections(lists, bucket=100)
+        n = len(SUBSET)
+        assert curve.n_pairs == n * (n - 1) // 2
+        assert np.all(np.diff(curve.sorted_values) <= 1e-12)
+        assert curve.cumulative[-1] == pytest.approx(curve.sorted_values.sum())
+
+    def test_heads_more_similar_than_tails(self, reference_dataset):
+        curves = intersection_curves(
+            reference_dataset, Platform.WINDOWS, Metric.PAGE_LOADS,
+            REFERENCE_MONTH, buckets=(10, 100, 1_500), countries=SUBSET,
+        )
+        by_bucket = {c.bucket: c.mean_intersection for c in curves}
+        # Figure 12: "Countries' popular sites are more similar among the
+        # topmost ranks than among the long tail."
+        assert by_bucket[10] > by_bucket[100] > by_bucket[1_500]
+
+    def test_requires_two_countries(self, reference_dataset):
+        with pytest.raises(ValueError):
+            intersection_curves(
+                reference_dataset, Platform.WINDOWS, Metric.PAGE_LOADS,
+                REFERENCE_MONTH, countries=("US",),
+            )

@@ -1,0 +1,121 @@
+"""Tests for temporal stability (Section 4.5)."""
+
+import pytest
+
+from repro.analysis.temporal import (
+    adjacent_month_series,
+    anchored_series,
+    category_share_over_months,
+    december_anomaly,
+    month_pair_similarity,
+)
+from repro.core import Metric, Month, Platform
+
+DEC = Month(2021, 12)
+
+
+class TestMonthPairs:
+    def test_pair_similarity_structure(self, monthly_dataset):
+        sim = month_pair_similarity(
+            monthly_dataset, Platform.WINDOWS, Metric.PAGE_LOADS,
+            Month(2022, 1), Month(2022, 2), bucket=1_500,
+        )
+        assert 0.0 < sim.intersection.median <= 1.0
+        assert -1.0 <= sim.spearman.median <= 1.0
+
+    def test_adjacent_series_covers_all_pairs(self, monthly_dataset):
+        series = adjacent_month_series(
+            monthly_dataset, Platform.WINDOWS, Metric.PAGE_LOADS, bucket=1_500
+        )
+        assert len(series) == 5
+        assert series[0].month_a == Month(2021, 9)
+        assert series[-1].month_b == Month(2022, 2)
+
+    def test_adjacent_months_strongly_similar(self, monthly_dataset):
+        series = adjacent_month_series(
+            monthly_dataset, Platform.WINDOWS, Metric.PAGE_LOADS, bucket=1_500
+        )
+        for pair in series:
+            assert pair.intersection.median > 0.7
+            assert pair.spearman.median > 0.7
+
+    def test_head_more_stable_than_tail(self, monthly_dataset):
+        head = month_pair_similarity(
+            monthly_dataset, Platform.WINDOWS, Metric.PAGE_LOADS,
+            Month(2022, 1), Month(2022, 2), bucket=20,
+        )
+        tail = month_pair_similarity(
+            monthly_dataset, Platform.WINDOWS, Metric.PAGE_LOADS,
+            Month(2022, 1), Month(2022, 2), bucket=1_500,
+        )
+        assert head.spearman.median >= tail.spearman.median
+
+    def test_missing_month_raises(self, monthly_dataset):
+        with pytest.raises(ValueError):
+            month_pair_similarity(
+                monthly_dataset, Platform.WINDOWS, Metric.PAGE_LOADS,
+                Month(2022, 1), Month(2023, 1), bucket=100,
+            )
+
+
+class TestAnchoredDecay:
+    def test_similarity_decays_from_september(self, monthly_dataset):
+        series = anchored_series(
+            monthly_dataset, Platform.WINDOWS, Metric.PAGE_LOADS, bucket=1_500
+        )
+        assert len(series) == 5
+        # Similarity to September should not increase over time
+        # (December's transient can dip below trend, so compare the
+        # first non-December step against the last).
+        non_dec = [s for s in series if not s.month_b.is_december]
+        assert non_dec[0].intersection.median > non_dec[-1].intersection.median
+
+
+class TestDecember:
+    def test_december_is_the_anomalous_month(self, monthly_dataset):
+        anomaly = december_anomaly(
+            monthly_dataset, Platform.WINDOWS, Metric.PAGE_LOADS, bucket=1_500
+        )
+        assert anomaly.is_anomalous
+        assert anomaly.gap > 0.01
+
+    def test_january_february_most_similar_pair(self, monthly_dataset):
+        series = adjacent_month_series(
+            monthly_dataset, Platform.WINDOWS, Metric.PAGE_LOADS, bucket=1_500
+        )
+        by_pair = {(s.month_a, s.month_b): s.intersection.median for s in series}
+        jan_feb = by_pair[(Month(2022, 1), Month(2022, 2))]
+        dec_jan = by_pair[(DEC, Month(2022, 1))]
+        nov_dec = by_pair[(Month(2021, 11), DEC)]
+        assert jan_feb > dec_jan
+        assert jan_feb > nov_dec
+
+
+class TestCategoryDrift:
+    def test_ecommerce_rises_in_december(self, monthly_dataset, labels):
+        shares = category_share_over_months(
+            monthly_dataset, labels, Platform.WINDOWS, Metric.PAGE_LOADS,
+            "Ecommerce", top_n=1_500,
+        )
+        november = shares[Month(2021, 11)]
+        december = shares[DEC]
+        january = shares[Month(2022, 1)]
+        assert december > november
+        assert december > january
+
+    def test_education_drops_in_december(self, monthly_dataset, labels):
+        shares = category_share_over_months(
+            monthly_dataset, labels, Platform.WINDOWS, Metric.PAGE_LOADS,
+            "Educational Institutions", top_n=1_500,
+        )
+        assert shares[DEC] < shares[Month(2021, 11)]
+        assert shares[DEC] < shares[Month(2022, 1)]
+
+    def test_stable_category_stays_stable(self, monthly_dataset, labels):
+        shares = category_share_over_months(
+            monthly_dataset, labels, Platform.WINDOWS, Metric.PAGE_LOADS,
+            "Technology", top_n=1_500,
+        )
+        values = list(shares.values())
+        spread = max(values) - min(values)
+        assert spread < 0.25 * max(values)

@@ -1,0 +1,103 @@
+"""Tests for top-10 composition (Section 4.2.1 / Table 4)."""
+
+import pytest
+
+from repro.analysis.top10 import (
+    category_presence,
+    single_country_sites,
+    tag_presence,
+    union_of_top_sites,
+    windows_only_top_sites,
+)
+from repro.core import Metric, Platform, REFERENCE_MONTH
+
+
+@pytest.fixture(scope="module")
+def lists(reference_dataset):
+    return reference_dataset.select(
+        Platform.WINDOWS, Metric.PAGE_LOADS, REFERENCE_MONTH
+    )
+
+
+@pytest.fixture(scope="module")
+def presence(lists, labels):
+    return category_presence(lists, labels, top_k=10)
+
+
+@pytest.fixture(scope="module")
+def tags_map(generator):
+    uni = generator.universe
+    return {uni.canonical[uid]: tags for uid, tags in uni.tags.items()}
+
+
+class TestCategoryPresence:
+    def test_search_engine_in_every_top10(self, presence):
+        # "all 45 countries in our study have at least one search engine
+        # ... in the top ten".
+        assert presence["Search Engines"].n_countries == 45
+
+    def test_video_platform_in_every_top10(self, presence):
+        assert presence["Video Streaming"].n_countries == 45
+
+    def test_social_networks_nearly_everywhere(self, presence):
+        assert presence["Social Networks"].n_countries >= 40
+
+    def test_chat_or_messaging_widespread(self, presence):
+        assert presence["Chat & Messaging"].n_countries >= 25
+
+    def test_presence_records_driving_sites(self, presence, generator):
+        assert generator.universe.canonical_of("google") in (
+            presence["Search Engines"].sites
+        )
+
+
+class TestTagPresence:
+    def test_classifieds_are_national(self, lists, tags_map):
+        tags = tag_presence(lists, tags_map, top_k=10)
+        if "classifieds" in tags:
+            exclusive = single_country_sites(tags["classifieds"], lists, top_k=10)
+            # Paper: 15 of 17 classified-ads domains are top-10 in
+            # exactly one country.
+            assert len(exclusive) >= 0.6 * tags["classifieds"].n_sites
+
+    def test_news_tag_spans_many_countries(self, lists, tags_map):
+        tags = tag_presence(lists, tags_map, top_k=20)
+        assert "news" in tags
+        assert tags["news"].n_countries >= 20
+
+    def test_champion_tags_visible_in_top20(self, lists, tags_map):
+        tags = tag_presence(lists, tags_map, top_k=20)
+        assert "champion" in tags
+        assert tags["champion"].n_countries >= 40
+
+
+class TestWindowsOnly:
+    def test_windows_exclusives_mostly_have_apps(self, reference_dataset, generator):
+        uni = generator.universe
+        has_app = {
+            uni.canonical[uid]: bool(uni.has_android_app[uid])
+            for uid in range(uni.n_sites)
+        }
+        exclusives = windows_only_top_sites(
+            reference_dataset, REFERENCE_MONTH, has_app, top_k=10
+        )
+        assert len(exclusives.sites) > 0
+        # Paper: 93/114 (82 %) of such sites have a dedicated Android
+        # app.  Our named roster drives this; procedural champions
+        # dilute it, so the band is loose.
+        named_exclusives = [
+            s for s in exclusives.sites
+            if s in {uni.canonical[uid] for uid in uni.named_uid.values()}
+        ]
+        if named_exclusives:
+            with_app = [s for s in named_exclusives if has_app.get(s)]
+            assert len(with_app) / len(named_exclusives) > 0.5
+
+
+class TestUnion:
+    def test_union_spans_breakdowns(self, reference_dataset):
+        union = union_of_top_sites(reference_dataset, REFERENCE_MONTH, top_k=10)
+        # 45 countries x 2 platforms x 2 metrics, heavily overlapping:
+        # on the order of a few hundred unique sites (paper: 469 unique
+        # domains after merging).
+        assert 100 <= len(union) <= 1_000

@@ -1,0 +1,91 @@
+"""Tests for the traffic-weighting helpers."""
+
+import pytest
+
+from repro.analysis.weighting import (
+    average_over_countries,
+    count_by_category,
+    per_site_share,
+    share_by_category,
+    weighted_volume_by_category,
+)
+from repro.core import Metric, Platform, RankedList
+from repro.synth.traffic import global_distribution
+
+DIST = global_distribution(Platform.WINDOWS, Metric.PAGE_LOADS)
+LABELS = {"g": "Search Engines", "y": "Video Streaming", "f": "Social Networks",
+          "a": "Ecommerce", "n": "Video Streaming"}
+RANKED = RankedList(["g", "y", "f", "a", "n", "x"])
+
+
+class TestCounting:
+    def test_count_by_category(self):
+        counts = count_by_category(RANKED, LABELS)
+        assert counts["Video Streaming"] == 2
+        assert counts["Unknown"] == 1
+
+    def test_count_with_top_n(self):
+        counts = count_by_category(RANKED, LABELS, top_n=2)
+        assert counts == {"Search Engines": 1, "Video Streaming": 1}
+
+    def test_share_by_category_sums_to_one(self):
+        shares = share_by_category(RANKED, LABELS)
+        assert sum(shares.values()) == pytest.approx(1.0)
+
+    def test_share_of_empty_list(self):
+        assert share_by_category(RankedList([]), LABELS) == {}
+
+
+class TestWeightedVolumes:
+    def test_rank_one_dominates(self):
+        volumes = weighted_volume_by_category(RANKED, LABELS, DIST)
+        # Rank 1 holds 17 % of all traffic; no other single rank comes close.
+        assert max(volumes, key=volumes.get) == "Search Engines"
+
+    def test_normalised_sums_to_one(self):
+        volumes = weighted_volume_by_category(RANKED, LABELS, DIST)
+        assert sum(volumes.values()) == pytest.approx(1.0)
+
+    def test_unnormalised_sums_to_cumulative(self):
+        volumes = weighted_volume_by_category(RANKED, LABELS, DIST, normalize=False)
+        assert sum(volumes.values()) == pytest.approx(
+            DIST.cumulative_share(len(RANKED)), rel=1e-6
+        )
+
+    def test_weighted_differs_from_counting(self):
+        counts = share_by_category(RANKED, LABELS)
+        volumes = weighted_volume_by_category(RANKED, LABELS, DIST)
+        # Video Streaming has 2 of 6 sites but far less than 2/6 of traffic.
+        assert counts["Video Streaming"] > volumes["Video Streaming"]
+
+    def test_empty_list(self):
+        assert weighted_volume_by_category(RankedList([]), LABELS, DIST) == {}
+
+
+class TestPerSiteShare:
+    def test_shares_follow_rank(self):
+        shares = per_site_share(RANKED, DIST)
+        assert shares["g"] > shares["y"] > shares["x"]
+
+    def test_rank_one_share(self):
+        shares = per_site_share(RANKED, DIST)
+        assert shares["g"] == pytest.approx(0.17)
+
+
+class TestAveraging:
+    def test_average_over_countries(self):
+        per_country = {
+            "US": {"Business": 0.4},
+            "BR": {"Business": 0.2, "Sports": 0.2},
+        }
+        avg = average_over_countries(per_country)
+        assert avg["Business"] == pytest.approx(0.3)
+        # Missing categories count as zero.
+        assert avg["Sports"] == pytest.approx(0.1)
+
+    def test_empty_input(self):
+        assert average_over_countries({}) == {}
+
+    def test_explicit_categories(self):
+        avg = average_over_countries({"US": {"A": 1.0}}, categories=("A", "B"))
+        assert avg == {"A": 1.0, "B": 0.0}

@@ -1,0 +1,89 @@
+"""Tests for the simulated Domain Intelligence API."""
+
+import pytest
+
+from repro.categories.api import APIConfig, DomainIntelligenceAPI
+from repro.core.errors import TaxonomyError
+from repro.world.categories_data import DROPPED_RAW_CATEGORIES
+
+TRUTH = {
+    f"site{i}.com": category
+    for i, category in enumerate(
+        ["Business"] * 400 + ["Pornography"] * 200 + ["Search Engines"] * 200
+    )
+}
+
+
+@pytest.fixture(scope="module")
+def api() -> DomainIntelligenceAPI:
+    return DomainIntelligenceAPI(TRUTH, APIConfig(seed=3))
+
+
+class TestLookup:
+    def test_deterministic(self, api):
+        for domain in list(TRUTH)[:50]:
+            assert api.lookup(domain) == api.lookup(domain)
+
+    def test_unknown_domain_is_unknown(self, api):
+        assert api.lookup("never-seen.example") == "Unknown"
+
+    def test_accuracy_close_to_configured(self, api):
+        domains = [d for d, c in TRUTH.items() if c == "Business"]
+        correct = sum(1 for d in domains if api.lookup(d) == "Business")
+        observed = correct / len(domains)
+        # default 0.93 accuracy minus the 5 % junk-label rate ≈ 0.88.
+        assert 0.80 <= observed <= 0.95
+
+    def test_low_accuracy_category_errs_often(self, api):
+        domains = [d for d, c in TRUTH.items() if c == "Search Engines"]
+        correct = sum(1 for d in domains if api.lookup(d) == "Search Engines")
+        assert correct / len(domains) < 0.8
+
+    def test_junk_labels_appear_at_configured_rate(self, api):
+        junk = set(DROPPED_RAW_CATEGORIES)
+        hits = sum(1 for d in TRUTH if api.lookup(d) in junk)
+        rate = hits / len(TRUTH)
+        assert 0.02 <= rate <= 0.09
+
+    def test_errors_prefer_confusable_categories(self, api):
+        domains = [d for d, c in TRUTH.items() if c == "Pornography"]
+        wrong = [api.lookup(d) for d in domains]
+        wrong = [w for w in wrong if w != "Pornography" and w not in DROPPED_RAW_CATEGORIES]
+        if wrong:
+            adjacent = sum(1 for w in wrong if w in ("Adult Themes", "Sexuality"))
+            assert adjacent / len(wrong) > 0.4
+
+    def test_bulk_lookup(self, api):
+        domains = list(TRUTH)[:10]
+        bulk = api.bulk_lookup(domains)
+        assert set(bulk) == set(domains)
+        for d in domains:
+            assert bulk[d] == api.lookup(d)
+
+    def test_ground_truth_oracle(self, api):
+        assert api.ground_truth("site0.com") == "Business"
+        assert api.ground_truth("missing.com") is None
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(TaxonomyError):
+            APIConfig(default_accuracy=1.5)
+        with pytest.raises(TaxonomyError):
+            APIConfig(junk_label_rate=1.0)
+        with pytest.raises(TaxonomyError):
+            APIConfig(category_accuracy={"Business": -0.1})
+
+    def test_accuracy_for_override(self):
+        config = APIConfig(category_accuracy={"Business": 0.5})
+        assert config.accuracy_for("Business") == 0.5
+        assert config.accuracy_for("Travel") == config.default_accuracy
+
+    def test_perfect_api(self):
+        api = DomainIntelligenceAPI(
+            TRUTH,
+            APIConfig(default_accuracy=1.0, junk_label_rate=0.0,
+                      category_accuracy={}),
+        )
+        for domain, category in list(TRUTH.items())[:100]:
+            assert api.lookup(domain) == category

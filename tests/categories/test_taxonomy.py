@@ -1,0 +1,76 @@
+"""Tests for the Taxonomy wrapper."""
+
+import pytest
+
+from repro.categories.taxonomy import FINAL_TAXONOMY, TABLE3, Taxonomy, category_counts
+from repro.core.errors import TaxonomyError
+from repro.world.categories_data import CategorySpec
+
+
+class TestStructure:
+    def test_table3_counts(self):
+        assert len(TABLE3) == 61
+        assert len(TABLE3.supercategories) == 22
+
+    def test_final_adds_curated(self):
+        assert len(FINAL_TAXONOMY) == 63
+        assert FINAL_TAXONOMY.curated == ("Search Engines", "Social Networks")
+
+    def test_membership(self):
+        assert "Pornography" in FINAL_TAXONOMY
+        assert "Search Engines" in FINAL_TAXONOMY
+        assert "Search Engines" not in TABLE3
+        assert "Content Servers" not in FINAL_TAXONOMY
+
+    def test_supercategory_of(self):
+        assert FINAL_TAXONOMY.supercategory_of("Video Streaming") == "Entertainment"
+        assert FINAL_TAXONOMY.supercategory_of("Webmail") == "Internet Communication"
+        with pytest.raises(TaxonomyError):
+            FINAL_TAXONOMY.supercategory_of("Nope")
+
+    def test_in_supercategory(self):
+        education = FINAL_TAXONOMY.in_supercategory("Education")
+        assert set(education) == {"Educational Institutions", "Education", "Science"}
+        with pytest.raises(TaxonomyError):
+            FINAL_TAXONOMY.in_supercategory("Nope")
+
+    def test_is_curated(self):
+        assert FINAL_TAXONOMY.is_curated("Search Engines")
+        assert not FINAL_TAXONOMY.is_curated("Business")
+
+    def test_duplicate_names_rejected(self):
+        spec = CategorySpec("X", "S")
+        with pytest.raises(TaxonomyError):
+            Taxonomy((spec, spec))
+
+
+class TestNormalisation:
+    def test_merge_table_applied(self):
+        assert FINAL_TAXONOMY.normalize("Chat") == "Chat & Messaging"
+        assert FINAL_TAXONOMY.normalize("Instant Messengers") == "Chat & Messaging"
+        assert FINAL_TAXONOMY.normalize("Online Games") == "Gaming"
+
+    def test_unknown_labels_fold_to_unknown(self):
+        assert FINAL_TAXONOMY.normalize("Content Servers") == "Unknown"
+        assert FINAL_TAXONOMY.normalize("Whatever") == "Unknown"
+
+    def test_final_labels_pass_through(self):
+        assert FINAL_TAXONOMY.normalize("Business") == "Business"
+
+    def test_rollup(self):
+        rolled = FINAL_TAXONOMY.rollup({"Video Streaming": 0.2, "Gaming": 0.1,
+                                        "Business": 0.3})
+        assert rolled["Entertainment"] == pytest.approx(0.3)
+        assert rolled["Business & Economy"] == pytest.approx(0.3)
+
+
+class TestCategoryCounts:
+    def test_counts_with_default_unknown(self):
+        counts = category_counts(
+            ["a", "b", "c"], {"a": "Business", "b": "Business"},
+        )
+        assert counts == {"Business": 2, "Unknown": 1}
+
+    def test_labels_outside_taxonomy_fold(self):
+        counts = category_counts(["a"], {"a": "Parked Domains"})
+        assert counts == {"Unknown": 1}

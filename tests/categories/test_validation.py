@@ -1,0 +1,150 @@
+"""Tests for the Appendix B validation workflow."""
+
+import pytest
+
+from repro.categories.api import APIConfig, DomainIntelligenceAPI
+from repro.categories.validation import (
+    CategoryAccuracy,
+    clean_labels,
+    review_label,
+    validate_categories,
+)
+
+
+def _world():
+    """A truth mapping with web-realistic base rates.
+
+    The key property: true search engines and social networks are rare
+    (a dozen each), while the categories that confuse *into* them
+    (Technology, Forums, Entertainment, Lifestyle) are plentiful — the
+    base-rate effect that ruins the API's precision on the two curated
+    categories.
+    """
+    sizes = {
+        "Technology": 600,
+        "Business": 500,
+        "Pornography": 250,
+        "Entertainment": 220,
+        "Lifestyle": 220,
+        "Forums": 150,
+        "Video Streaming": 90,
+        "News & Media": 150,
+        "Webmail": 40,
+        "Search Engines": 12,
+        "Social Networks": 15,
+    }
+    truth = {}
+    for category, n in sizes.items():
+        slug = category.lower().replace(" ", "").replace("&", "")
+        for i in range(n):
+            truth[f"{slug}{i}.com"] = category
+    return truth
+
+
+@pytest.fixture(scope="module")
+def api():
+    return DomainIntelligenceAPI(_world(), APIConfig(seed=11))
+
+
+@pytest.fixture(scope="module")
+def api_labels(api):
+    return api.bulk_lookup(sorted(_world()))
+
+
+class TestReviewLabel:
+    def test_exact_match_is_yes(self, api):
+        verdict = review_label(api, "business0.com", "Business")
+        assert verdict.verdict == "yes"
+
+    def test_same_supercategory_is_maybe(self, api):
+        # Video Streaming and Movies & Home Video share Entertainment.
+        verdict = review_label(api, "videostreaming0.com", "Movies & Home Video")
+        assert verdict.verdict == "maybe"
+
+    def test_cross_supercategory_is_no(self, api):
+        verdict = review_label(api, "business0.com", "Pornography")
+        assert verdict.verdict == "no"
+
+    def test_junk_label_is_no(self, api):
+        verdict = review_label(api, "business0.com", "Parked Domains")
+        assert verdict.verdict == "no"
+
+
+class TestCategoryAccuracy:
+    def test_pass_rule(self):
+        assert CategoryAccuracy("X", yes=8, maybe=0, no=2).passes()
+        assert CategoryAccuracy("X", yes=1, maybe=7, no=2).passes()
+        assert not CategoryAccuracy("X", yes=7, maybe=0, no=3).passes()
+        # Not a single definite yes -> dropped even if plausible.
+        assert not CategoryAccuracy("X", yes=0, maybe=10, no=0).passes()
+
+    def test_fraction(self):
+        acc = CategoryAccuracy("X", yes=5, maybe=3, no=2)
+        assert acc.plausible_fraction == pytest.approx(0.8)
+        assert acc.sampled == 10
+
+
+class TestValidateCategories:
+    def test_curated_categories_fail_the_bar(self, api, api_labels):
+        report = validate_categories(api, api_labels, seed=5)
+        assert "Search Engines" in report.dropped
+        assert "Social Networks" in report.dropped
+
+    def test_high_precision_categories_kept(self, api, api_labels):
+        report = validate_categories(api, api_labels, seed=5)
+        for category in ("Business", "Pornography", "Technology"):
+            assert category in report.kept, category
+
+    def test_junk_raw_categories_always_fail(self, api, api_labels):
+        report = validate_categories(api, api_labels, seed=5)
+        for acc in report.accuracies:
+            if acc.category in ("Parked Domains", "Content Servers", "Malware",
+                                "Spam", "Login Screens"):
+                assert not acc.passes(), acc.category
+
+    def test_unknown_is_not_reviewed(self, api, api_labels):
+        report = validate_categories(api, api_labels, seed=5)
+        assert all(a.category != "Unknown" for a in report.accuracies)
+
+    def test_report_is_deterministic(self, api, api_labels):
+        a = validate_categories(api, api_labels, seed=5)
+        b = validate_categories(api, api_labels, seed=5)
+        assert a.dropped == b.dropped
+
+    def test_accuracy_of_lookup(self, api, api_labels):
+        report = validate_categories(api, api_labels, seed=5)
+        assert report.accuracy_of("Business").sampled == 10
+        with pytest.raises(KeyError):
+            report.accuracy_of("Unknown")
+
+    def test_per_category_validation(self, api, api_labels):
+        with pytest.raises(ValueError):
+            validate_categories(api, api_labels, per_category=0)
+
+
+class TestCleanLabels:
+    def test_dropped_fold_to_unknown(self, api, api_labels):
+        report = validate_categories(api, api_labels, seed=5)
+        cleaned = clean_labels(api_labels, report)
+        assert not set(cleaned.values()) & set(report.dropped)
+
+    def test_all_labels_in_final_taxonomy(self, api, api_labels):
+        from repro.categories.taxonomy import FINAL_TAXONOMY
+        report = validate_categories(api, api_labels, seed=5)
+        cleaned = clean_labels(api_labels, report)
+        for label in cleaned.values():
+            assert label in FINAL_TAXONOMY
+
+    def test_curated_override_installs_verified_sets(self, api, api_labels):
+        report = validate_categories(api, api_labels, seed=5)
+        curated = {f"searchengines{i}.com": "Search Engines" for i in range(12)}
+        curated.update({f"socialnetworks{i}.com": "Social Networks" for i in range(15)})
+        cleaned = clean_labels(api_labels, report, curated_truth=curated)
+        for domain, label in curated.items():
+            assert cleaned[domain] == label
+        # No other site may claim the curated labels.
+        impostors = [
+            d for d, label in cleaned.items()
+            if label in ("Search Engines", "Social Networks") and d not in curated
+        ]
+        assert not impostors

@@ -1,0 +1,44 @@
+"""Shared fixtures: one small-universe generator per test session.
+
+The small configuration (≈120K-site universe, 1.5K-site lists) builds in
+a couple of seconds and is shared session-wide; tests must treat the
+generator, datasets and label maps as read-only.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Metric, Platform, REFERENCE_MONTH, STUDY_MONTHS
+from repro.synth import GeneratorConfig, TelemetryGenerator
+
+
+@pytest.fixture(scope="session")
+def generator() -> TelemetryGenerator:
+    return TelemetryGenerator(GeneratorConfig.small())
+
+
+@pytest.fixture(scope="session")
+def labels(generator) -> dict[str, str]:
+    return generator.site_categories()
+
+
+@pytest.fixture(scope="session")
+def reference_dataset(generator):
+    """Both platforms and metrics for the reference month, all countries."""
+    return generator.generate(
+        platforms=Platform.studied(),
+        metrics=Metric.studied(),
+        months=(REFERENCE_MONTH,),
+    )
+
+
+@pytest.fixture(scope="session")
+def monthly_dataset(generator):
+    """Windows page loads over all six study months, a country subset."""
+    return generator.generate(
+        countries=("US", "BR", "JP", "FR", "NG", "KR", "IN", "MX"),
+        platforms=(Platform.WINDOWS,),
+        metrics=(Metric.PAGE_LOADS,),
+        months=STUDY_MONTHS,
+    )

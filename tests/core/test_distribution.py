@@ -1,0 +1,127 @@
+"""Unit and property tests for TrafficDistribution."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import TrafficDistribution
+from repro.core.distribution import concentration_table
+from repro.core.errors import DistributionError
+
+#: The Windows page-loads anchors from Section 4.1.2.
+ANCHORS = ((1, 0.17), (6, 0.25), (100, 0.397), (10_000, 0.70), (1_000_000, 0.955))
+
+
+@pytest.fixture
+def dist() -> TrafficDistribution:
+    return TrafficDistribution(ANCHORS)
+
+
+class TestConstruction:
+    def test_requires_rank_one(self):
+        with pytest.raises(DistributionError):
+            TrafficDistribution([(2, 0.1), (10, 0.5)])
+
+    def test_requires_increasing_shares(self):
+        with pytest.raises(DistributionError):
+            TrafficDistribution([(1, 0.5), (10, 0.4)])
+
+    def test_requires_increasing_ranks(self):
+        with pytest.raises(DistributionError):
+            TrafficDistribution([(1, 0.1), (1, 0.2)])
+
+    def test_requires_at_least_two_anchors(self):
+        with pytest.raises(DistributionError):
+            TrafficDistribution([(1, 0.2)])
+
+    def test_share_bounds(self):
+        with pytest.raises(DistributionError):
+            TrafficDistribution([(1, 0.0), (10, 0.5)])
+        with pytest.raises(DistributionError):
+            TrafficDistribution([(1, 0.5), (10, 1.5)])
+
+    def test_total_sites_must_cover_anchors(self):
+        with pytest.raises(DistributionError):
+            TrafficDistribution([(1, 0.1), (100, 0.5)], total_sites=50)
+
+
+class TestEvaluation:
+    def test_anchors_are_interpolated_exactly(self, dist):
+        for rank, share in ANCHORS:
+            assert dist.cumulative_share(rank) == pytest.approx(share, abs=1e-9)
+
+    def test_cumulative_share_monotone(self, dist):
+        ranks = np.unique(np.logspace(0, 6, 200).astype(int))
+        shares = dist.cumulative_shares(ranks.astype(float))
+        assert np.all(np.diff(shares) >= -1e-12)
+
+    def test_share_of_rank_positive_and_decreasing_at_head(self, dist):
+        shares = [dist.share_of_rank(r) for r in range(1, 50)]
+        assert all(s >= 0 for s in shares)
+        assert shares[0] > shares[10] > shares[40]
+
+    def test_rank_below_one_rejected(self, dist):
+        with pytest.raises(DistributionError):
+            dist.cumulative_share(0.5)
+
+    def test_weights_sum_to_cumulative(self, dist):
+        w = dist.weights(10_000)
+        assert w.sum() == pytest.approx(dist.cumulative_share(10_000), rel=1e-6)
+        assert np.all(w >= 0)
+
+    def test_normalized_weights_sum_to_one(self, dist):
+        w = dist.normalized_weights(500)
+        assert w.sum() == pytest.approx(1.0)
+
+    def test_sites_for_share_matches_paper_quotes(self, dist):
+        # 25 % of Windows page loads are served by only six sites.
+        assert dist.sites_for_share(0.25) == 6
+        assert dist.sites_for_share(0.17) == 1
+
+    def test_sites_for_share_monotone(self, dist):
+        previous = 0
+        for share in (0.1, 0.2, 0.4, 0.7, 0.9):
+            n = dist.sites_for_share(share)
+            assert n >= previous
+            previous = n
+
+    def test_roundtrip_serialisation(self, dist):
+        again = TrafficDistribution.from_dict(dist.to_dict())
+        for rank in (1, 10, 999, 123_456):
+            assert again.cumulative_share(rank) == pytest.approx(
+                dist.cumulative_share(rank)
+            )
+
+    def test_concentration_table(self, dist):
+        table = concentration_table(dist, [1, 100])
+        assert table[0] == (1, pytest.approx(0.17))
+        assert table[1][1] == pytest.approx(0.397)
+
+
+@st.composite
+def anchor_sets(draw):
+    n = draw(st.integers(min_value=2, max_value=6))
+    ranks = sorted(draw(st.sets(
+        st.integers(min_value=2, max_value=999_999), min_size=n - 1, max_size=n - 1,
+    )))
+    shares = sorted(draw(st.lists(
+        st.floats(min_value=0.01, max_value=0.99, allow_nan=False),
+        min_size=n, max_size=n, unique=True,
+    )))
+    return tuple([(1, shares[0])] + list(zip(ranks, shares[1:])))
+
+
+class TestProperties:
+    @given(anchor_sets())
+    @settings(max_examples=40)
+    def test_weights_always_non_negative(self, anchors):
+        dist = TrafficDistribution(anchors)
+        w = dist.weights(2_000)
+        assert np.all(w >= 0)
+
+    @given(anchor_sets(), st.integers(min_value=1, max_value=999_999))
+    @settings(max_examples=40)
+    def test_cumulative_in_unit_interval(self, anchors, rank):
+        dist = TrafficDistribution(anchors)
+        assert 0.0 <= dist.cumulative_share(rank) <= 1.0

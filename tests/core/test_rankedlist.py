@@ -1,0 +1,144 @@
+"""Unit and property tests for RankedList."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import RankedList
+from repro.core.errors import RankListError
+
+SITES = ("google", "youtube", "facebook", "amazon", "netflix")
+
+
+@pytest.fixture
+def ranked() -> RankedList:
+    return RankedList(SITES)
+
+
+class TestConstruction:
+    def test_rejects_duplicates(self):
+        with pytest.raises(RankListError):
+            RankedList(["a", "b", "a"])
+
+    def test_rejects_empty_identifier(self):
+        with pytest.raises(RankListError):
+            RankedList(["a", ""])
+
+    def test_empty_list_is_allowed(self):
+        assert len(RankedList([])) == 0
+
+    def test_from_scores_orders_by_score_desc(self):
+        ranked = RankedList.from_scores({"a": 1.0, "b": 3.0, "c": 2.0})
+        assert ranked.sites == ("b", "c", "a")
+
+    def test_from_scores_breaks_ties_lexicographically(self):
+        ranked = RankedList.from_scores({"zz": 1.0, "aa": 1.0, "mm": 1.0})
+        assert ranked.sites == ("aa", "mm", "zz")
+
+
+class TestRankQueries:
+    def test_getitem_is_one_indexed(self, ranked):
+        assert ranked[1] == "google"
+        assert ranked[5] == "netflix"
+
+    def test_getitem_out_of_range(self, ranked):
+        with pytest.raises(IndexError):
+            ranked[0]
+        with pytest.raises(IndexError):
+            ranked[6]
+
+    def test_rank_of(self, ranked):
+        assert ranked.rank_of("google") == 1
+        assert ranked.rank_of("netflix") == 5
+        assert ranked.rank_of("missing") is None
+
+    def test_rank_or_sentinel(self, ranked):
+        assert ranked.rank_or("missing", 10_001) == 10_001
+        assert ranked.rank_or("google", 10_001) == 1
+
+    def test_contains(self, ranked):
+        assert "google" in ranked
+        assert "missing" not in ranked
+
+
+class TestDerivedLists:
+    def test_top_prefix(self, ranked):
+        assert ranked.top(2).sites == ("google", "youtube")
+
+    def test_top_beyond_length_returns_self(self, ranked):
+        assert ranked.top(100) is ranked
+
+    def test_slice_inclusive(self, ranked):
+        assert ranked.slice(2, 4).sites == ("youtube", "facebook", "amazon")
+
+    def test_slice_invalid(self, ranked):
+        with pytest.raises(ValueError):
+            ranked.slice(0, 3)
+        with pytest.raises(ValueError):
+            ranked.slice(3, 2)
+
+    def test_filter_preserves_order(self, ranked):
+        kept = ranked.filter(lambda s: "e" in s)
+        assert kept.sites == ("google", "youtube", "facebook", "netflix")
+
+    def test_rename_merges_collisions_keeping_best_rank(self):
+        ranked = RankedList(["google.com", "youtube.com", "google.co.uk"])
+        merged = ranked.rename({"google.com": "google", "google.co.uk": "google"})
+        assert merged.sites == ("google", "youtube.com")
+
+
+class TestComparisons:
+    def test_intersection(self, ranked):
+        other = RankedList(["youtube", "netflix", "tiktok"])
+        assert ranked.intersection(other) == {"youtube", "netflix"}
+
+    def test_percent_intersection_normalises_by_smaller(self, ranked):
+        other = RankedList(["google", "youtube"])
+        assert ranked.percent_intersection(other) == 1.0
+
+    def test_percent_intersection_empty(self):
+        assert RankedList([]).percent_intersection(RankedList(["a"])) == 0.0
+
+    def test_rank_pairs(self, ranked):
+        other = RankedList(["netflix", "google"])
+        xs, ys = ranked.rank_pairs(other)
+        assert xs == [1, 5]
+        assert ys == [2, 1]
+
+
+sites_strategy = st.lists(
+    st.text(alphabet="abcdefgh", min_size=1, max_size=6),
+    min_size=0, max_size=40, unique=True,
+)
+
+
+class TestProperties:
+    @given(sites_strategy)
+    @settings(max_examples=50)
+    def test_rank_of_is_inverse_of_getitem(self, sites):
+        ranked = RankedList(sites)
+        for position, site in enumerate(ranked.sites, start=1):
+            assert ranked[position] == site
+            assert ranked.rank_of(site) == position
+
+    @given(sites_strategy, st.integers(min_value=0, max_value=50))
+    @settings(max_examples=50)
+    def test_top_n_length(self, sites, n):
+        ranked = RankedList(sites)
+        assert len(ranked.top(n)) == min(n, len(sites))
+
+    @given(sites_strategy, sites_strategy)
+    @settings(max_examples=50)
+    def test_percent_intersection_symmetric_and_bounded(self, a, b):
+        ra, rb = RankedList(a), RankedList(b)
+        pab = ra.percent_intersection(rb)
+        pba = rb.percent_intersection(ra)
+        assert pab == pba
+        assert 0.0 <= pab <= 1.0
+
+    @given(sites_strategy)
+    @settings(max_examples=50)
+    def test_self_intersection_is_total(self, sites):
+        ranked = RankedList(sites)
+        if len(ranked) > 0:
+            assert ranked.percent_intersection(ranked) == 1.0

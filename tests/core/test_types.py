@@ -1,0 +1,101 @@
+"""Unit tests for the core enums and breakdown keys."""
+
+import pytest
+
+from repro.core.types import (
+    DECEMBER,
+    REFERENCE_MONTH,
+    STUDY_MONTHS,
+    Breakdown,
+    Metric,
+    Month,
+    Platform,
+)
+
+
+class TestPlatform:
+    def test_studied_platforms_are_windows_and_android(self):
+        assert Platform.studied() == (Platform.WINDOWS, Platform.ANDROID)
+
+    def test_desktop_mobile_partition(self):
+        desktops = {p for p in Platform if p.is_desktop}
+        mobiles = {p for p in Platform if p.is_mobile}
+        assert desktops == {Platform.WINDOWS, Platform.MAC_OS, Platform.LINUX}
+        assert mobiles == {Platform.ANDROID, Platform.IOS}
+        assert desktops | mobiles == set(Platform)
+        assert not desktops & mobiles
+
+
+class TestMetric:
+    def test_studied_metrics(self):
+        assert Metric.studied() == (Metric.PAGE_LOADS, Metric.TIME_ON_PAGE)
+
+    def test_initiated_loads_excluded_from_studied(self):
+        assert Metric.INITIATED_PAGE_LOADS not in Metric.studied()
+
+
+class TestMonth:
+    def test_ordering_is_chronological(self):
+        assert Month(2021, 12) < Month(2022, 1)
+        assert Month(2021, 9) < Month(2021, 10)
+
+    def test_next_and_prev_roundtrip(self):
+        m = Month(2021, 12)
+        assert m.next() == Month(2022, 1)
+        assert m.next().prev() == m
+
+    def test_year_boundary(self):
+        assert Month(2022, 1).prev() == Month(2021, 12)
+
+    def test_index_is_monotone(self):
+        months = list(Month.range(Month(2021, 1), Month(2023, 12)))
+        indices = [m.index() for m in months]
+        assert indices == sorted(indices)
+        assert len(set(indices)) == len(indices)
+
+    def test_adjacency(self):
+        assert Month(2021, 12).is_adjacent(Month(2022, 1))
+        assert not Month(2021, 11).is_adjacent(Month(2022, 1))
+        assert not Month(2021, 11).is_adjacent(Month(2021, 11))
+
+    def test_study_months_span_sep_to_feb(self):
+        assert len(STUDY_MONTHS) == 6
+        assert STUDY_MONTHS[0] == Month(2021, 9)
+        assert STUDY_MONTHS[-1] == REFERENCE_MONTH == Month(2022, 2)
+        assert DECEMBER in STUDY_MONTHS
+
+    def test_invalid_month_rejected(self):
+        with pytest.raises(ValueError):
+            Month(2021, 13)
+        with pytest.raises(ValueError):
+            Month(2021, 0)
+
+    def test_range_rejects_reversed_bounds(self):
+        with pytest.raises(ValueError):
+            list(Month.range(Month(2022, 2), Month(2021, 9)))
+
+    def test_str_format(self):
+        assert str(Month(2021, 9)) == "2021-09"
+
+
+class TestBreakdown:
+    def test_with_helpers_replace_one_dimension(self):
+        b = Breakdown("US", Platform.WINDOWS, Metric.PAGE_LOADS, REFERENCE_MONTH)
+        assert b.with_country("BR").country == "BR"
+        assert b.with_metric(Metric.TIME_ON_PAGE).metric is Metric.TIME_ON_PAGE
+        assert b.with_platform(Platform.ANDROID).platform is Platform.ANDROID
+        assert b.with_month(DECEMBER).month == DECEMBER
+        # original unchanged
+        assert b.country == "US" and b.metric is Metric.PAGE_LOADS
+
+    def test_bad_country_code_rejected(self):
+        with pytest.raises(ValueError):
+            Breakdown("usa", Platform.WINDOWS, Metric.PAGE_LOADS, REFERENCE_MONTH)
+        with pytest.raises(ValueError):
+            Breakdown("us", Platform.WINDOWS, Metric.PAGE_LOADS, REFERENCE_MONTH)
+
+    def test_breakdowns_are_hashable_keys(self):
+        a = Breakdown("US", Platform.WINDOWS, Metric.PAGE_LOADS, REFERENCE_MONTH)
+        b = Breakdown("US", Platform.WINDOWS, Metric.PAGE_LOADS, REFERENCE_MONTH)
+        assert a == b and hash(a) == hash(b)
+        assert len({a, b}) == 1

@@ -1,0 +1,67 @@
+"""Tests for cross-country domain merging (Section 3.1)."""
+
+from repro.core import RankedList
+from repro.etld.merge import DEFAULT_DENYLIST, DomainMerger, merge_rank_lists
+
+
+class TestMerging:
+    def test_multinational_merges_to_label(self):
+        merger = DomainMerger(["google.com", "google.co.uk", "google.com.br"])
+        assert merger.canonical("google.com") == "google"
+        assert merger.canonical("google.co.uk") == "google"
+        assert "google" in merger.mergeable_labels
+
+    def test_single_suffix_site_keeps_registrable_domain(self):
+        merger = DomainMerger(["naver.com", "google.com", "google.co.uk"])
+        assert merger.canonical("naver.com") == "naver.com"
+
+    def test_denylist_blocks_paper_example(self):
+        # top.com (crypto exchange) and top.gg (Discord ranking) must not
+        # merge (Section 3.1 names exactly this false-merge).
+        merger = DomainMerger(["top.com", "top.gg"])
+        assert merger.canonical("top.com") == "top.com"
+        assert merger.canonical("top.gg") == "top.gg"
+        assert "top" in DEFAULT_DENYLIST
+
+    def test_subdomains_collapse_to_registrable(self):
+        merger = DomainMerger(["www.bbc.co.uk"])
+        assert merger.canonical("www.bbc.co.uk") == "bbc.co.uk"
+
+    def test_unseen_domain_resolved_with_corpus_rules(self):
+        merger = DomainMerger(["google.com", "google.co.uk"])
+        # google.de was not in the corpus but the label is mergeable.
+        assert merger.canonical("google.de") == "google"
+        assert merger.canonical("brandnew.com") == "brandnew.com"
+
+    def test_false_merge_candidates_lists_two_suffix_labels(self):
+        merger = DomainMerger(
+            ["ambig.com", "ambig.gg", "google.com", "google.co.uk",
+             "google.de", "google.fr"],
+            denylist=frozenset(),
+        )
+        assert "ambig" in merger.false_merge_candidates(max_suffixes=2)
+        assert "google" not in merger.false_merge_candidates(max_suffixes=2)
+
+    def test_mapping_for(self):
+        merger = DomainMerger(["shopee.com.vn", "shopee.co.th"])
+        mapping = merger.mapping_for(["shopee.com.vn", "shopee.co.th"])
+        assert set(mapping.values()) == {"shopee"}
+
+
+class TestMergeRankLists:
+    def test_collisions_keep_best_rank(self):
+        corpus = ["google.com", "google.com.mx", "other.com"]
+        merger = DomainMerger(corpus)
+        lists = {"MX": RankedList(["google.com.mx", "other.com", "google.com"])}
+        merged = merge_rank_lists(lists, merger)
+        assert merged["MX"].sites == ("google", "other.com")
+
+    def test_merge_is_idempotent(self):
+        corpus = ["google.com", "google.co.uk", "naver.com"]
+        merger = DomainMerger(corpus)
+        lists = {"A": RankedList(["google.com", "naver.com"])}
+        once = merge_rank_lists(lists, merger)
+        # Canonical names survive a second pass unchanged ("google" has
+        # no dots, naver.com maps to itself).
+        twice = merge_rank_lists(once, DomainMerger([s for rl in once.values() for s in rl.sites]))
+        assert twice["A"].sites == once["A"].sites

@@ -1,0 +1,73 @@
+"""Tests for the embedded public-suffix list and eTLD+1 algorithm."""
+
+import pytest
+
+from repro.etld.psl import DEFAULT_PSL, PublicSuffixList
+from repro.synth.domains import COUNTRY_SUFFIX
+
+
+class TestMatching:
+    @pytest.mark.parametrize("hostname,suffix,registrable", [
+        ("google.com", "com", "google.com"),
+        ("google.co.uk", "co.uk", "google.co.uk"),
+        ("www.google.co.uk", "co.uk", "google.co.uk"),
+        ("a.b.globo.com.br", "com.br", "globo.com.br"),
+        ("arca.live", "live", "arca.live"),
+        ("namu.wiki", "wiki", "namu.wiki"),
+        ("top.gg", "gg", "top.gg"),
+        ("naver.com", "com", "naver.com"),
+    ])
+    def test_registrable_domain(self, hostname, suffix, registrable):
+        match = DEFAULT_PSL.match(hostname)
+        assert match.public_suffix == suffix
+        assert match.registrable_domain == registrable
+
+    def test_bare_suffix_has_no_registrable(self):
+        assert DEFAULT_PSL.registrable_domain("co.uk") is None
+        assert DEFAULT_PSL.registrable_domain("com") is None
+
+    def test_unknown_tld_uses_implicit_star_rule(self):
+        match = DEFAULT_PSL.match("example.zz")
+        assert match.public_suffix == "zz"
+        assert match.registrable_domain == "example.zz"
+
+    def test_wildcard_rule(self):
+        # *.ck: one extra label is part of the suffix.
+        match = DEFAULT_PSL.match("foo.bar.ck")
+        assert match.public_suffix == "bar.ck"
+        assert match.registrable_domain == "foo.bar.ck"
+
+    def test_exception_rule(self):
+        # !www.ck overrides the wildcard.
+        match = DEFAULT_PSL.match("www.ck")
+        assert match.public_suffix == "ck"
+        assert match.registrable_domain == "www.ck"
+
+    def test_label_extraction(self):
+        assert DEFAULT_PSL.match("google.co.uk").label == "google"
+        assert DEFAULT_PSL.match("foo.com").label == "foo"
+        assert DEFAULT_PSL.match("com").label is None
+
+    def test_case_and_trailing_dot_normalised(self):
+        assert DEFAULT_PSL.registrable_domain("WWW.Google.COM.") == "google.com"
+
+    def test_malformed_hostnames_rejected(self):
+        for bad in ("", "a..b", "."):
+            with pytest.raises(ValueError):
+                DEFAULT_PSL.match(bad)
+
+
+class TestCoverage:
+    def test_every_country_suffix_is_a_known_rule(self):
+        """All suffixes the generator emits must parse as public suffixes,
+        otherwise the merge step would mis-split the generated domains."""
+        for country, suffix in COUNTRY_SUFFIX.items():
+            host = f"example.{suffix}"
+            match = DEFAULT_PSL.match(host)
+            assert match.public_suffix == suffix, (country, suffix)
+            assert match.label == "example"
+
+    def test_custom_rule_set(self):
+        psl = PublicSuffixList({"com", "weird.zone"})
+        assert psl.match("shop.weird.zone").public_suffix == "weird.zone"
+        assert psl.match("shop.weird.zone").label == "shop"

@@ -1,0 +1,90 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture(scope="module")
+def dataset_dir(tmp_path_factory):
+    out = tmp_path_factory.mktemp("cli") / "ds"
+    code = main([
+        "generate", "--small", "--out", str(out),
+        "--countries", "US", "KR",
+    ])
+    assert code == 0
+    return out
+
+
+class TestGenerate:
+    def test_creates_manifest_and_lists(self, dataset_dir):
+        assert (dataset_dir / "manifest.json").is_file()
+        lists = list((dataset_dir / "lists").glob("*.txt"))
+        # 2 countries x 2 platforms x 2 metrics x 1 month
+        assert len(lists) == 8
+
+    def test_month_parsing(self, tmp_path):
+        out = tmp_path / "ds2"
+        code = main([
+            "generate", "--small", "--out", str(out),
+            "--countries", "US", "--months", "2021-12",
+        ])
+        assert code == 0
+        assert any("2021-12" in p.name for p in (out / "lists").glob("*.txt"))
+
+    def test_bad_month_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["generate", "--small", "--out", str(tmp_path / "x"),
+                  "--months", "december"])
+
+
+class TestInspectAnalyze:
+    def test_inspect_prints_table(self, dataset_dir, capsys):
+        assert main(["inspect", "--data", str(dataset_dir),
+                     "--country", "KR", "--top", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "naver.com" in out
+
+    def test_analyze_concentration(self, dataset_dir, capsys):
+        assert main(["analyze", "--data", str(dataset_dir),
+                     "--analysis", "concentration"]) == 0
+        out = capsys.readouterr().out
+        assert "top-1 share" in out
+        assert "17.0%" in out
+
+    def test_analyze_overlap(self, dataset_dir, capsys):
+        assert main(["analyze", "--data", str(dataset_dir),
+                     "--analysis", "overlap"]) == 0
+        out = capsys.readouterr().out
+        assert "Spearman" in out
+
+    def test_analyze_composition(self, dataset_dir, capsys):
+        assert main(["analyze", "--data", str(dataset_dir),
+                     "--analysis", "composition", "--small"]) == 0
+        out = capsys.readouterr().out
+        assert "Search Engines" in out
+
+    def test_analyze_clusters(self, dataset_dir, capsys):
+        assert main(["analyze", "--data", str(dataset_dir),
+                     "--analysis", "clusters"]) == 0
+        out = capsys.readouterr().out
+        assert "clusters" in out
+
+
+class TestCruxAndWorld:
+    def test_crux_export(self, dataset_dir, tmp_path, capsys):
+        out = tmp_path / "crux.json"
+        assert main(["crux", "--data", str(dataset_dir),
+                     "--out", str(out)]) == 0
+        payload = json.loads(out.read_text())
+        assert payload["metric"] == "page_loads"
+        assert payload["global"]["google"] == 1_000
+        assert set(payload["countries"]) == {"US", "KR"}
+
+    def test_world_facts(self, capsys):
+        assert main(["world"]) == 0
+        out = capsys.readouterr().out
+        assert "45 study countries" in out
+        assert "61 categories" in out

@@ -1,0 +1,98 @@
+"""Tests for the CrUX-style public export."""
+
+import pytest
+
+from repro.core import Metric, Platform, REFERENCE_MONTH, RankedList
+from repro.export.crux import (
+    CRUX_BUCKETS,
+    bucket_of,
+    coarsen_list,
+    export_crux,
+    global_ranking,
+)
+
+
+class TestBuckets:
+    @pytest.mark.parametrize("rank,expected", [
+        (1, 1_000), (1_000, 1_000), (1_001, 5_000), (5_000, 5_000),
+        (9_999, 10_000), (10_001, 50_000), (2_000_000, 1_000_000),
+    ])
+    def test_bucket_of(self, rank, expected):
+        assert bucket_of(rank) == expected
+
+    def test_rank_validation(self):
+        with pytest.raises(ValueError):
+            bucket_of(0)
+
+    def test_coarsen_list(self):
+        ranked = RankedList([f"s{i}" for i in range(1_200)])
+        coarse = coarsen_list(ranked)
+        assert coarse["s0"] == 1_000
+        assert coarse["s999"] == 1_000
+        assert coarse["s1000"] == 5_000
+
+    def test_coarsening_loses_order_within_bucket(self):
+        ranked = RankedList(["a", "b", "c"])
+        coarse = coarsen_list(ranked)
+        assert coarse["a"] == coarse["b"] == coarse["c"] == 1_000
+
+
+class TestGlobalRanking:
+    def test_shared_head_dominates(self, reference_dataset):
+        lists = reference_dataset.select(
+            Platform.WINDOWS, Metric.PAGE_LOADS, REFERENCE_MONTH
+        )
+        dist = reference_dataset.distribution(Platform.WINDOWS, Metric.PAGE_LOADS)
+        ranking = global_ranking(lists, dist)
+        # google leads every country, so it must lead the aggregate.
+        assert ranking[1] == "google"
+        # The union of all lists is ranked.
+        union = set()
+        for ranked in lists.values():
+            union.update(ranked.sites)
+        assert len(ranking) == len(union)
+
+    def test_bigger_markets_weigh_more(self, reference_dataset):
+        lists = reference_dataset.select(
+            Platform.WINDOWS, Metric.PAGE_LOADS, REFERENCE_MONTH,
+            countries=("US", "NZ"),
+        )
+        dist = reference_dataset.distribution(Platform.WINDOWS, Metric.PAGE_LOADS)
+        ranking = global_ranking(lists, dist)
+        us_second = lists["US"][2]
+        nz_second = lists["NZ"][2]
+        if us_second != nz_second:
+            assert ranking.rank_of(us_second) < ranking.rank_of(nz_second)
+
+    def test_empty_input(self):
+        from repro.core import TrafficDistribution
+        dist = TrafficDistribution([(1, 0.1), (10, 0.5)], total_sites=10)
+        with pytest.raises(ValueError):
+            global_ranking({}, dist)
+
+
+class TestExport:
+    def test_export_structure(self, reference_dataset):
+        export = export_crux(
+            reference_dataset, Platform.WINDOWS, REFERENCE_MONTH,
+            countries=("US", "KR", "BR"),
+        )
+        assert export.countries() == ("BR", "KR", "US")
+        assert export.metric is Metric.PAGE_LOADS
+        # Every per-country bucket is a real CrUX magnitude.
+        for buckets in export.per_country.values():
+            assert set(buckets.values()) <= set(CRUX_BUCKETS)
+
+    def test_top_sites_in_smallest_bucket(self, reference_dataset):
+        export = export_crux(
+            reference_dataset, Platform.WINDOWS, REFERENCE_MONTH,
+            countries=("US", "KR"),
+        )
+        assert export.per_country["US"]["google"] == 1_000
+        assert export.global_buckets["google"] == 1_000
+        assert "naver.com" in export.sites_in_bucket(1_000, country="KR")
+
+    def test_empty_slice_raises(self, reference_dataset):
+        with pytest.raises(ValueError):
+            export_crux(reference_dataset, Platform.WINDOWS, REFERENCE_MONTH,
+                        countries=())

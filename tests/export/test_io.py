@@ -1,0 +1,64 @@
+"""Tests for dataset persistence."""
+
+import json
+
+import pytest
+
+from repro.core import Metric, Platform, REFERENCE_MONTH
+from repro.core.errors import DatasetError
+from repro.export.io import load_dataset, save_dataset
+
+
+@pytest.fixture(scope="module")
+def small_slice(generator):
+    return generator.generate(
+        countries=("US", "KR"),
+        platforms=(Platform.WINDOWS,),
+        metrics=Metric.studied(),
+        months=(REFERENCE_MONTH,),
+    )
+
+
+class TestRoundTrip:
+    def test_save_load_identity(self, small_slice, tmp_path):
+        save_dataset(small_slice, tmp_path / "ds")
+        loaded = load_dataset(tmp_path / "ds")
+        assert set(loaded.breakdowns()) == set(small_slice.breakdowns())
+        for breakdown in small_slice.breakdowns():
+            assert loaded[breakdown] == small_slice[breakdown]
+
+    def test_distributions_survive(self, small_slice, tmp_path):
+        save_dataset(small_slice, tmp_path / "ds")
+        loaded = load_dataset(tmp_path / "ds")
+        original = small_slice.distribution(Platform.WINDOWS, Metric.PAGE_LOADS)
+        restored = loaded.distribution(Platform.WINDOWS, Metric.PAGE_LOADS)
+        for rank in (1, 100, 9_999):
+            assert restored.cumulative_share(rank) == pytest.approx(
+                original.cumulative_share(rank)
+            )
+
+    def test_metadata_survives(self, small_slice, tmp_path):
+        save_dataset(small_slice, tmp_path / "ds")
+        loaded = load_dataset(tmp_path / "ds")
+        assert loaded.metadata["seed"] == small_slice.metadata["seed"]
+
+    def test_files_are_plain_text(self, small_slice, tmp_path):
+        root = save_dataset(small_slice, tmp_path / "ds")
+        files = sorted((root / "lists").glob("*.txt"))
+        assert files
+        first = files[0].read_text(encoding="utf-8").splitlines()
+        assert all(line and " " not in line for line in first[:50])
+
+
+class TestErrors:
+    def test_missing_manifest(self, tmp_path):
+        with pytest.raises(DatasetError):
+            load_dataset(tmp_path)
+
+    def test_wrong_format_version(self, small_slice, tmp_path):
+        root = save_dataset(small_slice, tmp_path / "ds")
+        manifest = json.loads((root / "manifest.json").read_text())
+        manifest["format_version"] = 999
+        (root / "manifest.json").write_text(json.dumps(manifest))
+        with pytest.raises(DatasetError):
+            load_dataset(root)

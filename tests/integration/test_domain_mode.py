@@ -1,0 +1,76 @@
+"""Integration: raw-domain emission + eTLD merging ≡ canonical emission.
+
+The generator can emit either canonical site identities directly or the
+raw per-country domains (google.co.uk, shopee.com.vn, ...).  Running the
+Section 3.1 merge pipeline over the raw domains must reproduce the
+canonical lists exactly — the property that proves the eTLD subsystem
+implements the aggregation step correctly.
+"""
+
+import pytest
+
+from repro.core import Metric, Platform, REFERENCE_MONTH
+from repro.etld.merge import DomainMerger
+from repro.synth import GeneratorConfig, TelemetryGenerator
+
+# The corpus must include at least two markets of every multinational
+# present, otherwise the merge rule ("a secondary version exists under
+# another eTLD") cannot fire — e.g. mercadolibre needs BR plus a
+# Spanish-American market, lazada needs two southeast-Asian ones.
+COUNTRIES = ("US", "GB", "BR", "KR", "VN", "TW", "MX", "TH")
+
+
+@pytest.fixture(scope="module")
+def canonical_gen():
+    return TelemetryGenerator(GeneratorConfig.small())
+
+
+@pytest.fixture(scope="module")
+def domain_gen():
+    return TelemetryGenerator(GeneratorConfig.small(emit="domains"))
+
+
+@pytest.fixture(scope="module")
+def merger(domain_gen):
+    corpus: set[str] = set()
+    for country in COUNTRIES:
+        ranked = domain_gen.rank_list(country, Platform.WINDOWS, Metric.PAGE_LOADS)
+        corpus.update(ranked.sites)
+    return DomainMerger(corpus)
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("country", COUNTRIES)
+    def test_merged_domains_match_canonical(self, canonical_gen, domain_gen,
+                                            merger, country):
+        canonical = canonical_gen.rank_list(
+            country, Platform.WINDOWS, Metric.PAGE_LOADS
+        )
+        raw = domain_gen.rank_list(country, Platform.WINDOWS, Metric.PAGE_LOADS)
+        merged = raw.rename(merger.mapping_for(raw.sites))
+        assert merged.sites == canonical.sites
+
+    def test_multinationals_actually_vary_by_country(self, domain_gen):
+        us = domain_gen.rank_list("US", Platform.WINDOWS, Metric.PAGE_LOADS)
+        gb = domain_gen.rank_list("GB", Platform.WINDOWS, Metric.PAGE_LOADS)
+        assert "google.com" in us.top(3)
+        assert "google.co.uk" in gb.top(3)
+
+    def test_merger_collapses_the_multinationals(self, merger):
+        assert merger.canonical("google.com") == "google"
+        assert merger.canonical("google.co.uk") == "google"
+        # Single-market site identities are untouched.
+        assert merger.canonical("naver.com") == "naver.com"
+
+    def test_cross_country_comparison_only_works_after_merge(
+        self, domain_gen, merger
+    ):
+        us = domain_gen.rank_list("US", Platform.WINDOWS, Metric.PAGE_LOADS)
+        gb = domain_gen.rank_list("GB", Platform.WINDOWS, Metric.PAGE_LOADS)
+        raw_overlap = us.top(10).percent_intersection(gb.top(10))
+        merged_us = us.rename(merger.mapping_for(us.sites))
+        merged_gb = gb.rename(merger.mapping_for(gb.sites))
+        merged_overlap = merged_us.top(10).percent_intersection(merged_gb.top(10))
+        # Without merging, the shared multinationals look like different
+        # sites — exactly the noise Section 3.1 warns about.
+        assert merged_overlap > raw_overlap

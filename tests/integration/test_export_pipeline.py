@@ -1,0 +1,66 @@
+"""Integration: private dataset → public CrUX-style view → analysis.
+
+Section 3.1 notes researchers without the private data can use the
+public CrUX buckets.  This test checks that the public view supports a
+coarse version of the concentration/use-case analysis and degrades the
+fine-grained ones in the expected way (rank order lost within buckets).
+"""
+
+import pytest
+
+from repro.core import Metric, Platform, REFERENCE_MONTH
+from repro.export.crux import export_crux
+
+COUNTRIES = ("US", "KR", "BR", "FR", "JP", "NG")
+
+
+@pytest.fixture(scope="module")
+def export(reference_dataset):
+    return export_crux(
+        reference_dataset, Platform.WINDOWS, REFERENCE_MONTH, countries=COUNTRIES
+    )
+
+
+class TestPublicViewProperties:
+    def test_bucket_membership_consistent_with_private_ranks(
+        self, export, reference_dataset
+    ):
+        for country in COUNTRIES:
+            private = reference_dataset.get(
+                country, Platform.WINDOWS, Metric.PAGE_LOADS, REFERENCE_MONTH
+            )
+            public = export.per_country[country]
+            for rank, site in enumerate(private.top(1_200).sites, start=1):
+                assert public[site] >= rank
+
+    def test_top_bucket_recovers_head_sites(self, export, reference_dataset):
+        for country in COUNTRIES:
+            private = reference_dataset.get(
+                country, Platform.WINDOWS, Metric.PAGE_LOADS, REFERENCE_MONTH
+            )
+            head_bucket = export.sites_in_bucket(1_000, country=country)
+            assert set(private.top(1_000).sites) == head_bucket
+
+    def test_rank_order_is_lost_within_buckets(self, export):
+        # The public data cannot distinguish rank 1 from rank 999.
+        us = export.per_country["US"]
+        assert us["google"] == 1_000
+        values_at_head = {b for s, b in us.items() if b == 1_000}
+        assert values_at_head == {1_000}
+
+    def test_global_view_headed_by_global_anchors(self, export):
+        head = export.sites_in_bucket(1_000)
+        for anchor in ("google", "facebook.com", "youtube.com"):
+            assert anchor in head
+
+    def test_cross_country_use_case_analysis_survives_coarsening(
+        self, export, labels
+    ):
+        # Every country's top bucket still contains a search engine and
+        # a video platform — the Section 4.2.1 finding is recoverable
+        # from public data.
+        for country in COUNTRIES:
+            head = export.sites_in_bucket(1_000, country=country)
+            categories = {labels.get(site, "Unknown") for site in head}
+            assert "Search Engines" in categories
+            assert "Video Streaming" in categories

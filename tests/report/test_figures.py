@@ -1,0 +1,55 @@
+"""Tests for ASCII figure rendering."""
+
+import numpy as np
+import pytest
+
+from repro.report.figures import render_heatmap, render_series, sparkline
+
+
+class TestSparkline:
+    def test_length_matches_input(self):
+        assert len(sparkline([1, 2, 3])) == 3
+
+    def test_monotone_series_monotone_blocks(self):
+        line = sparkline([0, 1, 2, 3, 4, 5, 6, 7, 8])
+        assert list(line) == sorted(line, key=" ▁▂▃▄▅▆▇█".index)
+
+    def test_constant_series(self):
+        assert sparkline([5, 5, 5]) == "▄▄▄"
+
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_explicit_bounds(self):
+        clipped = sparkline([0.5], lo=0.0, hi=1.0)
+        assert clipped in "▃▄▅"
+
+
+class TestRenderSeries:
+    def test_includes_labels_and_values(self):
+        out = render_series({"desktop": [0.6, 0.7]}, title="Overlap")
+        assert "Overlap" in out
+        assert "desktop" in out
+        assert "0.60 → 0.70" in out
+
+    def test_x_labels(self):
+        out = render_series({"s": [1.0]}, x_labels=["jan"], title=None)
+        assert "jan" in out
+
+    def test_skips_empty_series(self):
+        out = render_series({"empty": []})
+        assert "empty" not in out
+
+
+class TestRenderHeatmap:
+    def test_structure(self):
+        m = np.array([[1.0, 0.2], [0.2, 1.0]])
+        out = render_heatmap(["US", "BR"], m, title="RBO")
+        lines = out.splitlines()
+        assert lines[0] == "RBO"
+        assert lines[2].startswith("US")
+        assert lines[3].startswith("BR")
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            render_heatmap(["A"], np.zeros((2, 2)))

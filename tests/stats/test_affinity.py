@@ -1,0 +1,85 @@
+"""Tests for affinity propagation."""
+
+import numpy as np
+import pytest
+
+from repro.stats.affinity import affinity_propagation
+
+
+def _block_similarity(sizes, within=0.9, between=0.1, noise=0.02, seed=0):
+    """A similarity matrix with planted blocks."""
+    rng = np.random.default_rng(seed)
+    n = sum(sizes)
+    labels = np.concatenate([[i] * s for i, s in enumerate(sizes)])
+    sim = np.where(labels[:, None] == labels[None, :], within, between)
+    sim = sim + noise * rng.standard_normal((n, n))
+    sim = (sim + sim.T) / 2
+    return sim, labels
+
+
+class TestClustering:
+    def test_recovers_planted_blocks(self):
+        sim, truth = _block_similarity([5, 5, 5])
+        result = affinity_propagation(sim, seed=1)
+        assert result.n_clusters == 3
+        # Same-block points share a label; cross-block points do not.
+        for block in range(3):
+            block_labels = result.labels[truth == block]
+            assert len(set(block_labels.tolist())) == 1
+        assert len(set(result.labels.tolist())) == 3
+
+    def test_exemplars_belong_to_their_cluster(self):
+        sim, _ = _block_similarity([4, 4])
+        result = affinity_propagation(sim, seed=2)
+        for cluster_index, exemplar in enumerate(result.exemplars):
+            assert result.labels[exemplar] == cluster_index
+
+    def test_single_point(self):
+        result = affinity_propagation(np.array([[1.0]]))
+        assert result.n_clusters == 1
+        assert result.labels.tolist() == [0]
+
+    def test_low_preference_fewer_clusters(self):
+        sim, _ = _block_similarity([4, 4, 4], within=0.6, between=0.4)
+        many = affinity_propagation(sim, preference=0.6, seed=3)
+        few = affinity_propagation(sim, preference=-2.0, seed=3)
+        assert few.n_clusters <= many.n_clusters
+
+    def test_members_partition_points(self):
+        sim, _ = _block_similarity([6, 6])
+        result = affinity_propagation(sim, seed=4)
+        seen = np.concatenate([result.members(c) for c in range(result.n_clusters)])
+        assert sorted(seen.tolist()) == list(range(12))
+
+    def test_deterministic_given_seed(self):
+        sim, _ = _block_similarity([5, 5])
+        a = affinity_propagation(sim, seed=7)
+        b = affinity_propagation(sim, seed=7)
+        assert np.array_equal(a.labels, b.labels)
+
+    def test_matches_sklearn_reference_on_blocks(self):
+        # Not a bitwise comparison (different damping paths), but both
+        # must find the same partition on a clean block matrix.
+        sim, truth = _block_similarity([6, 6, 6], noise=0.01)
+        result = affinity_propagation(sim, seed=5)
+        assert result.n_clusters == 3
+        relabel = {}
+        for point, label in enumerate(result.labels):
+            relabel.setdefault(label, truth[point])
+            assert relabel[label] == truth[point]
+
+
+class TestValidation:
+    def test_non_square_rejected(self):
+        with pytest.raises(ValueError):
+            affinity_propagation(np.zeros((2, 3)))
+
+    def test_bad_damping_rejected(self):
+        with pytest.raises(ValueError):
+            affinity_propagation(np.eye(3), damping=0.4)
+        with pytest.raises(ValueError):
+            affinity_propagation(np.eye(3), damping=1.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            affinity_propagation(np.zeros((0, 0)))

@@ -1,0 +1,66 @@
+"""Tests for multiple-testing corrections."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stats.correction import bonferroni, bonferroni_adjusted, holm
+
+p_lists = st.lists(st.floats(min_value=0, max_value=1, allow_nan=False),
+                   min_size=0, max_size=40)
+
+
+class TestBonferroni:
+    def test_threshold_divided_by_m(self):
+        # alpha=0.05, m=5 -> threshold 0.01
+        assert bonferroni([0.009, 0.011, 0.5, 0.01, 1.0], 0.05) == [
+            True, False, False, True, False,
+        ]
+
+    def test_empty(self):
+        assert bonferroni([]) == []
+
+    def test_adjusted_p_values(self):
+        assert bonferroni_adjusted([0.01, 0.4]) == [0.02, 0.8]
+        assert bonferroni_adjusted([0.9, 0.9]) == [1.0, 1.0]
+
+    def test_alpha_validation(self):
+        with pytest.raises(ValueError):
+            bonferroni([0.1], alpha=0.0)
+
+    def test_p_validation(self):
+        with pytest.raises(ValueError):
+            bonferroni([1.5])
+
+    @given(p_lists)
+    @settings(max_examples=60)
+    def test_never_rejects_above_alpha(self, ps):
+        rejected = bonferroni(ps, 0.05)
+        for p, r in zip(ps, rejected):
+            if r:
+                assert p <= 0.05
+
+
+class TestHolm:
+    def test_step_down_beats_bonferroni(self):
+        ps = [0.01, 0.012, 0.9]
+        # Bonferroni threshold 0.05/3=0.0167 rejects both small ones;
+        # Holm also rejects both (0.01 <= 0.05/3, 0.012 <= 0.05/2).
+        assert holm(ps) == [True, True, False]
+
+    def test_stops_at_first_failure(self):
+        ps = [0.001, 0.04, 0.02]
+        # sorted: 0.001 (<=0.05/3 yes), 0.02 (<=0.05/2 yes), 0.04 (<=0.05 yes)
+        assert holm(ps) == [True, True, True]
+        ps2 = [0.001, 0.03, 0.5]
+        # 0.001 yes; 0.03 > 0.025 -> stop.
+        assert holm(ps2) == [True, False, False]
+
+    @given(p_lists)
+    @settings(max_examples=60)
+    def test_holm_at_least_as_powerful_as_bonferroni(self, ps):
+        bon = bonferroni(ps, 0.05)
+        ho = holm(ps, 0.05)
+        for b, h in zip(bon, ho):
+            if b:
+                assert h

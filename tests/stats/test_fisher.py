@@ -1,0 +1,104 @@
+"""Tests for Fisher's exact test, cross-validated against scipy."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy import stats as scipy_stats
+
+from repro.stats.fisher import (
+    fisher_exact,
+    hypergeom_logpmf,
+    normalized_difference,
+    proportion_test,
+)
+
+counts = st.integers(min_value=0, max_value=120)
+
+
+class TestFisherExact:
+    def test_known_table(self):
+        ours = fisher_exact(((8, 2), (1, 5)))
+        theirs = scipy_stats.fisher_exact([[8, 2], [1, 5]])[1]
+        assert ours == pytest.approx(theirs, rel=1e-9)
+
+    def test_independent_table_p_one(self):
+        assert fisher_exact(((5, 5), (5, 5))) == pytest.approx(1.0)
+
+    def test_empty_table(self):
+        assert fisher_exact(((0, 0), (0, 0))) == 1.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            fisher_exact(((-1, 2), (3, 4)))
+
+    @given(counts, counts, counts, counts)
+    @settings(max_examples=80, deadline=None)
+    def test_matches_scipy(self, a, b, c, d):
+        ours = fisher_exact(((a, b), (c, d)))
+        theirs = scipy_stats.fisher_exact([[a, b], [c, d]])[1]
+        assert ours == pytest.approx(theirs, rel=1e-7, abs=1e-12)
+
+    @given(counts, counts, counts, counts)
+    @settings(max_examples=40, deadline=None)
+    def test_p_value_in_unit_interval(self, a, b, c, d):
+        assert 0.0 <= fisher_exact(((a, b), (c, d))) <= 1.0
+
+
+class TestHypergeomLogpmf:
+    def test_matches_scipy(self):
+        ours = hypergeom_logpmf(3, 20, 7, 12)
+        theirs = scipy_stats.hypergeom.logpmf(3, 20, 7, 12)
+        assert ours == pytest.approx(float(theirs))
+
+    def test_impossible_outcome(self):
+        assert hypergeom_logpmf(10, 10, 2, 3) == float("-inf")
+
+
+class TestProportionTest:
+    def test_equal_shares_not_significant(self):
+        result = proportion_test(0.10, 0.10)
+        assert result.p_value == pytest.approx(1.0)
+        assert not result.significant()
+
+    def test_large_gap_significant(self):
+        result = proportion_test(0.20, 0.05, effective_n=10_000)
+        assert result.significant(0.05)
+        assert result.difference == pytest.approx(0.15)
+
+    def test_power_grows_with_effective_n(self):
+        small = proportion_test(0.012, 0.010, effective_n=1_000)
+        large = proportion_test(0.012, 0.010, effective_n=1_000_000)
+        assert large.p_value < small.p_value
+
+    def test_share_bounds(self):
+        with pytest.raises(ValueError):
+            proportion_test(1.2, 0.5)
+        with pytest.raises(ValueError):
+            proportion_test(0.5, -0.1)
+
+
+class TestNormalizedDifference:
+    def test_sign_convention(self):
+        # Positive = Android-leaning, negative = Windows-leaning.
+        assert normalized_difference(0.2, 0.1) > 0
+        assert normalized_difference(0.1, 0.2) < 0
+
+    def test_bounds(self):
+        assert normalized_difference(1.0, 0.0) == 1.0
+        assert normalized_difference(0.0, 1.0) == -1.0
+        assert normalized_difference(0.0, 0.0) == 0.0
+
+    def test_formula(self):
+        assert normalized_difference(0.3, 0.1) == pytest.approx((0.3 - 0.1) / 0.3)
+
+    @given(
+        st.floats(min_value=0, max_value=10, allow_nan=False),
+        st.floats(min_value=0, max_value=10, allow_nan=False),
+    )
+    @settings(max_examples=60)
+    def test_always_in_minus_one_one(self, a, w):
+        assert -1.0 <= normalized_difference(a, w) <= 1.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            normalized_difference(-0.1, 0.2)

@@ -1,0 +1,81 @@
+"""Tests for Kendall's tau, cross-validated against scipy."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy import stats as scipy_stats
+
+from repro.core import RankedList
+from repro.stats.kendall import kendall_from_lists, kendall_tau
+
+paired = st.lists(
+    st.tuples(
+        st.floats(min_value=-50, max_value=50, allow_nan=False),
+        st.floats(min_value=-50, max_value=50, allow_nan=False),
+    ),
+    min_size=3, max_size=30,
+)
+
+
+class TestKendallTau:
+    def test_perfect_agreement(self):
+        assert kendall_tau([1, 2, 3], [10, 20, 30]) == pytest.approx(1.0)
+
+    def test_perfect_disagreement(self):
+        assert kendall_tau([1, 2, 3], [3, 2, 1]) == pytest.approx(-1.0)
+
+    def test_constant_is_nan(self):
+        assert math.isnan(kendall_tau([1, 1, 1], [1, 2, 3]))
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            kendall_tau([1], [1, 2])
+
+    def test_ties_match_scipy(self):
+        x = [1, 2, 2, 3, 3, 3]
+        y = [1, 3, 2, 4, 4, 5]
+        expected = scipy_stats.kendalltau(x, y).statistic
+        assert kendall_tau(x, y) == pytest.approx(float(expected))
+
+    @given(paired)
+    @settings(max_examples=50)
+    def test_matches_scipy(self, pairs):
+        x = [p[0] for p in pairs]
+        y = [p[1] for p in pairs]
+        ours = kendall_tau(x, y)
+        theirs = scipy_stats.kendalltau(x, y).statistic
+        if math.isnan(ours) or (isinstance(theirs, float) and math.isnan(theirs)):
+            assert math.isnan(ours) == math.isnan(float(theirs))
+        else:
+            assert ours == pytest.approx(float(theirs), abs=1e-9)
+
+    @given(paired)
+    @settings(max_examples=30)
+    def test_bounded(self, pairs):
+        tau = kendall_tau([p[0] for p in pairs], [p[1] for p in pairs])
+        if not math.isnan(tau):
+            assert -1.0 - 1e-9 <= tau <= 1.0 + 1e-9
+
+
+class TestKendallFromLists:
+    def test_identical_lists(self):
+        a = RankedList(["x", "y", "z"])
+        assert kendall_from_lists(a, a) == pytest.approx(1.0)
+
+    def test_tau_does_not_exceed_rho_magnitude_ordering(self):
+        # Not a theorem, but for our moderately shuffled lists tau is
+        # typically below rho; just sanity-check both are positive for
+        # similar lists.
+        from repro.stats.spearman import spearman_from_lists
+        a = RankedList([f"s{i}" for i in range(30)])
+        shuffled = list(a.sites)
+        shuffled[0], shuffled[3] = shuffled[3], shuffled[0]
+        shuffled[10], shuffled[15] = shuffled[15], shuffled[10]
+        b = RankedList(shuffled)
+        assert kendall_from_lists(a, b) > 0.8
+        assert spearman_from_lists(a, b) > 0.8
+
+    def test_disjoint_nan(self):
+        assert math.isnan(kendall_from_lists(RankedList(["a"]), RankedList(["b"])))

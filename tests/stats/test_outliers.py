@@ -1,0 +1,77 @@
+"""Tests for outlier detection."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stats.outliers import iqr_outliers, mad_outliers
+
+bulk = st.lists(st.floats(min_value=-10, max_value=10, allow_nan=False),
+                min_size=5, max_size=60)
+
+
+class TestIQR:
+    def test_detects_obvious_outlier(self):
+        data = [1, 2, 3, 4, 5, 100]
+        result = iqr_outliers(data)
+        assert result.mask.tolist() == [False] * 5 + [True]
+
+    def test_side_upper_ignores_lower_tail(self):
+        data = [-100, 1, 2, 3, 4, 5]
+        assert iqr_outliers(data, side="upper").n_outliers == 0
+        assert iqr_outliers(data, side="lower").n_outliers == 1
+
+    def test_fences_ordering(self):
+        result = iqr_outliers(range(100))
+        assert result.lower_fence < result.upper_fence
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            iqr_outliers([])
+        with pytest.raises(ValueError):
+            iqr_outliers([1.0], k=0)
+        with pytest.raises(ValueError):
+            iqr_outliers([1.0], side="sideways")
+
+    @given(bulk)
+    @settings(max_examples=50)
+    def test_mask_consistent_with_fences(self, data):
+        result = iqr_outliers(data, k=3.0)
+        for value, flagged in zip(data, result.mask):
+            outside = value < result.lower_fence or value > result.upper_fence
+            assert flagged == outside
+
+
+class TestMAD:
+    def test_detects_global_sites_pattern(self):
+        # 98 % of the mass near zero (national), a 2 % far tail (global):
+        # the endemicity use case.
+        data = np.concatenate([np.random.default_rng(0).normal(0, 1, 490),
+                               np.full(10, 60.0)])
+        result = mad_outliers(data, side="upper")
+        assert result.mask[-10:].all()
+        assert result.mask[:490].sum() <= 5
+
+    def test_degenerate_bulk_does_not_crash(self):
+        data = [1.0] * 20 + [50.0]
+        result = mad_outliers(data, side="upper")
+        assert result.mask[-1]
+
+    def test_side_lower(self):
+        data = [5.0] * 20 + [-100.0]
+        assert mad_outliers(data, side="lower").mask[-1]
+        assert not mad_outliers(data, side="upper").mask[-1]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            mad_outliers([])
+        with pytest.raises(ValueError):
+            mad_outliers([1.0], threshold=0)
+
+    @given(bulk)
+    @settings(max_examples=50)
+    def test_fences_bracket_median(self, data):
+        result = mad_outliers(data)
+        med = float(np.median(data))
+        assert result.lower_fence <= med <= result.upper_fence

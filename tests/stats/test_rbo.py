@@ -1,0 +1,124 @@
+"""Tests for RBO and traffic-weighted RBO."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import RankedList, TrafficDistribution
+from repro.stats.rbo import agreement_sequence, rbo, traffic_weighted_rbo, weighted_rbo
+
+DIST = TrafficDistribution([(1, 0.17), (6, 0.25), (100, 0.4), (1000, 0.6)],
+                           total_sites=1000)
+
+ranked_lists = st.lists(
+    st.text(alphabet="abcdefghij", min_size=1, max_size=4),
+    min_size=1, max_size=30, unique=True,
+)
+
+
+class TestAgreementSequence:
+    def test_identical_lists(self):
+        a = ["x", "y", "z"]
+        assert list(agreement_sequence(a, a)) == [1.0, 1.0, 1.0]
+
+    def test_disjoint_lists(self):
+        assert list(agreement_sequence(["a", "b"], ["c", "d"])) == [0.0, 0.0]
+
+    def test_swap_at_top(self):
+        # depth 1: no overlap; depth 2: both seen.
+        seq = agreement_sequence(["a", "b"], ["b", "a"])
+        assert list(seq) == [0.0, 1.0]
+
+    def test_depth_truncation(self):
+        seq = agreement_sequence(["a", "b", "c"], ["a", "b", "c"], depth=2)
+        assert len(seq) == 2
+
+    def test_bad_depth(self):
+        with pytest.raises(ValueError):
+            agreement_sequence(["a"], ["a"], depth=0)
+
+    @given(ranked_lists, ranked_lists)
+    @settings(max_examples=60)
+    def test_agreement_bounded_and_consistent(self, a, b):
+        seq = agreement_sequence(a, b)
+        k = min(len(a), len(b))
+        assert len(seq) == k
+        for d in range(k):
+            expected = len(set(a[: d + 1]) & set(b[: d + 1])) / (d + 1)
+            assert seq[d] == pytest.approx(expected)
+
+
+class TestClassicRBO:
+    def test_identical_is_one(self):
+        a = RankedList([f"s{i}" for i in range(20)])
+        assert rbo(a, a) == pytest.approx(1.0)
+
+    def test_disjoint_is_zero(self):
+        a = RankedList(["a", "b", "c"])
+        b = RankedList(["x", "y", "z"])
+        assert rbo(a, b) == pytest.approx(0.0, abs=1e-9)
+
+    def test_p_validation(self):
+        with pytest.raises(ValueError):
+            rbo(["a"], ["a"], p=1.0)
+
+    def test_head_agreement_worth_more(self):
+        base = [f"s{i}" for i in range(10)]
+        head_swap = list(base)
+        head_swap[0], head_swap[9] = head_swap[9], head_swap[0]
+        tail_swap = list(base)
+        tail_swap[8], tail_swap[9] = tail_swap[9], tail_swap[8]
+        assert rbo(base, tail_swap) > rbo(base, head_swap)
+
+    @given(ranked_lists, ranked_lists)
+    @settings(max_examples=50)
+    def test_bounded_and_symmetric(self, a, b):
+        val = rbo(a, b)
+        assert 0.0 <= val <= 1.0
+        assert val == pytest.approx(rbo(b, a))
+
+
+class TestWeightedRBO:
+    def test_identical_is_one(self):
+        a = ["x", "y", "z"]
+        assert weighted_rbo(a, a, np.array([0.5, 0.3, 0.2])) == pytest.approx(1.0)
+
+    def test_weights_steer_the_score(self):
+        a = ["x", "y"]
+        b = ["x", "q"]
+        head_heavy = weighted_rbo(a, b, np.array([0.9, 0.1]))
+        tail_heavy = weighted_rbo(a, b, np.array([0.1, 0.9]))
+        assert head_heavy > tail_heavy
+
+    def test_insufficient_weights_rejected(self):
+        with pytest.raises(ValueError):
+            weighted_rbo(["a", "b"], ["a", "b"], np.array([1.0]))
+
+    def test_negative_weights_rejected(self):
+        with pytest.raises(ValueError):
+            weighted_rbo(["a"], ["a"], np.array([-1.0]))
+
+    def test_zero_weights_rejected(self):
+        with pytest.raises(ValueError):
+            weighted_rbo(["a"], ["a"], np.array([0.0]))
+
+    @given(ranked_lists, ranked_lists)
+    @settings(max_examples=50)
+    def test_traffic_weighted_bounded_and_symmetric(self, a, b):
+        ra, rb = RankedList(a), RankedList(b)
+        val = traffic_weighted_rbo(ra, rb, DIST)
+        assert 0.0 <= val <= 1.0
+        assert val == pytest.approx(traffic_weighted_rbo(rb, ra, DIST))
+
+    def test_traffic_weighting_emphasises_rank_one(self):
+        # Same #1 site, everything else different, vs different #1 site,
+        # everything else shared: the traffic curve (17 % at rank 1)
+        # must make the shared-#1 pair more similar at shallow depth.
+        same_head_a = RankedList(["g", "a1", "a2", "a3"])
+        same_head_b = RankedList(["g", "b1", "b2", "b3"])
+        diff_head_a = RankedList(["g", "c1", "c2", "c3"])
+        diff_head_b = RankedList(["n", "g", "c2", "c3"])
+        same = traffic_weighted_rbo(same_head_a, same_head_b, DIST, depth=2)
+        diff = traffic_weighted_rbo(diff_head_a, diff_head_b, DIST, depth=2)
+        assert same > diff

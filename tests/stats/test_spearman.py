@@ -1,0 +1,84 @@
+"""Tests for Spearman's rho, cross-validated against scipy."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy import stats as scipy_stats
+
+from repro.core import RankedList
+from repro.stats.spearman import spearman_from_lists, spearman_rho
+
+paired = st.lists(
+    st.tuples(
+        st.floats(min_value=-100, max_value=100, allow_nan=False),
+        st.floats(min_value=-100, max_value=100, allow_nan=False),
+    ),
+    min_size=3, max_size=50,
+)
+
+
+class TestSpearmanRho:
+    def test_perfect_agreement(self):
+        assert spearman_rho([1, 2, 3], [10, 20, 30]) == pytest.approx(1.0)
+
+    def test_perfect_disagreement(self):
+        assert spearman_rho([1, 2, 3], [3, 2, 1]) == pytest.approx(-1.0)
+
+    def test_constant_input_is_nan(self):
+        assert math.isnan(spearman_rho([1, 1, 1], [1, 2, 3]))
+
+    def test_short_input_is_nan(self):
+        assert math.isnan(spearman_rho([1], [2]))
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            spearman_rho([1, 2], [1])
+
+    def test_tie_handling_matches_scipy(self):
+        x = [1, 2, 2, 3, 4, 4, 4]
+        y = [2, 1, 3, 3, 5, 4, 6]
+        expected = scipy_stats.spearmanr(x, y).statistic
+        assert spearman_rho(x, y) == pytest.approx(expected)
+
+    @given(paired)
+    @settings(max_examples=60)
+    def test_matches_scipy(self, pairs):
+        x = [p[0] for p in pairs]
+        y = [p[1] for p in pairs]
+        ours = spearman_rho(x, y)
+        theirs = scipy_stats.spearmanr(x, y).statistic
+        if math.isnan(ours) or (isinstance(theirs, float) and math.isnan(theirs)):
+            assert math.isnan(ours) == math.isnan(float(theirs))
+        else:
+            assert ours == pytest.approx(float(theirs), abs=1e-9)
+
+    @given(paired)
+    @settings(max_examples=40)
+    def test_bounded(self, pairs):
+        rho = spearman_rho([p[0] for p in pairs], [p[1] for p in pairs])
+        if not math.isnan(rho):
+            assert -1.0 - 1e-9 <= rho <= 1.0 + 1e-9
+
+
+class TestSpearmanFromLists:
+    def test_identical_lists(self):
+        a = RankedList(["x", "y", "z"])
+        assert spearman_from_lists(a, a) == pytest.approx(1.0)
+
+    def test_reversed_lists(self):
+        a = RankedList(["x", "y", "z"])
+        b = RankedList(["z", "y", "x"])
+        assert spearman_from_lists(a, b) == pytest.approx(-1.0)
+
+    def test_uses_only_the_intersection(self):
+        a = RankedList(["x", "q", "y", "z"])
+        b = RankedList(["x", "y", "z", "unrelated"])
+        # Intersection x, y, z is perfectly ordered in both lists.
+        assert spearman_from_lists(a, b) == pytest.approx(1.0)
+
+    def test_disjoint_lists_nan(self):
+        a = RankedList(["x"])
+        b = RankedList(["y"])
+        assert math.isnan(spearman_from_lists(a, b))

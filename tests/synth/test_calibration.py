@@ -1,0 +1,44 @@
+"""Tests for the calibration self-check."""
+
+import pytest
+
+from repro.synth import GeneratorConfig, TelemetryGenerator
+from repro.synth.calibration import AnchorCheck, calibration_report
+
+
+class TestAnchorCheck:
+    def test_band_logic(self):
+        check = AnchorCheck("x", paper=0.5, measured=0.55, lo=0.4, hi=0.6)
+        assert check.ok
+        assert not AnchorCheck("x", 0.5, 0.75, 0.4, 0.6).ok
+
+    def test_str_mentions_status(self):
+        assert "OFF" in str(AnchorCheck("x", 0.5, 0.9, 0.4, 0.6))
+        assert "ok" in str(AnchorCheck("x", 0.5, 0.5, 0.4, 0.6))
+
+
+class TestCalibrationReport:
+    @pytest.fixture(scope="class")
+    def report(self, generator):
+        return calibration_report(generator)
+
+    def test_all_anchors_present(self, report):
+        names = {c.name for c in report.checks}
+        assert any("google" in n for n in names)
+        assert any("naver" in n for n in names)
+        assert any("exclusivity" in n for n in names)
+        assert len(report.checks) >= 8
+
+    def test_small_universe_holds_the_anchors(self, report):
+        # The small test universe must stay within the (loosened) bands;
+        # this is the regression alarm for world-model edits.
+        assert report.ok, "\n" + str(report)
+
+    def test_failures_listed(self, report):
+        assert report.failures() == tuple(
+            c for c in report.checks if not c.ok
+        )
+
+    def test_report_renders(self, report):
+        text = str(report)
+        assert text.count("\n") == len(report.checks) - 1

@@ -1,0 +1,74 @@
+"""Tests for domain-string synthesis."""
+
+import numpy as np
+import pytest
+
+from repro.etld.psl import DEFAULT_PSL
+from repro.synth.domains import (
+    COUNTRY_SUFFIX,
+    endemic_domain,
+    global_domain,
+    multinational_domain,
+    pseudoword,
+    unique_labels,
+)
+from repro.world.countries import COUNTRY_CODES
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(42)
+
+
+class TestPseudowords:
+    def test_pronounceable_structure(self, rng):
+        word = pseudoword(rng, syllables=3)
+        assert len(word) == 6
+        assert word.isalpha() and word.islower()
+
+    def test_syllable_validation(self, rng):
+        with pytest.raises(ValueError):
+            pseudoword(rng, syllables=0)
+
+    def test_unique_labels_are_unique(self, rng):
+        taken: set[str] = set()
+        labels = unique_labels(rng, 5_000, taken)
+        assert len(labels) == len(set(labels)) == 5_000
+        assert taken >= set(labels)
+
+    def test_unique_labels_respect_existing(self, rng):
+        taken = {"kapu", "tolo"}
+        labels = unique_labels(rng, 500, taken)
+        assert "kapu" not in labels and "tolo" not in labels
+
+    def test_negative_count_rejected(self, rng):
+        with pytest.raises(ValueError):
+            unique_labels(rng, -1, set())
+
+
+class TestDomains:
+    def test_every_study_country_has_a_suffix(self):
+        assert set(COUNTRY_SUFFIX) >= set(COUNTRY_CODES)
+
+    def test_global_domain_parses(self, rng):
+        for _ in range(50):
+            domain = global_domain("kapola", rng)
+            match = DEFAULT_PSL.match(domain)
+            assert match.label == "kapola"
+
+    def test_endemic_domain_uses_home_suffix_or_com(self, rng):
+        suffixes = {endemic_domain("mulato", "BR", rng).split(".", 1)[1]
+                    for _ in range(200)}
+        assert suffixes == {"com", "com.br"}
+
+    def test_endemic_unknown_country(self, rng):
+        with pytest.raises(KeyError):
+            endemic_domain("x", "XX", rng)
+
+    def test_multinational_domain_per_country(self):
+        assert multinational_domain("google", "GB") == "google.co.uk"
+        assert multinational_domain("google", "US") == "google.com"
+        assert multinational_domain("shopee", "VN") == "shopee.com.vn"
+
+    def test_multinational_unknown_country_defaults_to_com(self):
+        assert multinational_domain("google", "XX") == "google.com"

@@ -1,0 +1,127 @@
+"""Property-based tests of generator invariants, across seeds.
+
+Uses a micro universe (builds in well under a second) so hypothesis can
+afford several seeds per property.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Metric, Month, Platform
+from repro.synth import GeneratorConfig, TelemetryGenerator
+from repro.synth.privacy import PrivacyConfig
+from repro.synth.universe import UniverseConfig
+
+
+def _micro_config(seed: int) -> GeneratorConfig:
+    return GeneratorConfig(
+        seed=seed,
+        universe=UniverseConfig(
+            seed=seed, global_pool=40, regional_pool=12, language_pool=8,
+            endemic_pool=150, neighbor_pool=100, strong_pool=10,
+        ),
+        list_size=100,
+        privacy=PrivacyConfig(client_threshold=0),
+    )
+
+
+seeds = st.integers(min_value=1, max_value=10_000)
+countries = st.sampled_from(["US", "KR", "BR", "JP", "NG", "FR", "IN"])
+platforms = st.sampled_from(list(Platform.studied()))
+metrics = st.sampled_from(list(Metric.studied()))
+months = st.builds(Month, st.just(2021), st.integers(min_value=9, max_value=12))
+
+
+class TestInvariants:
+    @given(seeds, countries, platforms, metrics, months)
+    @settings(max_examples=25, deadline=None)
+    def test_lists_are_valid_and_full(self, seed, country, platform, metric, month):
+        gen = TelemetryGenerator(_micro_config(seed))
+        ranked = gen.rank_list(country, platform, metric, month)
+        assert len(ranked) == 100
+        assert len(set(ranked.sites)) == 100
+        assert all(ranked.sites)
+
+    @given(seeds, countries, platforms, metrics)
+    @settings(max_examples=15, deadline=None)
+    def test_regeneration_is_identical(self, seed, country, platform, metric):
+        a = TelemetryGenerator(_micro_config(seed))
+        b = TelemetryGenerator(_micro_config(seed))
+        assert a.rank_list(country, platform, metric) == \
+            b.rank_list(country, platform, metric)
+
+    @given(seeds, countries)
+    @settings(max_examples=15, deadline=None)
+    def test_google_always_present_at_head(self, seed, country):
+        gen = TelemetryGenerator(_micro_config(seed))
+        ranked = gen.rank_list(country, Platform.WINDOWS, Metric.PAGE_LOADS)
+        google = gen.universe.canonical_of("google")
+        rank = ranked.rank_of(google)
+        assert rank is not None and rank <= 3
+
+    @given(seeds, countries, platforms)
+    @settings(max_examples=15, deadline=None)
+    def test_metric_lists_share_most_of_the_head(self, seed, country, platform):
+        gen = TelemetryGenerator(_micro_config(seed))
+        loads = gen.rank_list(country, platform, Metric.PAGE_LOADS)
+        time = gen.rank_list(country, platform, Metric.TIME_ON_PAGE)
+        # The top-10 by loads and by time always overlap substantially —
+        # the mega anchors appear in both however the noise falls.
+        assert loads.top(10).percent_intersection(time.top(10)) >= 0.3
+
+    @given(seeds, countries)
+    @settings(max_examples=10, deadline=None)
+    def test_endemic_sites_stay_home(self, seed, country):
+        gen = TelemetryGenerator(_micro_config(seed))
+        uni = gen.universe
+        ranked = gen.rank_list(country, Platform.WINDOWS, Metric.PAGE_LOADS)
+        canonical_to_uid = {
+            uni.canonical[int(u)]: int(u) for u in uni.candidates(country)
+        }
+        for site in ranked.sites:
+            uid = canonical_to_uid[site]
+            home = uni.home[uid]
+            if uni.archetype[uid] == 2:  # endemic
+                assert home == country
+
+    @given(seeds)
+    @settings(max_examples=8, deadline=None)
+    def test_adjacent_months_more_similar_than_distant(self, seed):
+        gen = TelemetryGenerator(_micro_config(seed))
+        sep = gen.rank_list("US", Platform.WINDOWS, Metric.PAGE_LOADS, Month(2021, 9))
+        oct_ = gen.rank_list("US", Platform.WINDOWS, Metric.PAGE_LOADS, Month(2021, 10))
+        feb = gen.rank_list("US", Platform.WINDOWS, Metric.PAGE_LOADS, Month(2022, 2))
+        assert sep.percent_intersection(oct_) >= sep.percent_intersection(feb) - 0.05
+
+
+class TestConfigEdgeCases:
+    def test_list_size_larger_than_pool_is_clamped(self):
+        cfg = GeneratorConfig(
+            seed=3,
+            universe=UniverseConfig(
+                seed=3, global_pool=10, regional_pool=2, language_pool=2,
+                endemic_pool=30, neighbor_pool=20, strong_pool=2,
+            ),
+            list_size=100_000,
+            privacy=PrivacyConfig(client_threshold=0),
+        )
+        gen = TelemetryGenerator(cfg)
+        ranked = gen.rank_list("US", Platform.WINDOWS, Metric.PAGE_LOADS)
+        assert 0 < len(ranked) < 100_000
+
+    def test_zero_pools_still_serve_named_sites(self):
+        cfg = GeneratorConfig(
+            seed=4,
+            universe=UniverseConfig(
+                seed=4, global_pool=0, regional_pool=0, language_pool=0,
+                endemic_pool=0, neighbor_pool=0, strong_pool=0,
+                nonpublic_fraction=0.0,
+            ),
+            list_size=50,
+            privacy=PrivacyConfig(client_threshold=0),
+        )
+        gen = TelemetryGenerator(cfg)
+        ranked = gen.rank_list("KR", Platform.WINDOWS, Metric.PAGE_LOADS)
+        assert gen.universe.canonical_of("naver") == ranked[1]
+        assert len(ranked) > 10

@@ -1,0 +1,79 @@
+"""Tests for the simulated privacy pipeline."""
+
+import pytest
+
+from repro.core import Metric, Platform, RankedList
+from repro.synth.privacy import (
+    PrivacyConfig,
+    apply_threshold,
+    threshold_rank,
+    time_sampling_noise_sigma,
+    unique_clients_at_rank,
+)
+from repro.synth.traffic import global_distribution
+
+DIST = global_distribution(Platform.WINDOWS, Metric.PAGE_LOADS)
+
+
+class TestClients:
+    def test_clients_decrease_with_rank(self):
+        base = 1_000_000
+        values = [unique_clients_at_rank(r, base, DIST) for r in (1, 10, 100, 10_000)]
+        assert values == sorted(values, reverse=True)
+
+    def test_clients_scale_with_install_base(self):
+        small = unique_clients_at_rank(100, 10_000, DIST)
+        large = unique_clients_at_rank(100, 1_000_000, DIST)
+        assert large > small
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            unique_clients_at_rank(0, 100, DIST)
+        with pytest.raises(ValueError):
+            unique_clients_at_rank(1, 0, DIST)
+
+
+class TestThresholdRank:
+    def test_larger_install_base_deeper_cutoff(self):
+        small = threshold_rank(50_000, DIST, threshold=50, max_rank=100_000)
+        large = threshold_rank(5_000_000, DIST, threshold=50, max_rank=100_000)
+        assert large > small
+
+    def test_zero_threshold_keeps_everything(self):
+        assert threshold_rank(100, DIST, threshold=0, max_rank=1_000) == 1_000
+
+    def test_tiny_country_gets_zero(self):
+        assert threshold_rank(10, DIST, threshold=1_000, max_rank=1_000) == 0
+
+    def test_study_country_keeps_full_10k(self):
+        # A web_scale=0.3 country (the smallest in the roster) must keep
+        # its full top-10K — the paper selected countries to guarantee it.
+        cutoff = threshold_rank(0.3 * 5_000_000, DIST, threshold=50, max_rank=10_000)
+        assert cutoff == 10_000
+
+    def test_apply_threshold_truncates(self):
+        ranked = RankedList([f"s{i}" for i in range(1_000)])
+        config = PrivacyConfig(client_threshold=500)
+        truncated = apply_threshold(ranked, 20_000, DIST, config)
+        assert 0 < len(truncated) < 1_000
+        assert truncated.sites == ranked.sites[: len(truncated)]
+
+
+class TestSamplingNoise:
+    def test_noise_shrinks_with_rate(self):
+        assert time_sampling_noise_sigma(0.0035) > time_sampling_noise_sigma(0.5)
+
+    def test_full_sampling_near_zero(self):
+        assert time_sampling_noise_sigma(1.0) < 0.01
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            time_sampling_noise_sigma(0.0)
+        with pytest.raises(ValueError):
+            time_sampling_noise_sigma(0.5, typical_events=0)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            PrivacyConfig(client_threshold=-1)
+        with pytest.raises(ValueError):
+            PrivacyConfig(time_sampling_rate=0.0)

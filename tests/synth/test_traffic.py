@@ -1,0 +1,78 @@
+"""Tests for traffic-curve construction."""
+
+import pytest
+
+from repro.core import Metric, Platform
+from repro.synth.traffic import (
+    country_distribution,
+    country_top1_share,
+    global_distribution,
+    global_distributions,
+)
+from repro.world.countries import COUNTRY_CODES
+from repro.world.profiles import PER_COUNTRY_TOP1_RANGE
+
+
+class TestGlobalCurves:
+    def test_four_curves(self):
+        assert len(global_distributions()) == 4
+
+    def test_windows_loads_matches_paper(self):
+        dist = global_distribution(Platform.WINDOWS, Metric.PAGE_LOADS)
+        assert dist.cumulative_share(1) == pytest.approx(0.17)
+        assert dist.cumulative_share(6) == pytest.approx(0.25)
+        assert dist.cumulative_share(10_000) == pytest.approx(0.70)
+
+    def test_windows_time_matches_paper(self):
+        dist = global_distribution(Platform.WINDOWS, Metric.TIME_ON_PAGE)
+        assert dist.cumulative_share(1) == pytest.approx(0.24)
+        assert dist.sites_for_share(0.5) == 7
+
+    def test_unstudied_combination_raises(self):
+        with pytest.raises(KeyError):
+            global_distribution(Platform.MAC_OS, Metric.PAGE_LOADS)
+
+
+class TestCountryCurves:
+    def test_top1_share_in_paper_band(self):
+        lo, hi = PER_COUNTRY_TOP1_RANGE
+        for country in COUNTRY_CODES:
+            share = country_top1_share(country)
+            assert lo <= share <= hi
+
+    def test_top1_share_deterministic(self):
+        assert country_top1_share("BR") == country_top1_share("BR")
+        assert country_top1_share("BR", seed=1) != country_top1_share("BR", seed=2)
+
+    def test_median_near_twenty_percent(self):
+        shares = sorted(country_top1_share(c) for c in COUNTRY_CODES)
+        median = shares[len(shares) // 2]
+        assert 0.15 <= median <= 0.25
+
+    def test_country_curve_head_matches_top1(self):
+        for country in ("US", "KR", "NG"):
+            dist = country_distribution(country, Platform.WINDOWS, Metric.PAGE_LOADS)
+            assert dist.cumulative_share(1) == pytest.approx(
+                country_top1_share(country), abs=1e-6
+            )
+
+    def test_country_curve_tail_stays_near_global(self):
+        base = global_distribution(Platform.WINDOWS, Metric.PAGE_LOADS)
+        for country in ("US", "JP"):
+            dist = country_distribution(country, Platform.WINDOWS, Metric.PAGE_LOADS)
+            assert dist.cumulative_share(1_000_000) == pytest.approx(
+                base.cumulative_share(1_000_000), abs=0.02
+            )
+
+    def test_country_curves_monotone(self):
+        for country in COUNTRY_CODES[:10]:
+            dist = country_distribution(country, Platform.ANDROID, Metric.PAGE_LOADS)
+            previous = 0.0
+            for rank in (1, 10, 100, 10_000, 1_000_000):
+                share = dist.cumulative_share(rank)
+                assert share >= previous
+                previous = share
+
+    def test_unknown_country_rejected(self):
+        with pytest.raises(KeyError):
+            country_top1_share("XX")

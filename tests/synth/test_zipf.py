@@ -1,0 +1,79 @@
+"""Tests for Zipf–Mandelbrot utilities."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.synth.zipf import ZipfMandelbrot, fit_zipf_exponent
+
+
+class TestZipfMandelbrot:
+    def test_shares_normalised(self):
+        z = ZipfMandelbrot(s=1.0, n=500)
+        assert z.shares().sum() == pytest.approx(1.0, rel=1e-6)
+
+    def test_shares_decreasing(self):
+        z = ZipfMandelbrot(s=0.8, q=2.0, n=100)
+        shares = z.shares()
+        assert np.all(np.diff(shares) < 0)
+
+    def test_cumulative_share_monotone(self):
+        z = ZipfMandelbrot(s=1.2, n=10_000)
+        values = [z.cumulative_share(r) for r in (1, 10, 100, 1_000, 10_000)]
+        assert values == sorted(values)
+        assert values[-1] == pytest.approx(1.0, rel=1e-6)
+
+    def test_steeper_exponent_more_concentrated(self):
+        shallow = ZipfMandelbrot(s=0.8, n=1_000)
+        steep = ZipfMandelbrot(s=1.5, n=1_000)
+        assert steep.cumulative_share(10) > shallow.cumulative_share(10)
+
+    def test_large_n_tail_approximation_close(self):
+        # Exact (small n within cutoff) vs the Euler–Maclaurin tail path.
+        exact = ZipfMandelbrot(s=1.1, n=100_000)
+        approx = ZipfMandelbrot(s=1.1, n=1_000_000)
+        # The bigger-support version must give smaller head shares.
+        assert approx.cumulative_share(100) < exact.cumulative_share(100)
+        # And the normaliser should behave smoothly across the cutoff.
+        assert approx.cumulative_share(100) == pytest.approx(
+            exact.cumulative_share(100), rel=0.25
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ZipfMandelbrot(s=0)
+        with pytest.raises(ValueError):
+            ZipfMandelbrot(s=1, q=-1)
+        with pytest.raises(ValueError):
+            ZipfMandelbrot(s=1, n=0)
+        with pytest.raises(ValueError):
+            ZipfMandelbrot(s=1).cumulative_share(0)
+
+    @given(st.floats(min_value=0.5, max_value=2.0),
+           st.floats(min_value=0.0, max_value=5.0))
+    @settings(max_examples=30)
+    def test_prefix_sums_bounded(self, s, q):
+        z = ZipfMandelbrot(s=s, q=q, n=5_000)
+        assert 0.0 < z.cumulative_share(10) <= 1.0
+
+
+class TestFitExponent:
+    def test_recovers_known_exponent(self):
+        z = ZipfMandelbrot(s=1.3, n=2_000)
+        fitted = fit_zipf_exponent(z.shares(), skip_head=0)
+        assert fitted == pytest.approx(1.3, abs=0.05)
+
+    def test_skip_head(self):
+        z = ZipfMandelbrot(s=1.0, q=10.0, n=2_000)
+        # With a Mandelbrot shift the head is flattened; skipping it
+        # brings the fit closer to the asymptotic exponent.
+        whole = fit_zipf_exponent(z.shares())
+        tail_only = fit_zipf_exponent(z.shares(), skip_head=100)
+        assert abs(tail_only - 1.0) < abs(whole - 1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            fit_zipf_exponent(np.array([1.0]))
+        with pytest.raises(ValueError):
+            fit_zipf_exponent(np.array([0.5, 0.0, 0.1]))

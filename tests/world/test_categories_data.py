@@ -1,0 +1,69 @@
+"""Tests for the Table 3 taxonomy data."""
+
+from repro.world.categories_data import (
+    ALL_CATEGORIES,
+    CURATED_CATEGORIES,
+    DROPPED_RAW_CATEGORIES,
+    MERGED_RAW_CATEGORIES,
+    TABLE3_TAXONOMY,
+    category_names,
+    supercategory_names,
+)
+
+
+class TestTable3:
+    def test_61_categories_22_supercategories(self):
+        assert len(category_names()) == 61
+        assert len(supercategory_names()) == 22
+
+    def test_category_names_unique(self):
+        names = category_names()
+        assert len(set(names)) == len(names)
+
+    def test_entertainment_is_largest_supercategory(self):
+        entertainment = [
+            s for s in TABLE3_TAXONOMY if s.supercategory == "Entertainment"
+        ]
+        assert len(entertainment) == 13
+
+    def test_society_lifestyle_has_15_categories(self):
+        lifestyle = [
+            s for s in TABLE3_TAXONOMY if s.supercategory == "Society & Lifestyle"
+        ]
+        assert len(lifestyle) == 15
+
+    def test_key_categories_present(self):
+        names = set(category_names())
+        for expected in (
+            "Pornography", "Video Streaming", "News & Media", "Business",
+            "Ecommerce", "Educational Institutions", "Webmail", "Gaming",
+            "Economy & Finance", "Chat & Messaging", "Unknown",
+        ):
+            assert expected in names
+
+    def test_table3_has_no_curated_categories(self):
+        assert all(not s.curated for s in TABLE3_TAXONOMY)
+
+
+class TestCuratedAndRaw:
+    def test_curated_are_search_and_social(self):
+        assert {s.name for s in CURATED_CATEGORIES} == {
+            "Search Engines", "Social Networks",
+        }
+        assert all(s.curated for s in CURATED_CATEGORIES)
+
+    def test_all_categories_is_union(self):
+        assert len(ALL_CATEGORIES) == 63
+
+    def test_19_dropped_raw_categories(self):
+        # Appendix B: 19 categories were excluded for low accuracy.
+        assert len(DROPPED_RAW_CATEGORIES) == 19
+        assert len(set(DROPPED_RAW_CATEGORIES)) == 19
+
+    def test_dropped_raw_disjoint_from_final(self):
+        assert not set(DROPPED_RAW_CATEGORIES) & set(category_names())
+
+    def test_merge_targets_exist_in_final_taxonomy(self):
+        names = set(category_names())
+        for target in MERGED_RAW_CATEGORIES.values():
+            assert target in names

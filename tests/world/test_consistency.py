@@ -1,0 +1,89 @@
+"""Cross-table consistency checks over the whole world definition.
+
+The world data lives in four hand-maintained tables (countries,
+taxonomy, profiles, sites); these tests catch the referential mistakes
+a manual edit can introduce.
+"""
+
+from repro.categories.taxonomy import FINAL_TAXONOMY
+from repro.synth.domains import COUNTRY_SUFFIX
+from repro.synth.universe import NAMED_DOMAIN_OVERRIDES
+from repro.etld.psl import DEFAULT_PSL
+from repro.world.categories_data import ALL_CATEGORIES
+from repro.world.countries import COUNTRIES, COUNTRY_CODES, by_region_group
+from repro.world.profiles import all_profiles
+from repro.world.sites import CHAMPION_RULES, NAMED_SITES, resolve_scope
+
+
+class TestCrossReferences:
+    def test_named_site_categories_in_taxonomy(self):
+        for site in NAMED_SITES:
+            assert site.category in FINAL_TAXONOMY, site.name
+
+    def test_champion_categories_in_taxonomy(self):
+        for rule in CHAMPION_RULES:
+            assert rule.category in FINAL_TAXONOMY, rule.tag
+
+    def test_country_boost_codes_are_study_countries(self):
+        for site in NAMED_SITES:
+            for code in site.country_boosts:
+                assert code in COUNTRY_CODES, (site.name, code)
+
+    def test_domain_overrides_reference_named_sites(self):
+        names = {s.name for s in NAMED_SITES}
+        for name in NAMED_DOMAIN_OVERRIDES:
+            assert name in names, name
+
+    def test_domain_overrides_parse_with_embedded_psl(self):
+        for name, domain in NAMED_DOMAIN_OVERRIDES.items():
+            match = DEFAULT_PSL.match(domain)
+            assert match.registrable_domain is not None, (name, domain)
+
+    def test_every_country_has_a_domain_suffix(self):
+        assert set(COUNTRY_CODES) <= set(COUNTRY_SUFFIX)
+
+    def test_profiles_cover_taxonomy_exactly(self):
+        assert set(all_profiles()) == {s.name for s in ALL_CATEGORIES}
+
+    def test_every_region_group_nonempty(self):
+        for group, members in by_region_group().items():
+            assert members, group
+
+    def test_every_country_reachable_by_some_named_site(self):
+        covered: set[str] = set()
+        for site in NAMED_SITES:
+            covered.update(resolve_scope(site.scope))
+        assert covered == set(COUNTRY_CODES)
+
+
+class TestRosterSanity:
+    def test_strength_ladder_tiers(self):
+        """Anchors sit above champions sit above the procedural cap."""
+        from repro.synth.universe import PROCEDURAL_STRENGTH_CAP
+        min_named = min(s.log_strength for s in NAMED_SITES)
+        assert min_named > PROCEDURAL_STRENGTH_CAP - 1.0
+        for rule in CHAMPION_RULES:
+            assert rule.log_strength_range[0] > PROCEDURAL_STRENGTH_CAP
+
+    def test_noise_scales_bounded(self):
+        for site in NAMED_SITES:
+            assert 0.0 < site.noise_scale <= 0.5, site.name
+
+    def test_mega_anchors_have_smallest_noise(self):
+        by_name = {s.name: s for s in NAMED_SITES}
+        for mega in ("google", "youtube", "naver"):
+            assert by_name[mega].noise_scale <= 0.2, mega
+
+    def test_multinationals_marked_multi_cctld(self):
+        by_name = {s.name: s for s in NAMED_SITES}
+        for name in ("google", "amazon", "shopee", "mercadolibre", "ebay"):
+            assert by_name[name].multi_cctld, name
+
+    def test_champion_rule_tags_unique(self):
+        tags = [rule.tag for rule in CHAMPION_RULES]
+        assert len(tags) == len(set(tags))
+
+    def test_scales_are_plausible(self):
+        scales = sorted(c.web_scale for c in COUNTRIES)
+        assert scales[0] >= 0.25          # every market big enough for 10K sites
+        assert scales[-1] <= 12           # no runaway weight in global curves

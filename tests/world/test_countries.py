@@ -1,0 +1,83 @@
+"""Tests for the Appendix A country roster."""
+
+import pytest
+
+from repro.world.countries import (
+    COUNTRIES,
+    COUNTRY_CODES,
+    Country,
+    by_continent,
+    by_region_group,
+    get_country,
+    language_neighbors,
+)
+
+
+class TestRoster:
+    def test_exactly_45_countries(self):
+        assert len(COUNTRIES) == 45
+        assert len(COUNTRY_CODES) == 45
+
+    def test_continent_counts_match_appendix_a(self):
+        counts = {continent: len(cs) for continent, cs in by_continent().items()}
+        assert counts == {
+            "Africa": 7,
+            "Asia": 10,
+            "Europe": 10,
+            "North America": 7,
+            "Oceania": 2,
+            "South America": 9,
+        }
+
+    def test_codes_unique_and_iso_shaped(self):
+        assert len(set(COUNTRY_CODES)) == 45
+        assert all(len(code) == 2 and code.isupper() for code in COUNTRY_CODES)
+
+    def test_every_country_has_language_and_positive_scale(self):
+        for country in COUNTRIES:
+            assert country.languages
+            assert country.web_scale > 0
+            assert country.list_size >= 10_000
+
+
+class TestLookups:
+    def test_get_country(self):
+        assert get_country("KR").name == "South Korea"
+        with pytest.raises(KeyError):
+            get_country("XX")
+
+    def test_korea_and_japan_are_singleton_groups(self):
+        groups = by_region_group()
+        assert [c.code for c in groups["korea"]] == ["KR"]
+        assert [c.code for c in groups["japan"]] == ["JP"]
+
+    def test_latam_spanish_cluster_is_large(self):
+        groups = by_region_group()
+        latam = {c.code for c in groups["latam_es"]}
+        assert {"AR", "MX", "CL", "CO", "PE"} <= latam
+        assert "BR" not in latam
+
+    def test_anglosphere_spans_continents(self):
+        groups = by_region_group()
+        anglo = {c.code for c in groups["anglosphere"]}
+        assert anglo == {"AU", "CA", "GB", "NZ", "US"}
+
+    def test_language_neighbors_spanish(self):
+        neighbors = set(language_neighbors("MX"))
+        assert "AR" in neighbors and "ES" in neighbors
+        assert "BR" not in neighbors
+
+    def test_shares_language(self):
+        assert get_country("BE").shares_language(get_country("FR"))
+        assert get_country("BE").shares_language(get_country("NL"))
+        assert not get_country("JP").shares_language(get_country("KR"))
+
+
+class TestValidation:
+    def test_bad_code_rejected(self):
+        with pytest.raises(ValueError):
+            Country("usa", "X", "Europe", ("en",), "g")
+
+    def test_bad_scale_rejected(self):
+        with pytest.raises(ValueError):
+            Country("XX", "X", "Europe", ("en",), "g", web_scale=0)

@@ -1,0 +1,116 @@
+"""Tests for category profiles and traffic anchors."""
+
+import pytest
+
+from repro.core import Metric, Platform, TrafficDistribution
+from repro.world.categories_data import ALL_CATEGORIES
+from repro.world.profiles import (
+    PER_COUNTRY_TOP1_MEDIAN,
+    PER_COUNTRY_TOP1_RANGE,
+    TRAFFIC_ANCHORS,
+    CategoryProfile,
+    all_profiles,
+    profile_for,
+    scaled_profile,
+)
+
+
+class TestProfiles:
+    def test_every_category_has_a_profile(self):
+        profiles = all_profiles()
+        assert set(profiles) == {s.name for s in ALL_CATEGORIES}
+
+    def test_unknown_category_rejected(self):
+        with pytest.raises(KeyError):
+            profile_for("Not A Category")
+
+    def test_mobile_leaning_categories(self):
+        # Figure 4's most mobile-leaning categories must have mobile_mult > 1.
+        for category in ("Pornography", "Dating & Relationships", "Gambling",
+                         "Magazines", "Lifestyle"):
+            assert profile_for(category).mobile_mult > 1.0, category
+
+    def test_desktop_leaning_categories(self):
+        for category in ("Educational Institutions", "Webmail", "Gaming",
+                         "Economy & Finance", "Business", "Technology"):
+            assert profile_for(category).mobile_mult < 1.0, category
+
+    def test_time_leaning_categories(self):
+        for category in ("Video Streaming", "Movies & Home Video", "News & Media"):
+            assert profile_for(category).time_mult > 1.0, category
+
+    def test_loads_leaning_categories(self):
+        for category in ("Ecommerce", "Educational Institutions",
+                         "Economy & Finance", "Search Engines"):
+            assert profile_for(category).time_mult < 1.0, category
+
+    def test_december_shifts(self):
+        assert profile_for("Ecommerce").december_mult > 1.0
+        assert profile_for("Educational Institutions").december_mult < 1.0
+
+    def test_global_vs_national_tendency(self):
+        # Section 5.2: technology/porn/gaming global; education/politics/finance national.
+        global_side = min(
+            profile_for(c).global_fraction
+            for c in ("Technology", "Pornography", "Gaming")
+        )
+        national_side = max(
+            profile_for(c).global_fraction
+            for c in ("Educational Institutions", "Government & Politics",
+                      "Economy & Finance")
+        )
+        assert global_side > national_side
+
+    def test_scaled_profile(self):
+        base = profile_for("Business")
+        doubled = scaled_profile("Business", 2.0)
+        assert doubled.prevalence == pytest.approx(2 * base.prevalence)
+        assert doubled.mu == base.mu
+
+    def test_profile_validation(self):
+        with pytest.raises(ValueError):
+            CategoryProfile(prevalence=-1)
+        with pytest.raises(ValueError):
+            CategoryProfile(sigma=0)
+        with pytest.raises(ValueError):
+            CategoryProfile(mobile_mult=0)
+        with pytest.raises(ValueError):
+            CategoryProfile(global_fraction=1.5)
+
+
+class TestTrafficAnchors:
+    def test_four_curves_defined(self):
+        assert set(TRAFFIC_ANCHORS) == {
+            (Platform.WINDOWS, Metric.PAGE_LOADS),
+            (Platform.WINDOWS, Metric.TIME_ON_PAGE),
+            (Platform.ANDROID, Metric.PAGE_LOADS),
+            (Platform.ANDROID, Metric.TIME_ON_PAGE),
+        }
+
+    def test_anchors_build_valid_distributions(self):
+        for anchors in TRAFFIC_ANCHORS.values():
+            TrafficDistribution(anchors)  # must not raise
+
+    def test_paper_headline_numbers(self):
+        w_loads = dict(TRAFFIC_ANCHORS[(Platform.WINDOWS, Metric.PAGE_LOADS)])
+        assert w_loads[1] == pytest.approx(0.17)
+        assert w_loads[6] == pytest.approx(0.25)
+        w_time = dict(TRAFFIC_ANCHORS[(Platform.WINDOWS, Metric.TIME_ON_PAGE)])
+        assert w_time[1] == pytest.approx(0.24)
+        assert w_time[7] == pytest.approx(0.50)
+
+    def test_time_more_concentrated_than_loads_on_windows(self):
+        loads = TrafficDistribution(TRAFFIC_ANCHORS[(Platform.WINDOWS, Metric.PAGE_LOADS)])
+        time = TrafficDistribution(TRAFFIC_ANCHORS[(Platform.WINDOWS, Metric.TIME_ON_PAGE)])
+        for rank in (1, 10, 100, 10_000):
+            assert time.cumulative_share(rank) > loads.cumulative_share(rank)
+
+    def test_android_less_concentrated_than_windows_at_head(self):
+        w = TrafficDistribution(TRAFFIC_ANCHORS[(Platform.WINDOWS, Metric.PAGE_LOADS)])
+        a = TrafficDistribution(TRAFFIC_ANCHORS[(Platform.ANDROID, Metric.PAGE_LOADS)])
+        assert a.cumulative_share(1) < w.cumulative_share(1)
+        assert a.cumulative_share(6) < w.cumulative_share(6)
+
+    def test_per_country_band(self):
+        lo, hi = PER_COUNTRY_TOP1_RANGE
+        assert lo < PER_COUNTRY_TOP1_MEDIAN < hi

@@ -1,0 +1,145 @@
+"""Tests for the named-site roster and champion rules."""
+
+import pytest
+
+from repro.world.categories_data import ALL_CATEGORIES
+from repro.world.countries import COUNTRY_CODES
+from repro.world.sites import (
+    CHAMPION_RULES,
+    NAMED_SITES,
+    Archetype,
+    NamedSite,
+    champion_countries,
+    resolve_scope,
+)
+
+_BY_NAME = {s.name: s for s in NAMED_SITES}
+_VALID_CATEGORIES = {s.name for s in ALL_CATEGORIES}
+
+
+class TestRoster:
+    def test_names_unique(self):
+        assert len(_BY_NAME) == len(NAMED_SITES)
+
+    def test_all_categories_valid(self):
+        for site in NAMED_SITES:
+            assert site.category in _VALID_CATEGORIES, site.name
+
+    def test_all_scopes_resolve(self):
+        for site in NAMED_SITES:
+            codes = resolve_scope(site.scope)
+            assert codes, site.name
+            assert set(codes) <= set(COUNTRY_CODES)
+
+    def test_google_is_strongest_global_site(self):
+        google = _BY_NAME["google"]
+        assert google.archetype is Archetype.GLOBAL
+        for site in NAMED_SITES:
+            if site.name not in ("google", "naver"):
+                assert site.log_strength < google.log_strength, site.name
+
+    def test_naver_endemic_to_korea_and_beats_google_there(self):
+        naver = _BY_NAME["naver"]
+        assert naver.archetype is Archetype.ENDEMIC
+        assert resolve_scope(naver.scope) == ("KR",)
+        assert naver.log_strength > _BY_NAME["google"].log_strength
+
+    def test_youtube_time_leaning_google_loads_leaning(self):
+        assert _BY_NAME["youtube"].time_mult > 1.0
+        assert _BY_NAME["google"].time_mult < 1.0
+
+    def test_streaming_sites_lose_mobile_traffic_to_apps(self):
+        for name in ("youtube", "netflix", "roblox", "twitch", "whatsapp"):
+            assert _BY_NAME[name].mobile_mult < 0.5, name
+            assert _BY_NAME[name].has_android_app, name
+
+    def test_adult_sites_are_mobile_leaning(self):
+        for name in ("xnxx", "xvideos", "pornhub"):
+            assert _BY_NAME[name].mobile_mult > 1.2, name
+
+    def test_censoring_countries_suppress_major_adult_sites(self):
+        # Section 5.3.2: KR, TR, VN, RU keep pornhub/xnxx/xvideos out of
+        # their top 10.
+        for name in ("pornhub", "xnxx", "xvideos"):
+            boosts = _BY_NAME[name].country_boosts
+            for country in ("KR", "TR", "VN", "RU"):
+                assert boosts.get(country, 0) <= -3.0, (name, country)
+
+    def test_netflix_absent_in_japan_vietnam_russia(self):
+        netflix_scope = set(resolve_scope(_BY_NAME["netflix"].scope))
+        assert not {"JP", "VN", "RU"} & netflix_scope
+
+    def test_korea_has_its_own_platform_roster(self):
+        korean = [s.name for s in NAMED_SITES if resolve_scope(s.scope) == ("KR",)]
+        # Naver, Daum, four forums, namu.wiki, Nexon, and three streaming sites.
+        assert len(korean) >= 10
+
+    def test_december_shift_for_commerce_anchors(self):
+        assert _BY_NAME["amazon"].december_mult > 1.3
+        assert _BY_NAME["kuleuven"].december_mult < 0.7
+
+    def test_amp_is_mobile_only_in_practice(self):
+        amp = _BY_NAME["ampproject"]
+        assert amp.mobile_mult > 10
+
+
+class TestScopeResolution:
+    def test_global_scope(self):
+        assert resolve_scope(("global",)) == COUNTRY_CODES
+
+    def test_region_scope(self):
+        assert set(resolve_scope(("region:east_asia_zh",))) == {"TW", "HK"}
+
+    def test_language_scope(self):
+        assert set(resolve_scope(("lang:ru",))) == {"RU", "UA"}
+
+    def test_mixed_scope(self):
+        codes = set(resolve_scope(("region:southeast_asia", "TW")))
+        assert "TW" in codes and "VN" in codes
+
+    def test_unknown_selectors_raise(self):
+        with pytest.raises(ValueError):
+            resolve_scope(("region:narnia",))
+        with pytest.raises(ValueError):
+            resolve_scope(("lang:xx",))
+        with pytest.raises(KeyError):
+            resolve_scope(("XX",))
+
+
+class TestChampions:
+    def test_rule_countries_are_valid(self):
+        for rule in CHAMPION_RULES:
+            assert set(rule.countries) <= set(COUNTRY_CODES), rule.tag
+
+    def test_rule_strength_ranges_ordered(self):
+        for rule in CHAMPION_RULES:
+            lo, hi = rule.log_strength_range
+            assert lo < hi
+
+    def test_government_champions_in_26_countries(self):
+        assert len(champion_countries("government")) == 26
+
+    def test_bank_champions_in_17_countries(self):
+        assert len(champion_countries("bank")) == 17
+
+    def test_universities_mostly_global_south(self):
+        # Section 5.3.2: 9 of 10 university countries are in the global
+        # south (8 in South/Central America), plus Belgium.
+        unis = champion_countries("university")
+        assert "BE" in unis
+        americas = {"AR", "BO", "BR", "CL", "CO", "EC", "PE", "UY", "MX"}
+        assert len(set(unis) & americas) >= 8
+
+    def test_unknown_tag_raises(self):
+        with pytest.raises(KeyError):
+            champion_countries("nonexistent")
+
+
+class TestValidation:
+    def test_bad_multiplier_rejected(self):
+        with pytest.raises(ValueError):
+            NamedSite("x", "Business", ("global",), 5.0, mobile_mult=0)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            NamedSite("", "Business", ("global",), 5.0)
