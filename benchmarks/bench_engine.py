@@ -1,0 +1,108 @@
+"""Generation-engine benchmark: serial vs parallel, cold vs warm cache.
+
+Times the full study grid (45 countries × 2 platforms × 2 metrics,
+February 2022) through the plan/execute engine on the *small* universe,
+so the bench runs anywhere; the mechanics being measured — per-country
+work-unit sharding, fork-inherited universe, content-addressed slice
+cache — are scale-independent.  The ≥2× parallel-speedup assertion only
+fires on machines with at least 4 CPUs (a 1-core container can't
+physically exhibit it); the byte-identical and cache assertions always
+run.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro.engine import (
+    GenerationEngine,
+    ParallelExecutor,
+    SliceCache,
+    SlicePlan,
+)
+from repro.synth import GeneratorConfig, TelemetryGenerator
+from repro.synth.universe import build_universe
+
+from _bench_utils import print_comparison
+
+WORKERS = 4
+
+
+def _timed(fn):
+    start = time.perf_counter()
+    result = fn()
+    return time.perf_counter() - start, result
+
+
+def test_engine_full_grid(benchmark, tmp_path):
+    config = GeneratorConfig.small()
+    plan = SlicePlan.from_grid()
+    # Pay the universe build once, outside every timing below: serial,
+    # parallel (workers fork after this point and inherit it) and cold
+    # cache all measure scoring, not construction.
+    build_universe(config.resolved_universe())
+
+    # Parallel first, so workers fork from a parent without warmed
+    # per-country generator state — the same work serial has to do.
+    parallel_t, parallel_lists = _timed(
+        lambda: GenerationEngine(
+            config, executor=ParallelExecutor(jobs=WORKERS)
+        ).run(plan)
+    )
+
+    serial_engine = GenerationEngine(config, generator=TelemetryGenerator(config))
+    serial_t, serial_lists = _timed(
+        lambda: benchmark.pedantic(
+            serial_engine.run, args=(plan,), rounds=1, iterations=1
+        )
+    )
+
+    assert set(serial_lists) == set(parallel_lists)
+    for breakdown, ranked in serial_lists.items():
+        assert ranked.sites == parallel_lists[breakdown].sites, breakdown
+
+    # Cache: cold writes every slice, warm serves all of them back.  Both
+    # runs reuse the warmed serial generator state, so the delta isolates
+    # "read cached text" vs "re-score + write".
+    cache = SliceCache(tmp_path / "slices")
+    cold_t, cold_lists = _timed(
+        lambda: GenerationEngine(
+            config, cache=cache, generator=serial_engine.generator
+        ).run(plan)
+    )
+    assert cache.stats.writes == len(plan)
+
+    warm_engine = GenerationEngine(config, cache=cache)
+    warm_t, warm_lists = _timed(lambda: warm_engine.run(plan))
+    assert cache.stats.hits == len(plan)
+    for breakdown, ranked in serial_lists.items():
+        assert ranked.sites == cold_lists[breakdown].sites
+        assert ranked.sites == warm_lists[breakdown].sites
+
+    speedup = serial_t / parallel_t if parallel_t > 0 else float("inf")
+    cache_speedup = cold_t / warm_t if warm_t > 0 else float("inf")
+    cpus = os.cpu_count() or 1
+    speedup_note = (
+        "ok" if speedup >= 2.0 else f"not asserted: only {cpus} CPU(s)"
+    )
+    print_comparison(
+        [
+            ("full grid serial (s)", "-", f"{serial_t:.2f}",
+             f"{len(plan)} slices, small universe"),
+            ("full grid parallel (s)", "-", f"{parallel_t:.2f}",
+             f"{WORKERS} workers, {cpus} CPU(s)"),
+            ("parallel speedup", ">= 2.0", f"{speedup:.2f}x", speedup_note),
+            ("cold cache (s)", "-", f"{cold_t:.2f}", "score + write-back"),
+            ("warm cache (s)", "-", f"{warm_t:.2f}",
+             "reads only; no universe build"),
+            ("cold -> warm speedup", "> 1.0", f"{cache_speedup:.2f}x", ""),
+        ],
+        "Generation engine — full grid, serial vs parallel, cold vs warm cache",
+    )
+
+    assert warm_t < cold_t, "warm cache should beat regeneration"
+    if cpus >= WORKERS:
+        assert speedup >= 2.0, (
+            f"expected >= 2x speedup at {WORKERS} workers, got {speedup:.2f}x"
+        )

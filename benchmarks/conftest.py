@@ -2,8 +2,12 @@
 
 Benchmarks run on the *full-scale* universe (~1.1M sites, 10K-site
 lists) — the configuration whose noise model is calibrated against the
-paper's numbers.  The universe builds once per session (~25 s) and each
-dataset slice is generated lazily by the benchmarks that need it.
+paper's numbers.  Dataset fixtures route through the generation engine
+(:mod:`repro.engine`) with a persistent content-addressed slice cache,
+so the full-grid fixtures amortize across sessions: the first session
+pays the ~25 s universe build plus scoring, later sessions read the
+cached slices and skip both.  Delete the cache directory (or point
+``REPRO_SLICE_CACHE`` elsewhere) to force regeneration.
 
 Every benchmark prints a ``paper vs measured`` table; run with ``-s`` to
 see them, e.g.::
@@ -13,9 +17,13 @@ see them, e.g.::
 
 from __future__ import annotations
 
+import os
+from pathlib import Path
+
 import pytest
 
 from repro.core import Metric, Platform, REFERENCE_MONTH, STUDY_MONTHS
+from repro.engine import GenerationEngine, SliceCache
 from repro.synth import GeneratorConfig, TelemetryGenerator
 
 #: Country subset used by the month-sweep benchmarks (generating all 45
@@ -26,10 +34,23 @@ TEMPORAL_COUNTRIES = (
     "EG", "TH", "PL", "CL", "ZA", "TW",
 )
 
+#: Slice cache shared by all benchmark sessions (content-addressed by
+#: config fingerprint, so editing generator knobs never serves stale
+#: slices — it just starts a new cache line).
+SLICE_CACHE_DIR = os.environ.get("REPRO_SLICE_CACHE") or str(
+    Path(__file__).resolve().parent / ".slice_cache"
+)
+
 
 @pytest.fixture(scope="session")
-def generator() -> TelemetryGenerator:
-    return TelemetryGenerator(GeneratorConfig())
+def engine() -> GenerationEngine:
+    return GenerationEngine(GeneratorConfig(), cache=SliceCache(SLICE_CACHE_DIR))
+
+
+@pytest.fixture(scope="session")
+def generator(engine) -> TelemetryGenerator:
+    """The engine's generator — requesting it triggers the universe build."""
+    return engine.generator
 
 
 @pytest.fixture(scope="session")
@@ -38,9 +59,9 @@ def labels(generator) -> dict[str, str]:
 
 
 @pytest.fixture(scope="session")
-def feb_dataset(generator):
+def feb_dataset(engine):
     """Both platforms and metrics, February 2022, all 45 countries."""
-    return generator.generate(
+    return engine.generate(
         platforms=Platform.studied(),
         metrics=Metric.studied(),
         months=(REFERENCE_MONTH,),
@@ -48,9 +69,9 @@ def feb_dataset(generator):
 
 
 @pytest.fixture(scope="session")
-def monthly_dataset(generator):
+def monthly_dataset(engine):
     """Windows over the six study months, both metrics, country subset."""
-    return generator.generate(
+    return engine.generate(
         countries=TEMPORAL_COUNTRIES,
         platforms=(Platform.WINDOWS,),
         metrics=Metric.studied(),

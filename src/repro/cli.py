@@ -28,6 +28,26 @@ def _parse_month(text: str) -> Month:
         ) from exc
 
 
+def _parse_platform(text: str) -> Platform:
+    try:
+        return Platform(text)
+    except ValueError as exc:
+        choices = ", ".join(p.value for p in Platform)
+        raise argparse.ArgumentTypeError(
+            f"platform must be one of {choices}, got {text!r}"
+        ) from exc
+
+
+def _parse_metric(text: str) -> Metric:
+    try:
+        return Metric(text)
+    except ValueError as exc:
+        choices = ", ".join(m.value for m in Metric)
+        raise argparse.ArgumentTypeError(
+            f"metric must be one of {choices}, got {text!r}"
+        ) from exc
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -48,6 +68,18 @@ def _build_parser() -> argparse.ArgumentParser:
                           "'all' months via --all-months)")
     gen.add_argument("--all-months", action="store_true",
                      help="generate all six study months")
+    gen.add_argument("--platforms", nargs="*", type=_parse_platform,
+                     default=None,
+                     help="platforms to generate (default: windows android)")
+    gen.add_argument("--metrics", nargs="*", type=_parse_metric, default=None,
+                     help="metrics to generate "
+                          "(default: page_loads time_on_page)")
+    gen.add_argument("--jobs", type=int, default=1,
+                     help="parallel worker processes (default: 1 = serial; "
+                          "output is byte-identical either way)")
+    gen.add_argument("--cache-dir", default=None,
+                     help="content-addressed slice cache directory; warm "
+                          "slices skip scoring and the universe build")
 
     ins = sub.add_parser("inspect", help="print rank-list heads")
     ins.add_argument("--data", required=True)
@@ -73,21 +105,30 @@ def _build_parser() -> argparse.ArgumentParser:
 
 
 def _cmd_generate(args: argparse.Namespace) -> int:
+    from .engine import GenerationEngine, ParallelExecutor, SliceCache
     from .export.io import save_dataset
-    from .synth import GeneratorConfig, TelemetryGenerator
+    from .synth import GeneratorConfig
 
     config = (GeneratorConfig.small(seed=args.seed) if args.small
               else GeneratorConfig(seed=args.seed))
-    generator = TelemetryGenerator(config)
     months = tuple(args.months) if args.months else (
         STUDY_MONTHS if args.all_months else (REFERENCE_MONTH,)
     )
-    dataset = generator.generate(
+    engine = GenerationEngine(
+        config,
+        executor=ParallelExecutor(jobs=args.jobs) if args.jobs > 1 else None,
+        cache=SliceCache(args.cache_dir) if args.cache_dir else None,
+    )
+    dataset = engine.generate(
         countries=tuple(args.countries) if args.countries else None,
+        platforms=tuple(args.platforms) if args.platforms else Platform.studied(),
+        metrics=tuple(args.metrics) if args.metrics else Metric.studied(),
         months=months,
     )
     path = save_dataset(dataset, args.out)
     print(f"wrote {len(dataset)} rank lists to {path}")
+    if engine.cache is not None:
+        print(f"slice cache {engine.cache.root}: {engine.cache.stats}")
     return 0
 
 

@@ -1,0 +1,91 @@
+"""Content-addressed on-disk cache of generated rank-list slices.
+
+Layout::
+
+    <root>/<fingerprint>/<country>_<platform>_<metric>_<YYYY-MM>.txt
+
+The fingerprint directory is :meth:`GeneratorConfig.fingerprint` — a
+hash of every generation knob including the universe and privacy
+configs — so a hit is guaranteed byte-identical to regeneration and two
+different configurations can never collide.  List files reuse the
+:mod:`repro.export.io` text format (one site per line, rank order), so
+a cache stays greppable and can be inspected or diffed with standard
+tools.  A warm cache serves slices without constructing a generator at
+all, skipping both scoring and the ~25 s full-scale universe build.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+
+from ..core.rankedlist import RankedList
+from ..core.types import Breakdown
+from ..export.io import breakdown_slug
+
+
+@dataclass
+class CacheStats:
+    """Counters for one cache instance's lifetime."""
+
+    hits: int = 0
+    misses: int = 0
+    writes: int = 0
+
+    def __str__(self) -> str:
+        return f"{self.hits} hits, {self.misses} misses, {self.writes} writes"
+
+
+class SliceCache:
+    """A content-addressed slice store under a configurable directory."""
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self.stats = CacheStats()
+
+    def dir_for(self, fingerprint: str) -> Path:
+        return self.root / fingerprint
+
+    def path_for(self, fingerprint: str, breakdown: Breakdown) -> Path:
+        return self.dir_for(fingerprint) / f"{breakdown_slug(breakdown)}.txt"
+
+    def get(self, fingerprint: str, breakdown: Breakdown) -> RankedList | None:
+        """The cached slice, or ``None`` on a miss."""
+        path = self.path_for(fingerprint, breakdown)
+        try:
+            text = path.read_text(encoding="utf-8")
+        except OSError:
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return RankedList(line for line in text.splitlines() if line)
+
+    def put(self, fingerprint: str, breakdown: Breakdown, ranked: RankedList) -> Path:
+        """Store one slice; the write is atomic (tmp file + rename)."""
+        path = self.path_for(fingerprint, breakdown)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = "\n".join(ranked.sites) + "\n"
+        fd, tmp_name = tempfile.mkstemp(
+            prefix=f".{path.name}.", dir=path.parent
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(payload)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        self.stats.writes += 1
+        return path
+
+    def __contains__(self, key: tuple[str, Breakdown]) -> bool:
+        fingerprint, breakdown = key
+        return self.path_for(fingerprint, breakdown).is_file()
+
+    def __repr__(self) -> str:
+        return f"SliceCache({str(self.root)!r}, {self.stats})"

@@ -1,0 +1,97 @@
+"""A BrowsingDataset view that materialises slices on first access.
+
+Analyses consume datasets through a narrow surface (``__getitem__`` /
+``get`` / ``select``), and most touch only a subset of the grid they
+were handed — e.g. a figure benchmark pulling two platforms out of a
+full-grid fixture.  :class:`LazyBrowsingDataset` keeps the full key set
+(so indices, membership and iteration behave exactly like the eager
+container) but defers list generation to the engine until a slice is
+actually read; with a warm slice cache behind the engine, a fixture
+declared over the whole grid costs nothing until used.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+from ..core.dataset import BrowsingDataset
+from ..core.rankedlist import RankedList
+from ..core.types import Breakdown, Metric, Month, Platform
+from ..synth.traffic import global_distributions
+from .plan import SlicePlan
+
+
+class LazyBrowsingDataset(BrowsingDataset):
+    """Same contract as :class:`BrowsingDataset`; slices appear on demand."""
+
+    def __init__(self, engine, plan: SlicePlan) -> None:
+        self._engine = engine
+        self._pending: set[Breakdown] = set(plan.breakdowns())
+        # Placeholder values: the base initialiser only reads keys, and
+        # every value-reading path below materialises first.
+        super().__init__(
+            dict.fromkeys(plan.breakdowns()),
+            global_distributions(),
+            engine.metadata(),
+        )
+
+    @property
+    def pending(self) -> int:
+        """How many slices have not been generated yet."""
+        return len(self._pending)
+
+    def materialize(self, breakdowns: Iterable[Breakdown] | None = None) -> None:
+        """Generate the requested (default: all) still-pending slices."""
+        wanted = self._pending if breakdowns is None else (
+            set(breakdowns) & self._pending
+        )
+        if not wanted:
+            return
+        produced = self._engine.run(SlicePlan.from_breakdowns(wanted))
+        self._lists.update(produced)
+        self._pending -= set(produced)
+
+    # -- value-reading paths ------------------------------------------------------
+
+    def __getitem__(self, breakdown: Breakdown) -> RankedList:
+        if breakdown in self._pending:
+            self.materialize((breakdown,))
+        return super().__getitem__(breakdown)
+
+    def get_or_none(
+        self, country: str, platform: Platform, metric: Metric, month: Month
+    ) -> RankedList | None:
+        breakdown = Breakdown(country, platform, metric, month)
+        if breakdown not in self._lists:
+            return None
+        return self[breakdown]
+
+    def select(
+        self,
+        platform: Platform,
+        metric: Metric,
+        month: Month,
+        countries: Iterable[str] | None = None,
+    ) -> dict[str, RankedList]:
+        wanted = tuple(countries) if countries is not None else self.countries
+        self.materialize(
+            Breakdown(country, platform, metric, month) for country in wanted
+        )
+        return super().select(platform, metric, month, countries)
+
+    def filter(
+        self, predicate: Callable[[Breakdown], bool]
+    ) -> BrowsingDataset:
+        self.materialize(b for b in self._lists if predicate(b))
+        return super().filter(predicate)
+
+    def map_lists(
+        self, transform: Callable[[Breakdown, RankedList], RankedList]
+    ) -> BrowsingDataset:
+        self.materialize()
+        return super().map_lists(transform)
+
+    def __repr__(self) -> str:
+        return super().__repr__().replace(
+            "BrowsingDataset(", f"LazyBrowsingDataset(pending={self.pending}, ", 1
+        )

@@ -8,11 +8,12 @@ from .crux import (
     export_crux,
     global_ranking,
 )
-from .io import load_dataset, save_dataset
+from .io import breakdown_slug, load_dataset, save_dataset
 
 __all__ = [
     "CRUX_BUCKETS",
     "CruxExport",
+    "breakdown_slug",
     "bucket_of",
     "coarsen_list",
     "export_crux",

@@ -8,12 +8,23 @@ Layout::
 
 The format is deliberately boring — greppable text files and one JSON
 manifest — so exported datasets can be consumed without this library.
+The manifest's ``metadata`` object carries the generator provenance;
+datasets produced by the generation engine include a ``fingerprint``
+key there — the :meth:`GeneratorConfig.fingerprint` content address of
+every generation knob — so an export can be matched to the exact
+configuration (and slice-cache directory) that produced it.
+
+Metadata values must be JSON-serializable; :class:`Month`,
+:class:`Platform` and :class:`Metric` values are coerced to their
+string forms, anything else unserializable raises :class:`DatasetError`
+instead of being silently dropped.
 """
 
 from __future__ import annotations
 
 import json
 from pathlib import Path
+from typing import Mapping
 
 from ..core.dataset import BrowsingDataset
 from ..core.distribution import TrafficDistribution
@@ -24,11 +35,36 @@ from ..core.types import Breakdown, Metric, Month, Platform
 _FORMAT_VERSION = 1
 
 
-def _slug(breakdown: Breakdown) -> str:
+def breakdown_slug(breakdown: Breakdown) -> str:
+    """The filesystem-safe name for one breakdown's list file."""
     return (
         f"{breakdown.country}_{breakdown.platform.value}"
         f"_{breakdown.metric.value}_{breakdown.month}"
     )
+
+
+# Backwards-compatible alias for the pre-engine private name.
+_slug = breakdown_slug
+
+
+def _jsonable_metadata(metadata: Mapping[str, object]) -> dict[str, object]:
+    """Coerce metadata for the manifest, or raise instead of dropping."""
+    out: dict[str, object] = {}
+    for key, value in metadata.items():
+        if isinstance(value, Month):
+            value = str(value)
+        elif isinstance(value, (Platform, Metric)):
+            value = value.value
+        else:
+            try:
+                json.dumps(value)
+            except (TypeError, ValueError) as exc:
+                raise DatasetError(
+                    f"metadata value {key!r} of type {type(value).__name__} "
+                    "is not JSON-serializable; coerce it before saving"
+                ) from exc
+        out[key] = value
+    return out
 
 
 def save_dataset(dataset: BrowsingDataset, root: str | Path) -> Path:
@@ -42,7 +78,7 @@ def save_dataset(dataset: BrowsingDataset, root: str | Path) -> Path:
         dataset.breakdowns(),
         key=lambda b: (b.country, b.platform.value, b.metric.value, b.month),
     ):
-        slug = _slug(breakdown)
+        slug = breakdown_slug(breakdown)
         path = lists_dir / f"{slug}.txt"
         path.write_text("\n".join(dataset[breakdown].sites) + "\n", encoding="utf-8")
         breakdowns.append(
@@ -57,8 +93,7 @@ def save_dataset(dataset: BrowsingDataset, root: str | Path) -> Path:
 
     manifest = {
         "format_version": _FORMAT_VERSION,
-        "metadata": {k: v for k, v in dataset.metadata.items()
-                     if isinstance(v, (str, int, float, bool))},
+        "metadata": _jsonable_metadata(dataset.metadata),
         "breakdowns": breakdowns,
         "distributions": [
             {

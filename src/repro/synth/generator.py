@@ -41,17 +41,19 @@ Two structural choices are calibration-critical:
 
 from __future__ import annotations
 
+import hashlib
+import json
 import sys
 import zlib
-from dataclasses import dataclass, field, replace
+from dataclasses import asdict, dataclass, field, fields, replace
 
 import numpy as np
 
 from ..core.dataset import BrowsingDataset
 from ..core.errors import GenerationError
 from ..core.rankedlist import RankedList
-from ..core.types import Breakdown, Metric, Month, Platform, REFERENCE_MONTH
-from ..world.countries import COUNTRIES, get_country
+from ..core.types import Metric, Month, Platform, REFERENCE_MONTH
+from ..world.countries import get_country
 from .privacy import PrivacyConfig, apply_threshold, time_sampling_noise_sigma
 from .traffic import global_distributions
 from .universe import Universe, UniverseConfig, build_universe
@@ -132,6 +134,28 @@ class GeneratorConfig:
     def resolved_universe(self) -> UniverseConfig:
         return self.universe if self.universe is not None else UniverseConfig(seed=self.seed)
 
+    def fingerprint(self) -> str:
+        """A stable content address for everything this config generates.
+
+        Hashes every generation knob — including the resolved universe
+        and privacy configs — so two configs share a fingerprint exactly
+        when they produce byte-identical slices.  Used to key the
+        on-disk slice cache (:class:`repro.engine.SliceCache`) and
+        recorded in dataset metadata / the ``save_dataset`` manifest
+        for provenance.
+        """
+        payload: dict[str, object] = {
+            "format": 1,
+            "universe": asdict(self.resolved_universe()),
+            "privacy": asdict(self.privacy),
+        }
+        for spec in fields(self):
+            if spec.name in ("universe", "privacy"):
+                continue
+            payload[spec.name] = getattr(self, spec.name)
+        blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16]
+
 
 class TelemetryGenerator:
     """Generates :class:`BrowsingDataset` slices from the synthetic world."""
@@ -142,6 +166,10 @@ class TelemetryGenerator:
         self._distributions = global_distributions()
         self._per_country: dict[str, dict[str, np.ndarray]] = {}
         self._walk_cache: dict[tuple[str, int], np.ndarray] = {}
+        #: Canonical identities as an object array: the "canonical" emit
+        #: path takes rows by uid instead of looping per site, and every
+        #: emitted list shares the same str objects (no interning pass).
+        self._canonical_names = np.asarray(self.universe.canonical, dtype=object)
 
     # -- noise streams -------------------------------------------------------------
 
@@ -355,8 +383,7 @@ class TelemetryGenerator:
                 for uid in top_uids
             ]
         else:
-            canonical = self.universe.canonical
-            names = [sys.intern(canonical[int(uid)]) for uid in top_uids]
+            names = self._canonical_names[top_uids].tolist()
         ranked = RankedList(names)
 
         if self.config.privacy.client_threshold > 0:
@@ -375,25 +402,19 @@ class TelemetryGenerator:
         metrics: tuple[Metric, ...] = Metric.studied(),
         months: tuple[Month, ...] = (REFERENCE_MONTH,),
     ) -> BrowsingDataset:
-        """Generate a dataset covering the requested breakdown grid."""
-        if countries is None:
-            countries = tuple(sorted(c.code for c in COUNTRIES))
-        lists: dict[Breakdown, RankedList] = {}
-        for country in countries:
-            for platform in platforms:
-                for metric in metrics:
-                    for month in months:
-                        lists[Breakdown(country, platform, metric, month)] = (
-                            self.rank_list(country, platform, metric, month)
-                        )
-        return BrowsingDataset(
-            lists,
-            self._distributions,
-            metadata={
-                "seed": self.config.seed,
-                "emit": self.config.emit,
-                "list_size": self.config.list_size,
-            },
+        """Generate a dataset covering the requested breakdown grid.
+
+        Delegates to :class:`repro.engine.GenerationEngine` with the
+        serial reference executor and this generator's state; pass an
+        engine explicitly (with a :class:`~repro.engine.ParallelExecutor`
+        or a :class:`~repro.engine.SliceCache`) for the fast paths.
+        """
+        from ..engine import GenerationEngine  # local: engine builds on synth
+
+        engine = GenerationEngine(self.config, generator=self)
+        return engine.generate(
+            countries=countries, platforms=platforms,
+            metrics=metrics, months=months,
         )
 
     # -- lookups -----------------------------------------------------------------------

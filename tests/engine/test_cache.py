@@ -1,0 +1,56 @@
+"""Tests for the content-addressed slice cache."""
+
+from repro.core import Breakdown, Metric, Platform, REFERENCE_MONTH
+from repro.core.rankedlist import RankedList
+from repro.engine import SliceCache
+
+B = Breakdown("US", Platform.WINDOWS, Metric.PAGE_LOADS, REFERENCE_MONTH)
+FP = "deadbeef00112233"
+
+
+class TestSliceCache:
+    def test_round_trip_identity(self, tmp_path):
+        cache = SliceCache(tmp_path)
+        ranked = RankedList(["google.com", "youtube.com", "naver.com"])
+        cache.put(FP, B, ranked)
+        restored = cache.get(FP, B)
+        assert restored is not None
+        assert restored.sites == ranked.sites
+
+    def test_miss_returns_none_and_counts(self, tmp_path):
+        cache = SliceCache(tmp_path)
+        assert cache.get(FP, B) is None
+        assert cache.stats.misses == 1
+        assert cache.stats.hits == 0
+        cache.put(FP, B, RankedList(["a.com"]))
+        assert cache.get(FP, B) is not None
+        assert cache.stats == type(cache.stats)(hits=1, misses=1, writes=1)
+
+    def test_fingerprints_are_isolated(self, tmp_path):
+        cache = SliceCache(tmp_path)
+        cache.put(FP, B, RankedList(["a.com"]))
+        assert cache.get("0" * 16, B) is None
+        assert (FP, B) in cache
+        assert ("0" * 16, B) not in cache
+
+    def test_files_are_greppable_text(self, tmp_path):
+        cache = SliceCache(tmp_path)
+        cache.put(FP, B, RankedList(["a.com", "b.org"]))
+        path = cache.path_for(FP, B)
+        assert path == tmp_path / FP / "US_windows_page_loads_2022-02.txt"
+        assert path.read_text(encoding="utf-8") == "a.com\nb.org\n"
+        # No temp-file litter from the atomic write.
+        assert sorted(p.name for p in path.parent.iterdir()) == [path.name]
+
+    def test_put_overwrites(self, tmp_path):
+        cache = SliceCache(tmp_path)
+        cache.put(FP, B, RankedList(["old.com"]))
+        cache.put(FP, B, RankedList(["new.com"]))
+        assert cache.get(FP, B).sites == ("new.com",)
+
+    def test_empty_list_round_trips(self, tmp_path):
+        cache = SliceCache(tmp_path)
+        cache.put(FP, B, RankedList([]))
+        restored = cache.get(FP, B)
+        assert restored is not None
+        assert len(restored) == 0

@@ -1,0 +1,200 @@
+"""Tests for the generation engine: executors, cache wiring, lazy datasets."""
+
+import pytest
+
+import repro.synth.generator as generator_module
+from repro.core import Breakdown, Metric, Platform, REFERENCE_MONTH
+from repro.core.errors import GenerationError
+from repro.engine import (
+    GenerationEngine,
+    LazyBrowsingDataset,
+    ParallelExecutor,
+    SliceCache,
+    SlicePlan,
+)
+
+COUNTRIES = ("US", "KR", "BR")
+
+
+def _blob(ranked):
+    """The exact byte serialisation used by cache and export files."""
+    return ("\n".join(ranked.sites) + "\n").encode("utf-8")
+
+
+class _ExplodingExecutor:
+    """An executor that must never run — cache-only paths use it."""
+
+    name = "exploding"
+
+    def execute(self, config, plan, generator=None):
+        raise AssertionError("executor invoked although the cache was warm")
+
+
+class TestSerialEngine:
+    def test_matches_direct_generator_output(self, generator):
+        engine = GenerationEngine(generator.config, generator=generator)
+        via_engine = engine.generate(countries=COUNTRIES)
+        via_generator = generator.generate(countries=COUNTRIES)
+        assert set(via_engine.breakdowns()) == set(via_generator.breakdowns())
+        for breakdown in via_engine.breakdowns():
+            assert _blob(via_engine[breakdown]) == _blob(via_generator[breakdown])
+
+    def test_metadata_records_fingerprint(self, generator):
+        engine = GenerationEngine(generator.config, generator=generator)
+        dataset = engine.generate(countries=("US",))
+        assert dataset.metadata["fingerprint"] == generator.config.fingerprint()
+        assert dataset.metadata["seed"] == generator.config.seed
+
+    def test_rank_list_matches_generator(self, generator):
+        engine = GenerationEngine(generator.config, generator=generator)
+        ours = engine.rank_list("KR", Platform.ANDROID, Metric.TIME_ON_PAGE)
+        theirs = generator.rank_list("KR", Platform.ANDROID, Metric.TIME_ON_PAGE)
+        assert _blob(ours) == _blob(theirs)
+
+    def test_run_returns_plan_order(self, generator):
+        engine = GenerationEngine(generator.config, generator=generator)
+        plan = SlicePlan.from_grid(countries=("US", "BR"))
+        results = engine.run(plan)
+        assert tuple(results) == plan.breakdowns()
+
+
+class TestParallelExecutor:
+    def test_byte_identical_to_serial(self, generator):
+        config = generator.config
+        serial = GenerationEngine(config, generator=generator).generate(
+            countries=COUNTRIES
+        )
+        parallel = GenerationEngine(
+            config, executor=ParallelExecutor(jobs=2)
+        ).generate(countries=COUNTRIES)
+        assert set(serial.breakdowns()) == set(parallel.breakdowns())
+        for breakdown in serial.breakdowns():
+            assert _blob(serial[breakdown]) == _blob(parallel[breakdown]), breakdown
+
+    def test_single_unit_falls_back_to_serial(self, generator):
+        executor = ParallelExecutor(jobs=4)
+        plan = SlicePlan.from_grid(countries=("US",))
+        results = executor.execute(generator.config, plan, generator=generator)
+        assert set(results) == set(plan.breakdowns())
+
+    def test_invalid_jobs_rejected(self):
+        with pytest.raises(GenerationError):
+            ParallelExecutor(jobs=0)
+
+    def test_default_jobs_is_cpu_count(self):
+        import os
+
+        assert ParallelExecutor().jobs == (os.cpu_count() or 1)
+
+
+class TestSliceCacheWiring:
+    def test_cold_then_warm_round_trip(self, generator, tmp_path):
+        cache = SliceCache(tmp_path / "slices")
+        cold_engine = GenerationEngine(
+            generator.config, cache=cache, generator=generator
+        )
+        cold = cold_engine.generate(countries=("US", "KR"))
+        assert cache.stats.writes == len(cold)
+
+        warm_engine = GenerationEngine(generator.config, cache=cache)
+        warm = warm_engine.generate(countries=("US", "KR"))
+        assert cache.stats.hits == len(cold)
+        for breakdown in cold.breakdowns():
+            assert _blob(cold[breakdown]) == _blob(warm[breakdown])
+
+    def test_warm_cache_skips_universe_build_and_scoring(
+        self, generator, tmp_path, monkeypatch
+    ):
+        cache = SliceCache(tmp_path / "slices")
+        GenerationEngine(
+            generator.config, cache=cache, generator=generator
+        ).generate(countries=("US",))
+
+        build_calls = []
+        real_build = generator_module.build_universe
+
+        def counting_build(*args, **kwargs):
+            build_calls.append(args)
+            return real_build(*args, **kwargs)
+
+        monkeypatch.setattr(generator_module, "build_universe", counting_build)
+        warm_engine = GenerationEngine(
+            generator.config, cache=cache, executor=_ExplodingExecutor()
+        )
+        warm = warm_engine.generate(countries=("US",))
+        assert build_calls == [], "warm cache must not construct a universe"
+        assert len(warm) == 4
+
+    def test_partial_hits_only_generate_misses(self, generator, tmp_path):
+        cache = SliceCache(tmp_path / "slices")
+        engine = GenerationEngine(generator.config, cache=cache, generator=generator)
+        engine.generate(countries=("US",))
+        before = cache.stats.writes
+        engine.generate(countries=("US", "KR"))
+        # Only KR's four slices were generated and written.
+        assert cache.stats.writes == before + 4
+
+    def test_engine_accepts_cache_path(self, generator, tmp_path):
+        engine = GenerationEngine(
+            generator.config, cache=tmp_path / "slices", generator=generator
+        )
+        assert isinstance(engine.cache, SliceCache)
+
+
+class TestLazyDataset:
+    @pytest.fixture()
+    def lazy(self, generator, tmp_path):
+        engine = GenerationEngine(
+            generator.config, cache=tmp_path / "slices", generator=generator
+        )
+        return engine.generate_lazy(countries=COUNTRIES)
+
+    def test_starts_fully_pending(self, lazy):
+        assert isinstance(lazy, LazyBrowsingDataset)
+        assert lazy.pending == len(lazy) == len(COUNTRIES) * 4
+        assert len(lazy.countries) == len(COUNTRIES)
+
+    def test_getitem_materialises_one_slice(self, lazy, generator):
+        breakdown = Breakdown(
+            "US", Platform.WINDOWS, Metric.PAGE_LOADS, REFERENCE_MONTH
+        )
+        ranked = lazy[breakdown]
+        assert lazy.pending == len(lazy) - 1
+        assert _blob(ranked) == _blob(
+            generator.rank_list("US", Platform.WINDOWS, Metric.PAGE_LOADS)
+        )
+
+    def test_select_materialises_only_needed_slices(self, lazy):
+        per_country = lazy.select(
+            Platform.ANDROID, Metric.TIME_ON_PAGE, REFERENCE_MONTH
+        )
+        assert set(per_country) == set(COUNTRIES)
+        assert lazy.pending == len(lazy) - len(COUNTRIES)
+
+    def test_get_or_none_absent_breakdown(self, lazy):
+        assert lazy.get_or_none(
+            "US", Platform.IOS, Metric.PAGE_LOADS, REFERENCE_MONTH
+        ) is None
+        assert lazy.pending == len(lazy)
+
+    def test_equals_eager_dataset_when_materialised(self, lazy, generator):
+        eager = generator.generate(countries=COUNTRIES)
+        lazy.materialize()
+        assert lazy.pending == 0
+        for breakdown in eager.breakdowns():
+            assert _blob(lazy[breakdown]) == _blob(eager[breakdown])
+
+    def test_filter_and_map_lists_materialise(self, lazy):
+        filtered = lazy.filter(lambda b: b.country == "US")
+        assert {b.country for b in filtered.breakdowns()} == {"US"}
+        truncated = lazy.map_lists(lambda b, rl: rl.top(5))
+        assert all(len(truncated[b]) == 5 for b in truncated.breakdowns())
+        assert lazy.pending == 0
+
+
+class TestExecutorRegistry:
+    def test_generator_for_memoises_per_fingerprint(self, generator):
+        from repro.engine import generator_for
+
+        first = generator_for(generator.config)
+        assert generator_for(generator.config) is first

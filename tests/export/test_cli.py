@@ -4,7 +4,8 @@ import json
 
 import pytest
 
-from repro.cli import main
+from repro.cli import _build_parser, main
+from repro.core import Metric, Platform
 
 
 @pytest.fixture(scope="module")
@@ -38,6 +39,65 @@ class TestGenerate:
         with pytest.raises(SystemExit):
             main(["generate", "--small", "--out", str(tmp_path / "x"),
                   "--months", "december"])
+
+
+class TestGenerateEngineFlags:
+    def test_parser_accepts_engine_flags(self):
+        args = _build_parser().parse_args([
+            "generate", "--out", "somewhere",
+            "--platforms", "windows",
+            "--metrics", "time_on_page", "page_loads",
+            "--jobs", "4", "--cache-dir", "slices",
+        ])
+        assert args.platforms == [Platform.WINDOWS]
+        assert args.metrics == [Metric.TIME_ON_PAGE, Metric.PAGE_LOADS]
+        assert args.jobs == 4
+        assert args.cache_dir == "slices"
+
+    def test_engine_flags_default_to_studied_grid_and_serial(self):
+        args = _build_parser().parse_args(["generate", "--out", "somewhere"])
+        assert args.platforms is None
+        assert args.metrics is None
+        assert args.jobs == 1
+        assert args.cache_dir is None
+
+    def test_bad_platform_rejected(self):
+        with pytest.raises(SystemExit):
+            _build_parser().parse_args(
+                ["generate", "--out", "x", "--platforms", "amiga"]
+            )
+
+    def test_bad_metric_rejected(self):
+        with pytest.raises(SystemExit):
+            _build_parser().parse_args(
+                ["generate", "--out", "x", "--metrics", "clicks"]
+            )
+
+    def test_platform_metric_subset_generated(self, tmp_path):
+        out = tmp_path / "subset"
+        code = main([
+            "generate", "--small", "--out", str(out),
+            "--countries", "US",
+            "--platforms", "windows", "--metrics", "page_loads",
+            "--cache-dir", str(tmp_path / "slices"),
+        ])
+        assert code == 0
+        lists = list((out / "lists").glob("*.txt"))
+        assert [p.name for p in lists] == ["US_windows_page_loads_2022-02.txt"]
+
+    def test_cached_regeneration_is_identical(self, tmp_path):
+        cache = tmp_path / "slices"
+        first, second = tmp_path / "a", tmp_path / "b"
+        for out in (first, second):
+            code = main([
+                "generate", "--small", "--out", str(out),
+                "--countries", "US", "--platforms", "android",
+                "--metrics", "time_on_page", "--cache-dir", str(cache),
+            ])
+            assert code == 0
+        name = "US_android_time_on_page_2022-02.txt"
+        assert (first / "lists" / name).read_bytes() == \
+            (second / "lists" / name).read_bytes()
 
 
 class TestInspectAnalyze:

@@ -42,12 +42,71 @@ class TestRoundTrip:
         loaded = load_dataset(tmp_path / "ds")
         assert loaded.metadata["seed"] == small_slice.metadata["seed"]
 
+    def test_fingerprint_recorded_in_manifest(self, small_slice, generator, tmp_path):
+        root = save_dataset(small_slice, tmp_path / "ds")
+        manifest = json.loads((root / "manifest.json").read_text())
+        assert manifest["metadata"]["fingerprint"] == generator.config.fingerprint()
+
     def test_files_are_plain_text(self, small_slice, tmp_path):
         root = save_dataset(small_slice, tmp_path / "ds")
         files = sorted((root / "lists").glob("*.txt"))
         assert files
         first = files[0].read_text(encoding="utf-8").splitlines()
         assert all(line and " " not in line for line in first[:50])
+
+
+class TestMetadata:
+    """save_dataset must coerce or refuse metadata — never drop it silently."""
+
+    def _dataset_with(self, small_slice, metadata):
+        from repro.core import BrowsingDataset
+
+        return BrowsingDataset(
+            {b: small_slice[b] for b in small_slice.breakdowns()},
+            small_slice.distributions(),
+            metadata,
+        )
+
+    def test_round_trip_metadata_and_distributions(self, small_slice, tmp_path):
+        from repro.core import Metric as M, Platform as P
+
+        dataset = self._dataset_with(small_slice, {
+            "seed": 7,
+            "note": "hello",
+            "ratio": 0.25,
+            "flag": True,
+            "knobs": {"alpha": 1, "beta": [1, 2, 3]},
+        })
+        save_dataset(dataset, tmp_path / "ds")
+        loaded = load_dataset(tmp_path / "ds")
+        assert dict(loaded.metadata) == dict(dataset.metadata)
+        for platform in (P.WINDOWS,):
+            for metric in (M.PAGE_LOADS, M.TIME_ON_PAGE):
+                original = dataset.distribution(platform, metric)
+                restored = loaded.distribution(platform, metric)
+                for rank in (1, 50, 1_000):
+                    assert restored.cumulative_share(rank) == pytest.approx(
+                        original.cumulative_share(rank)
+                    )
+
+    def test_month_and_enum_values_coerced(self, small_slice, tmp_path):
+        from repro.core import Metric as M, Month, Platform as P
+
+        dataset = self._dataset_with(small_slice, {
+            "month": Month(2022, 2),
+            "platform": P.ANDROID,
+            "metric": M.TIME_ON_PAGE,
+        })
+        save_dataset(dataset, tmp_path / "ds")
+        loaded = load_dataset(tmp_path / "ds")
+        assert loaded.metadata["month"] == "2022-02"
+        assert loaded.metadata["platform"] == "android"
+        assert loaded.metadata["metric"] == "time_on_page"
+
+    def test_non_serializable_value_raises(self, small_slice, tmp_path):
+        dataset = self._dataset_with(small_slice, {"bad": object()})
+        with pytest.raises(DatasetError, match="bad"):
+            save_dataset(dataset, tmp_path / "ds")
 
 
 class TestErrors:

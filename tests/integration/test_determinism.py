@@ -1,6 +1,7 @@
 """Integration: reproducibility guarantees across the whole stack."""
 
-from repro.core import Metric, Month, Platform, REFERENCE_MONTH
+from repro.core import Breakdown, Metric, Month, Platform, REFERENCE_MONTH
+from repro.engine import GenerationEngine, ParallelExecutor
 from repro.synth import GeneratorConfig, TelemetryGenerator
 
 
@@ -37,6 +38,28 @@ class TestDatasetDeterminism:
         # single-domain sites.
         assert len(a) == len(b)
         assert sum(1 for x, y in zip(a.sites, b.sites) if x == y) > 0.9 * len(a)
+
+    def test_slice_byte_identical_across_generation_paths(self, generator):
+        """The engine refactor's core invariant: a single ``rank_list``
+        slice, the same slice from a full ``generate()`` grid, and the
+        same slice from a ``ParallelExecutor`` run are byte-identical."""
+        config = generator.config
+        breakdown = Breakdown(
+            "KR", Platform.ANDROID, Metric.TIME_ON_PAGE, REFERENCE_MONTH
+        )
+        direct = generator.rank_list(
+            breakdown.country, breakdown.platform, breakdown.metric,
+            breakdown.month,
+        )
+        full = generator.generate(countries=("KR", "US"))[breakdown]
+        parallel = GenerationEngine(
+            config, executor=ParallelExecutor(jobs=2)
+        ).generate(countries=("KR", "US"))[breakdown]
+
+        def blob(ranked):
+            return ("\n".join(ranked.sites) + "\n").encode("utf-8")
+
+        assert blob(direct) == blob(full) == blob(parallel)
 
     def test_distribution_curves_identical_across_instances(self):
         a = TelemetryGenerator(GeneratorConfig.small(seed=80))

@@ -27,6 +27,42 @@ class TestConfig:
         assert cfg.list_size == 1_500
 
 
+class TestFingerprint:
+    def test_stable_across_instances(self):
+        assert (
+            GeneratorConfig.small().fingerprint()
+            == GeneratorConfig.small().fingerprint()
+        )
+
+    def test_is_short_hex(self):
+        fingerprint = GeneratorConfig.small().fingerprint()
+        assert len(fingerprint) == 16
+        int(fingerprint, 16)  # raises if not hex
+
+    def test_sensitive_to_every_knob_family(self):
+        base = GeneratorConfig.small()
+        assert base.fingerprint() != GeneratorConfig.small(seed=3).fingerprint()
+        assert base.fingerprint() != GeneratorConfig.small(
+            list_size=100
+        ).fingerprint()
+        assert base.fingerprint() != GeneratorConfig.small(
+            emit="domains"
+        ).fingerprint()
+        # Privacy knobs are part of the content address.
+        assert base.fingerprint() != GeneratorConfig.small(
+            privacy=PrivacyConfig(client_threshold=0)
+        ).fingerprint()
+        # So is the universe configuration.
+        assert base.fingerprint() != GeneratorConfig(seed=2022).fingerprint()
+
+    def test_explicit_universe_equals_resolved_default(self):
+        from repro.synth import UniverseConfig
+
+        implicit = GeneratorConfig(seed=5)
+        explicit = GeneratorConfig(seed=5, universe=UniverseConfig(seed=5))
+        assert implicit.fingerprint() == explicit.fingerprint()
+
+
 class TestDeterminism:
     def test_same_seed_same_lists(self, generator):
         other = TelemetryGenerator(GeneratorConfig.small())
