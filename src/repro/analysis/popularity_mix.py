@@ -9,7 +9,7 @@ from rank ~20 down (65–73 % at ranks 101–200).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Mapping
+from typing import AbstractSet, Mapping
 
 from ..core.rankedlist import RankedList
 from ..stats.descriptive import Quartiles, quartiles
@@ -32,11 +32,19 @@ class GlobalShareByBucket:
 
 def global_share_by_rank(
     lists_by_country: Mapping[str, RankedList],
-    endemicity: EndemicityResult,
+    endemicity: EndemicityResult | AbstractSet[str],
     buckets: tuple[tuple[int, int], ...] = DEFAULT_BUCKETS,
 ) -> list[GlobalShareByBucket]:
-    """Fraction of each rank bucket occupied by globally popular sites."""
-    global_sites = endemicity.global_sites
+    """Fraction of each rank bucket occupied by globally popular sites.
+
+    ``endemicity`` is either a full Section 5.1 result or just its set
+    of globally popular sites — the latter lets callers replay the
+    analysis from a persisted artifact without rescoring.
+    """
+    if isinstance(endemicity, EndemicityResult):
+        global_sites = endemicity.global_sites
+    else:
+        global_sites = set(endemicity)
     out = []
     for first, last in buckets:
         per_country: dict[str, float] = {}

@@ -4,9 +4,15 @@ Commands
 --------
 generate   Build a synthetic telemetry dataset and save it to disk.
 inspect    Print the head of rank lists from a saved dataset.
-analyze    Run a named analysis over a saved dataset.
+analyze    Run one pipeline task over a saved dataset and print it.
+report     Run the full analysis DAG into a run directory of artifacts.
 crux       Produce the CrUX-style public rank-bucket export.
 world      Print facts about the synthetic world (countries, taxonomy).
+
+``analyze`` and ``report`` share the task registry in
+:mod:`repro.pipeline`: the ``--analysis`` choices are exactly the
+registered task names, and both commands resolve dependencies, caching
+and rendering through the same :class:`~repro.pipeline.PipelineRunner`.
 """
 
 from __future__ import annotations
@@ -86,15 +92,42 @@ def _build_parser() -> argparse.ArgumentParser:
     ins.add_argument("--country", default="US")
     ins.add_argument("--top", type=int, default=10)
 
+    from .pipeline import default_registry
+
     ana = sub.add_parser("analyze", help="run an analysis on a saved dataset")
     ana.add_argument("--data", required=True)
     ana.add_argument(
         "--analysis", required=True,
-        choices=("concentration", "composition", "overlap", "clusters"),
+        choices=sorted(default_registry().names()),
     )
     ana.add_argument("--small", action="store_true",
                      help="dataset was generated with --small (labels)")
-    ana.add_argument("--seed", type=int, default=2022)
+    ana.add_argument("--seed", type=int, default=None,
+                     help="generator seed (default: the dataset's own)")
+
+    rep = sub.add_parser(
+        "report", help="run the full analysis DAG into a run directory"
+    )
+    rep.add_argument("--data", required=True, help="saved dataset directory")
+    rep.add_argument("--out", required=True, help="run directory to write")
+    rep.add_argument("--jobs", type=int, default=1,
+                     help="concurrent tasks (default: 1 = serial; artifacts "
+                          "are byte-identical either way)")
+    rep.add_argument("--tasks", nargs="*", default=None,
+                     help="task subset (dependencies are pulled in; "
+                          "default: the whole registry)")
+    rep.add_argument("--artifacts", default=None,
+                     help="artifact store directory "
+                          "(default: <data>/.artifacts)")
+    rep.add_argument("--no-artifacts", action="store_true",
+                     help="recompute everything; do not read or write "
+                          "the artifact store")
+    rep.add_argument("--month", type=_parse_month, default=None,
+                     help="reference month (default: the dataset's last)")
+    rep.add_argument("--small", action="store_true",
+                     help="dataset was generated with --small (labels)")
+    rep.add_argument("--seed", type=int, default=None,
+                     help="generator seed (default: the dataset's own)")
 
     crux = sub.add_parser("crux", help="CrUX-style public export")
     crux.add_argument("--data", required=True)
@@ -157,83 +190,74 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
 
 
 def _cmd_analyze(args: argparse.Namespace) -> int:
-    from .analysis import (
-        cluster_countries,
-        headline_concentration,
-        metric_overlap,
-        rbo_matrix_for,
-        composition_panel,
-    )
     from .export.io import load_dataset
-    from .report import render_shares, render_table
-    from .synth import GeneratorConfig, TelemetryGenerator
+    from .pipeline import (
+        PipelineRunner,
+        TaskContext,
+        TaskStatus,
+        canonical_json,
+        default_registry,
+        infer_config,
+        render_task,
+    )
 
     dataset = load_dataset(args.data)
-    month = dataset.months[-1]
+    registry = default_registry()
+    config = infer_config(dataset, small=args.small, seed=args.seed)
+    runner = PipelineRunner(registry)
+    report = runner.run(TaskContext(dataset, config=config), [args.analysis])
+    record = report.records[args.analysis]
+    if record.status is TaskStatus.FAILED:
+        print(record.error, file=sys.stderr)
+        return 1
+    if record.status is TaskStatus.SKIPPED:
+        print(record.error, file=sys.stderr)
+        return 2
+    rendered = render_task(registry, report, args.analysis)
+    if rendered is not None:
+        print(rendered)
+    else:
+        print(canonical_json(report.results[args.analysis]))
+    return 0
 
-    if args.analysis == "concentration":
-        rows = []
-        for (platform, metric), dist in sorted(
-            dataset.distributions().items(),
-            key=lambda kv: (kv[0][0].value, kv[0][1].value),
-        ):
-            h = headline_concentration(dist, platform, metric)
-            rows.append((f"{platform.value}/{metric.value}",
-                         f"{h.top1:.1%}", h.sites_for_quarter,
-                         f"{h.top10k:.1%}"))
-        print(render_table(
-            ("breakdown", "top-1 share", "sites for 25%", "top-10K share"),
-            rows, title="Traffic concentration (Figure 1)",
-        ))
-        return 0
 
-    if args.analysis == "overlap":
-        rows = []
-        for platform in dataset.platforms:
-            if not {Metric.PAGE_LOADS, Metric.TIME_ON_PAGE} <= set(dataset.metrics):
-                print("dataset lacks both metrics", file=sys.stderr)
-                return 2
-            overlap = metric_overlap(dataset, platform, month)
-            rows.append((platform.value,
-                         f"{overlap.intersection_stats.median:.1%}",
-                         f"{overlap.spearman_stats.median:.2f}"))
-        print(render_table(
-            ("platform", "median intersection", "median Spearman"), rows,
-            title="Loads vs time agreement (Section 4.4)",
-        ))
-        return 0
+def _cmd_report(args: argparse.Namespace) -> int:
+    from .export.io import load_dataset
+    from .pipeline import (
+        ArtifactStore,
+        PipelineRunner,
+        SerialTaskExecutor,
+        TaskContext,
+        ThreadedTaskExecutor,
+        default_registry,
+        infer_config,
+        write_run_dir,
+    )
 
-    if args.analysis == "composition":
-        config = (GeneratorConfig.small(seed=args.seed) if args.small
-                  else GeneratorConfig(seed=args.seed))
-        labels = TelemetryGenerator(config).site_categories()
-        for metric in dataset.metrics:
-            panel = composition_panel(
-                dataset, labels, dataset.platforms[-1], metric, month,
-                top_n=10_000, perspective="traffic",
-            )
-            print(render_shares(
-                panel.shares,
-                f"{dataset.platforms[-1].value} / {metric.value}", top=8,
-            ))
-            print()
-        return 0
+    dataset = load_dataset(args.data)
+    registry = default_registry()
+    config = infer_config(dataset, small=args.small, seed=args.seed)
+    if args.no_artifacts:
+        store = None
+    else:
+        store = ArtifactStore(args.artifacts or Path(args.data) / ".artifacts")
+    executor = (ThreadedTaskExecutor(args.jobs) if args.jobs > 1
+                else SerialTaskExecutor())
+    runner = PipelineRunner(registry, executor=executor, store=store)
+    ctx = TaskContext(dataset, config=config, month=args.month)
+    report = runner.run(ctx, args.tasks)
+    out = write_run_dir(args.out, registry, report)
 
-    if args.analysis == "clusters":
-        matrix = rbo_matrix_for(
-            dataset, dataset.platforms[-1], dataset.metrics[0], month
-        )
-        report = cluster_countries(matrix)
-        print(render_table(
-            ("exemplar", "SC", "members"),
-            [(c.exemplar, f"{c.silhouette:+.2f}", " ".join(c.members))
-             for c in report.clusters],
-            title=f"{report.n_clusters} clusters, "
-                  f"avg SC {report.average_silhouette:+.2f}",
-        ))
-        return 0
-
-    raise AssertionError("unreachable")
+    for name in report.order:
+        record = report.records[name]
+        note = f"  ({record.error})" if record.error else ""
+        print(f"{record.status.value:8s} {name}{note}")
+    print(f"executed {report.executed}, cached {report.cached}, "
+          f"failed {report.failed}, skipped {report.skipped}")
+    if store is not None:
+        print(f"artifact store {store.root}: {store.stats}")
+    print(f"wrote run directory {out}")
+    return 0 if report.ok else 1
 
 
 def _cmd_crux(args: argparse.Namespace) -> int:
@@ -280,6 +304,7 @@ _COMMANDS = {
     "generate": _cmd_generate,
     "inspect": _cmd_inspect,
     "analyze": _cmd_analyze,
+    "report": _cmd_report,
     "crux": _cmd_crux,
     "world": _cmd_world,
 }

@@ -8,8 +8,10 @@ from .errors import (
     DistributionError,
     GenerationError,
     MissingBreakdownError,
+    PipelineError,
     RankListError,
     ReproError,
+    TaskUnavailable,
     TaxonomyError,
 )
 from .rankedlist import RankedList
@@ -34,12 +36,14 @@ __all__ = [
     "Metric",
     "MissingBreakdownError",
     "Month",
+    "PipelineError",
     "Platform",
     "RankListError",
     "RankedList",
     "REFERENCE_MONTH",
     "ReproError",
     "STUDY_MONTHS",
+    "TaskUnavailable",
     "TaxonomyError",
     "TrafficDistribution",
     "concentration_table",

@@ -37,3 +37,17 @@ class GenerationError(ReproError):
 
 class AnalysisError(ReproError):
     """An analysis was invoked with inputs it cannot support."""
+
+
+class PipelineError(ReproError):
+    """The reproduction pipeline is mis-wired (unknown task, cycle, ...)."""
+
+
+class TaskUnavailable(ReproError):
+    """A pipeline task cannot run against this dataset.
+
+    Raised by task bodies when the dataset lacks a required slice (a
+    single-platform export cannot feed the platform comparison) or the
+    run lacks a generator config (no ground-truth labels).  The runner
+    records the task — and its dependents — as *skipped*, not failed.
+    """

@@ -8,7 +8,7 @@ from .crux import (
     export_crux,
     global_ranking,
 )
-from .io import breakdown_slug, load_dataset, save_dataset
+from .io import breakdown_slug, dataset_fingerprint, load_dataset, save_dataset
 
 __all__ = [
     "CRUX_BUCKETS",
@@ -16,6 +16,7 @@ __all__ = [
     "breakdown_slug",
     "bucket_of",
     "coarsen_list",
+    "dataset_fingerprint",
     "export_crux",
     "global_ranking",
     "load_dataset",

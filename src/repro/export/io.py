@@ -22,6 +22,7 @@ instead of being silently dropped.
 
 from __future__ import annotations
 
+import hashlib
 import json
 from pathlib import Path
 from typing import Mapping
@@ -65,6 +66,30 @@ def _jsonable_metadata(metadata: Mapping[str, object]) -> dict[str, object]:
                 ) from exc
         out[key] = value
     return out
+
+
+def dataset_fingerprint(dataset: BrowsingDataset) -> str:
+    """The content address identifying this dataset's exact lists.
+
+    Datasets produced by the generation engine carry the generator's
+    ``fingerprint`` in their metadata, and save/load round-trips it, so
+    the recorded value is authoritative when present.  For datasets
+    from other sources (hand-built fixtures, external imports) the
+    fingerprint is a SHA-256 over every breakdown slug and its sites in
+    canonical order — still a pure function of the content, just paid
+    per call instead of read from provenance.
+    """
+    recorded = dataset.metadata.get("fingerprint")
+    if isinstance(recorded, str) and recorded:
+        return recorded
+    digest = hashlib.sha256()
+    for breakdown in sorted(dataset.breakdowns()):
+        digest.update(breakdown_slug(breakdown).encode("utf-8"))
+        digest.update(b"\x00")
+        for site in dataset[breakdown].sites:
+            digest.update(site.encode("utf-8"))
+            digest.update(b"\n")
+    return digest.hexdigest()[:16]
 
 
 def save_dataset(dataset: BrowsingDataset, root: str | Path) -> Path:

@@ -1,0 +1,155 @@
+"""Run context shared by every task in one pipeline run.
+
+The context carries what tasks may not compute for themselves: the
+loaded dataset, the reference month (default: the dataset's last
+month), and — optionally — the :class:`GeneratorConfig` matching the
+dataset, which ground-truth tasks (labels, tags, app roster) need to
+rebuild the synthetic universe.  The generator is built lazily behind a
+lock, so a warm artifact cache never pays the universe build and
+concurrent tasks share one instance.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import TYPE_CHECKING
+
+from ..core.dataset import BrowsingDataset
+from ..core.errors import TaskUnavailable
+from ..core.types import Metric, Month, Platform
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..synth.generator import GeneratorConfig, TelemetryGenerator
+
+
+class TaskContext:
+    """Immutable-by-convention inputs shared across one run's tasks."""
+
+    def __init__(
+        self,
+        dataset: BrowsingDataset,
+        *,
+        config: "GeneratorConfig | None" = None,
+        month: Month | None = None,
+    ) -> None:
+        self.dataset = dataset
+        self.config = config
+        self.month = month or dataset.months[-1]
+        self._generator: "TelemetryGenerator | None" = None
+        self._fingerprint: str | None = None
+        self._sites: frozenset[str] | None = None
+        self._lock = threading.Lock()
+
+    # -- identity -----------------------------------------------------------------
+
+    @property
+    def fingerprint(self) -> str:
+        """The dataset half of every artifact address."""
+        if self._fingerprint is None:
+            from ..export.io import dataset_fingerprint
+
+            self._fingerprint = dataset_fingerprint(self.dataset)
+        return self._fingerprint
+
+    def config_fingerprint(self) -> str:
+        """Content address of the generator config (ground-truth tasks)."""
+        if self.config is None:
+            raise TaskUnavailable(
+                "no generator config for this dataset; pass --small/--seed "
+                "matching the configuration that generated it"
+            )
+        return self.config.fingerprint()
+
+    # -- ground truth -------------------------------------------------------------
+
+    @property
+    def generator(self) -> "TelemetryGenerator":
+        """The generator for :attr:`config`, built once per run.
+
+        Raises :class:`TaskUnavailable` when the run has no config —
+        dataset-only tasks never touch this, so a pipeline over an
+        unprovenanced export still runs everything label-free.
+        """
+        if self.config is None:
+            self.config_fingerprint()  # raises with the actionable message
+        with self._lock:
+            if self._generator is None:
+                from ..engine.executor import generator_for
+
+                self._generator = generator_for(self.config)
+            return self._generator
+
+    # -- dataset conveniences -----------------------------------------------------
+
+    def sites(self) -> frozenset[str]:
+        """Every site appearing anywhere in the dataset (memoised).
+
+        Ground-truth tasks restrict their artifacts to this union so a
+        full-scale label map stores ~the dataset's vocabulary, not the
+        whole 1.1M-site universe.
+        """
+        with self._lock:
+            if self._sites is None:
+                union: set[str] = set()
+                for breakdown in self.dataset.breakdowns():
+                    union.update(self.dataset[breakdown].sites)
+                self._sites = frozenset(union)
+            return self._sites
+
+    @property
+    def primary_platform(self) -> Platform:
+        """Windows when present (the paper's headline platform)."""
+        if Platform.WINDOWS in self.dataset.platforms:
+            return Platform.WINDOWS
+        return self.dataset.platforms[-1]
+
+    @property
+    def primary_metric(self) -> Metric:
+        """Page loads when present (the paper's headline metric)."""
+        if Metric.PAGE_LOADS in self.dataset.metrics:
+            return Metric.PAGE_LOADS
+        return self.dataset.metrics[0]
+
+    def primary_lists(self):
+        """Per-country lists for the headline (platform, metric, month)."""
+        return self.dataset.select(
+            self.primary_platform, self.primary_metric, self.month
+        )
+
+    def __repr__(self) -> str:
+        config = "yes" if self.config is not None else "no"
+        return (
+            f"TaskContext(fingerprint={self.fingerprint}, month={self.month}, "
+            f"config={config})"
+        )
+
+
+def infer_config(
+    dataset: BrowsingDataset,
+    *,
+    small: bool = False,
+    seed: int | None = None,
+) -> "GeneratorConfig":
+    """The :class:`GeneratorConfig` matching a saved dataset.
+
+    Engine-produced datasets record the config fingerprint in their
+    manifest metadata; we try the two canonical configurations (full
+    and small scale, at the recorded or requested seed) and return
+    whichever one round-trips to that fingerprint.  When neither
+    matches — or the dataset carries no provenance — fall back to the
+    caller's ``--small``/``--seed`` flags, preserving the historical
+    CLI behaviour.
+    """
+    from ..synth.generator import GeneratorConfig
+
+    metadata = dataset.metadata
+    if seed is None:
+        recorded_seed = metadata.get("seed")
+        seed = recorded_seed if isinstance(recorded_seed, int) else 2022
+    recorded = metadata.get("fingerprint")
+    candidates = (GeneratorConfig.small(seed=seed), GeneratorConfig(seed=seed))
+    if isinstance(recorded, str):
+        for candidate in candidates:
+            if candidate.fingerprint() == recorded:
+                return candidate
+    return candidates[0] if small else candidates[1]

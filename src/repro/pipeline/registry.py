@@ -1,0 +1,133 @@
+"""Task registry: the catalogue and dependency graph of analyses.
+
+A :class:`TaskRegistry` owns a set of uniquely-named :class:`Task`\\ s
+and answers the two graph questions the runner needs: the transitive
+dependency *closure* of a task selection, and a deterministic
+*topological order* over it (Kahn's algorithm with an alphabetically
+sorted ready set, so the schedule — and therefore every run report —
+is reproducible).  Registries validate eagerly: duplicate names,
+unknown dependencies and cycles all raise :class:`PipelineError` at
+wiring time, not mid-run.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator, Mapping
+
+from ..core.errors import PipelineError
+from .task import ContextKeyFn, RenderFn, Task, TaskFn
+
+
+class TaskRegistry:
+    """An ordered, validated collection of pipeline tasks."""
+
+    def __init__(self, tasks: Iterable[Task] = ()) -> None:
+        self._tasks: dict[str, Task] = {}
+        for task in tasks:
+            self.add(task)
+
+    # -- wiring -------------------------------------------------------------------
+
+    def add(self, task: Task) -> Task:
+        if task.name in self._tasks:
+            raise PipelineError(f"duplicate task name {task.name!r}")
+        self._tasks[task.name] = task
+        return task
+
+    def task(
+        self,
+        name: str,
+        *,
+        deps: tuple[str, ...] = (),
+        params: Mapping[str, object] | None = None,
+        section: str = "",
+        title: str = "",
+        render: RenderFn | None = None,
+        context_key: ContextKeyFn | None = None,
+    ) -> Callable[[TaskFn], TaskFn]:
+        """Decorator form of :meth:`add` for defining task bodies."""
+
+        def register(fn: TaskFn) -> TaskFn:
+            self.add(Task(
+                name=name, fn=fn, deps=tuple(deps),
+                params=dict(params or {}), section=section, title=title,
+                render=render, context_key=context_key,
+            ))
+            return fn
+
+        return register
+
+    # -- lookups ------------------------------------------------------------------
+
+    def get(self, name: str) -> Task:
+        try:
+            return self._tasks[name]
+        except KeyError:
+            known = ", ".join(sorted(self._tasks))
+            raise PipelineError(
+                f"unknown task {name!r}; registered: {known}"
+            ) from None
+
+    def names(self) -> tuple[str, ...]:
+        return tuple(self._tasks)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._tasks
+
+    def __iter__(self) -> Iterator[Task]:
+        return iter(self._tasks.values())
+
+    def __len__(self) -> int:
+        return len(self._tasks)
+
+    # -- graph --------------------------------------------------------------------
+
+    def closure(self, names: Iterable[str] | None = None) -> set[str]:
+        """``names`` plus every transitive dependency (whole graph if None)."""
+        if names is None:
+            wanted = list(self._tasks)
+        else:
+            wanted = list(names)
+        out: set[str] = set()
+        stack = list(wanted)
+        while stack:
+            name = stack.pop()
+            if name in out:
+                continue
+            out.add(name)
+            stack.extend(self.get(name).deps)
+        return out
+
+    def topological_order(
+        self, names: Iterable[str] | None = None
+    ) -> tuple[str, ...]:
+        """A deterministic dependency-respecting order over the closure.
+
+        Kahn's algorithm; ties are broken alphabetically so the order
+        is a pure function of the graph, independent of registration
+        or selection order.  Raises :class:`PipelineError` on cycles.
+        """
+        selected = self.closure(names)
+        remaining_deps = {
+            name: {d for d in self.get(name).deps if d in selected}
+            for name in selected
+        }
+        order: list[str] = []
+        ready = sorted(n for n, deps in remaining_deps.items() if not deps)
+        while ready:
+            name = ready.pop(0)
+            order.append(name)
+            newly_ready = []
+            for other, deps in remaining_deps.items():
+                if name in deps:
+                    deps.discard(name)
+                    if not deps and other not in order:
+                        newly_ready.append(other)
+            ready = sorted(set(ready) | set(newly_ready))
+        if len(order) != len(selected):
+            stuck = sorted(set(selected) - set(order))
+            raise PipelineError(f"dependency cycle involving {stuck}")
+        return tuple(order)
+
+    def __repr__(self) -> str:
+        return f"TaskRegistry({len(self._tasks)} tasks)"

@@ -1,0 +1,30 @@
+"""Pipeline fixtures: a two-month dataset plus toy registries.
+
+The real-analysis fixtures reuse the session generator from the top
+conftest; the toy-registry helpers build tiny synthetic DAGs so runner
+semantics (ordering, isolation, caching) are tested without paying for
+any actual analysis.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Metric, Month, Platform
+from repro.pipeline import TaskContext
+
+
+@pytest.fixture(scope="session")
+def pipeline_dataset(generator):
+    """Both platforms/metrics over two months, four countries."""
+    return generator.generate(
+        countries=("US", "KR", "JP", "BR"),
+        platforms=Platform.studied(),
+        metrics=Metric.studied(),
+        months=(Month(2021, 12), Month(2022, 2)),
+    )
+
+
+@pytest.fixture(scope="session")
+def pipeline_ctx(pipeline_dataset, generator):
+    return TaskContext(pipeline_dataset, config=generator.config)

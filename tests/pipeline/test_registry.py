@@ -1,0 +1,79 @@
+"""Registry wiring: names, closure, deterministic topological order."""
+
+import pytest
+
+from repro.core.errors import PipelineError
+from repro.pipeline import Task, TaskRegistry
+
+
+def _noop(ctx, inputs):
+    return {}
+
+
+def _registry(edges: dict[str, tuple[str, ...]]) -> TaskRegistry:
+    return TaskRegistry(
+        Task(name=name, fn=_noop, deps=deps) for name, deps in edges.items()
+    )
+
+
+class TestWiring:
+    def test_duplicate_name_rejected(self):
+        registry = _registry({"a": ()})
+        with pytest.raises(PipelineError, match="duplicate"):
+            registry.add(Task(name="a", fn=_noop))
+
+    def test_unknown_task_lists_known_names(self):
+        registry = _registry({"a": (), "b": ()})
+        with pytest.raises(PipelineError, match="a, b"):
+            registry.get("zzz")
+
+    def test_decorator_registers(self):
+        registry = TaskRegistry()
+
+        @registry.task("t", deps=(), params={"k": 1}, title="T")
+        def body(ctx, inputs):
+            return {}
+
+        assert "t" in registry
+        assert registry.get("t").fn is body
+        assert len(registry) == 1
+
+
+class TestClosure:
+    def test_pulls_transitive_deps(self):
+        registry = _registry({"a": (), "b": ("a",), "c": ("b",), "d": ()})
+        assert registry.closure(["c"]) == {"a", "b", "c"}
+
+    def test_none_means_everything(self):
+        registry = _registry({"a": (), "b": ("a",)})
+        assert registry.closure(None) == {"a", "b"}
+
+
+class TestTopologicalOrder:
+    def test_dependencies_come_first(self):
+        registry = _registry({
+            "render": ("mid",), "mid": ("base",), "base": (), "solo": (),
+        })
+        order = registry.topological_order()
+        assert order.index("base") < order.index("mid") < order.index("render")
+
+    def test_ties_break_alphabetically(self):
+        registry = _registry({"c": (), "a": (), "b": ()})
+        assert registry.topological_order() == ("a", "b", "c")
+
+    def test_selection_restricts_to_closure(self):
+        registry = _registry({"a": (), "b": ("a",), "c": ()})
+        assert registry.topological_order(["b"]) == ("a", "b")
+
+    def test_order_is_independent_of_registration_order(self):
+        edges = {"a": (), "b": ("a",), "c": ("a",), "d": ("b", "c")}
+        forward = _registry(edges)
+        backward = TaskRegistry(
+            Task(name=n, fn=_noop, deps=edges[n]) for n in reversed(edges)
+        )
+        assert forward.topological_order() == backward.topological_order()
+
+    def test_cycle_detected(self):
+        registry = _registry({"a": ("b",), "b": ("a",)})
+        with pytest.raises(PipelineError, match="cycle"):
+            registry.topological_order()

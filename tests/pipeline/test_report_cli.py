@@ -1,0 +1,131 @@
+"""End-to-end ``repro report`` / registry-driven ``repro analyze``."""
+
+import json
+
+import pytest
+
+from repro.cli import _build_parser, main
+
+
+@pytest.fixture(scope="module")
+def dataset_dir(tmp_path_factory):
+    out = tmp_path_factory.mktemp("report-cli") / "ds"
+    code = main([
+        "generate", "--small", "--out", str(out),
+        "--countries", "US", "KR", "JP",
+        "--months", "2021-12", "2022-02",
+    ])
+    assert code == 0
+    return out
+
+
+class TestReportCommand:
+    def test_cold_run_writes_run_dir(self, dataset_dir, tmp_path, capsys):
+        code = main([
+            "report", "--data", str(dataset_dir),
+            "--out", str(tmp_path / "run"), "--jobs", "4",
+        ])
+        assert code == 0
+        captured = capsys.readouterr().out
+        assert "failed 0" in captured
+
+        run = tmp_path / "run"
+        summary = json.loads((run / "run.json").read_text())
+        assert summary["counts"]["failed"] == 0
+        assert summary["counts"]["executed"] > 0
+        assert (run / "REPORT.txt").read_text().startswith("== ")
+        assert (run / "artifacts" / "concentration.json").is_file()
+        assert (run / "tables" / "concentration.txt").is_file()
+
+    def test_second_identical_run_is_fully_cached(
+        self, dataset_dir, tmp_path, capsys
+    ):
+        # The artifact store defaults to <data>/.artifacts, so two
+        # invocations with different --out share every artifact: the
+        # second run must execute zero tasks.
+        code = main([
+            "report", "--data", str(dataset_dir),
+            "--out", str(tmp_path / "warm"), "--jobs", "4",
+        ])
+        assert code == 0
+        capsys.readouterr()
+        code = main([
+            "report", "--data", str(dataset_dir),
+            "--out", str(tmp_path / "warm2"), "--jobs", "4",
+        ])
+        assert code == 0
+        summary = json.loads((tmp_path / "warm2" / "run.json").read_text())
+        assert summary["counts"]["executed"] == 0
+        assert summary["counts"]["cached"] > 0
+
+    def test_serial_and_parallel_run_dirs_match(self, dataset_dir, tmp_path):
+        main([
+            "report", "--data", str(dataset_dir), "--no-artifacts",
+            "--out", str(tmp_path / "serial"), "--jobs", "1",
+            "--tasks", "concentration", "clusters",
+        ])
+        main([
+            "report", "--data", str(dataset_dir), "--no-artifacts",
+            "--out", str(tmp_path / "parallel"), "--jobs", "4",
+            "--tasks", "concentration", "clusters",
+        ])
+        serial = sorted((tmp_path / "serial" / "artifacts").glob("*.json"))
+        parallel = sorted((tmp_path / "parallel" / "artifacts").glob("*.json"))
+        assert [p.name for p in serial] == [p.name for p in parallel]
+        for a, b in zip(serial, parallel):
+            assert a.read_bytes() == b.read_bytes()
+
+    def test_task_subset_pulls_dependencies(self, dataset_dir, tmp_path):
+        code = main([
+            "report", "--data", str(dataset_dir), "--no-artifacts",
+            "--out", str(tmp_path / "subset"),
+            "--tasks", "endemic_categories",
+        ])
+        assert code == 0
+        summary = json.loads((tmp_path / "subset" / "run.json").read_text())
+        assert set(summary["order"]) == {
+            "endemicity", "labels", "endemic_categories",
+        }
+
+
+class TestAnalyzeViaRegistry:
+    def test_choices_come_from_the_registry(self):
+        from repro.pipeline import default_registry
+
+        parser_text = _build_parser().parse_args(
+            ["analyze", "--data", "x", "--analysis", "endemicity"]
+        )
+        assert parser_text.analysis == "endemicity"
+        with pytest.raises(SystemExit):
+            _build_parser().parse_args(
+                ["analyze", "--data", "x", "--analysis", "nonsense"]
+            )
+        assert "endemicity" in default_registry().names()
+
+    def test_new_registry_analysis_runs(self, dataset_dir, capsys):
+        code = main([
+            "analyze", "--data", str(dataset_dir), "--analysis", "endemicity",
+        ])
+        assert code == 0
+        assert "Endemicity" in capsys.readouterr().out
+
+    def test_data_only_task_prints_json(self, dataset_dir, capsys):
+        code = main([
+            "analyze", "--data", str(dataset_dir), "--analysis", "has_app",
+        ])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert isinstance(payload["sites"], list)
+
+    def test_overlap_on_single_metric_dataset_exits_2(
+        self, tmp_path, capsys
+    ):
+        out = tmp_path / "loads-only"
+        main([
+            "generate", "--small", "--out", str(out),
+            "--countries", "US", "KR", "--metrics", "page_loads",
+        ])
+        capsys.readouterr()
+        code = main(["analyze", "--data", str(out), "--analysis", "overlap"])
+        assert code == 2
+        assert "dataset lacks both metrics" in capsys.readouterr().err

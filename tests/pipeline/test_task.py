@@ -1,0 +1,50 @@
+"""Task identity: canonical JSON, parameter hashing, cache keys."""
+
+from repro.core import Month
+from repro.pipeline import Task, TaskContext, canonical_json, params_hash
+
+
+def _noop(ctx, inputs):
+    return {}
+
+
+class TestCanonicalJson:
+    def test_key_order_does_not_matter(self):
+        assert canonical_json({"b": 1, "a": 2}) == canonical_json({"a": 2, "b": 1})
+
+    def test_compact_separators(self):
+        assert canonical_json({"a": [1, 2]}) == '{"a":[1,2]}'
+
+
+class TestParamsHash:
+    def test_stable_and_short(self):
+        digest = params_hash({"top_n": 10_000})
+        assert digest == params_hash({"top_n": 10_000})
+        assert len(digest) == 16
+
+    def test_sensitive_to_params_and_extra(self):
+        base = params_hash({"top_n": 10_000})
+        assert params_hash({"top_n": 100}) != base
+        assert params_hash({"top_n": 10_000}, extra="2022-02") != base
+
+
+class TestTaskKey:
+    def test_key_folds_in_month(self, pipeline_dataset):
+        task = Task(name="t", fn=_noop, params={"k": 1})
+        feb = TaskContext(pipeline_dataset, month=Month(2022, 2))
+        dec = TaskContext(pipeline_dataset, month=Month(2021, 12))
+        assert task.key(feb) != task.key(dec)
+        assert task.key(feb) == task.key(TaskContext(pipeline_dataset))
+
+    def test_context_key_folds_in_config(self, pipeline_ctx, pipeline_dataset):
+        plain = Task(name="t", fn=_noop)
+        keyed = Task(name="t", fn=_noop,
+                     context_key=lambda ctx: ctx.config_fingerprint())
+        unconfigured = TaskContext(pipeline_dataset)
+        assert keyed.key(pipeline_ctx) != plain.key(pipeline_ctx)
+        assert plain.key(unconfigured) == plain.key(pipeline_ctx)
+
+    def test_heading_combines_title_and_section(self):
+        assert Task(name="t", fn=_noop).heading == "t"
+        task = Task(name="t", fn=_noop, title="Overlap", section="§4.4")
+        assert task.heading == "Overlap (§4.4)"
