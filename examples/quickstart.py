@@ -8,6 +8,7 @@ analyses — enough to see every moving part in under a minute.
 Run:  python examples/quickstart.py
 """
 
+import repro
 from repro.analysis import (
     composition_panel,
     dominant_category,
@@ -20,19 +21,17 @@ from repro.synth import GeneratorConfig, TelemetryGenerator
 
 
 def main() -> None:
-    # 1. Build the generator.  GeneratorConfig() is the paper-calibrated
-    #    full scale (~1.1M sites); .small() is for quick experiments.
+    # 1. Generate through the facade.  small=True is the quick-experiment
+    #    scale; the default config is the paper-calibrated full scale
+    #    (~1.1M sites).  Both platforms and metrics for the reference
+    #    month (February 2022), all 45 study countries.
+    dataset = repro.generate(small=True, seed=2022)
+    print(dataset, "\n")
+
+    # 2. The deep API is still there when an analysis needs generator
+    #    ground truth (here: the category labels).
     generator = TelemetryGenerator(GeneratorConfig.small(seed=2022))
     labels = generator.site_categories()
-
-    # 2. Generate a dataset slice: both platforms and metrics for the
-    #    reference month (February 2022), all 45 study countries.
-    dataset = generator.generate(
-        platforms=Platform.studied(),
-        metrics=Metric.studied(),
-        months=(REFERENCE_MONTH,),
-    )
-    print(dataset, "\n")
 
     # 3. Look at some rank lists.
     rows = []

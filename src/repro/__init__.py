@@ -5,21 +5,30 @@ The package is organised as:
 * :mod:`repro.core` — data model (ranked lists, traffic curves, dataset);
 * :mod:`repro.world` — static ground truth (countries, taxonomy, sites);
 * :mod:`repro.synth` — the synthetic Chrome-telemetry substrate;
+* :mod:`repro.engine` — plan/execute generation with slice caching;
 * :mod:`repro.etld` — public-suffix handling and domain merging;
 * :mod:`repro.categories` — the simulated categorisation API + validation;
 * :mod:`repro.stats` — from-scratch statistics (RBO, AP, Fisher, ...);
 * :mod:`repro.analysis` — one module per paper analysis (Sections 4–5);
-* :mod:`repro.report` — ASCII tables/series for benches and examples.
+* :mod:`repro.pipeline` — the analysis DAG + content-addressed artifacts;
+* :mod:`repro.service` — the cached QueryService + JSON HTTP API;
+* :mod:`repro.report` — ASCII tables/series for benches and examples;
+* :mod:`repro.api` — the stable facade re-exported below.
 
-Quickstart::
+Quickstart (no deep imports needed)::
 
-    from repro.synth import GeneratorConfig, TelemetryGenerator
-    from repro.core import Platform, Metric, REFERENCE_MONTH
+    import repro
 
-    gen = TelemetryGenerator(GeneratorConfig.small())
-    data = gen.generate()
-    us = data.get("US", Platform.WINDOWS, Metric.PAGE_LOADS, REFERENCE_MONTH)
+    data = repro.generate(small=True, out="out/feb")   # build + save
+    us = repro.load("out/feb").get(
+        "US", repro.Platform.WINDOWS, repro.Metric.PAGE_LOADS,
+        repro.REFERENCE_MONTH,
+    )
     print(us.top(10).sites)
+
+    result = repro.analyze("out/feb", "concentration")  # one DAG task
+    repro.report("out/feb", "runs/feb")                 # the whole paper
+    repro.serve("out/feb", port=8000)                   # HTTP serving layer
 """
 
 from .core import (
@@ -34,7 +43,14 @@ from .core import (
     TrafficDistribution,
 )
 
-__version__ = "1.0.0"
+# Import the ``repro.report`` submodule before the facade shadows the
+# name: loading it here pins ``sys.modules['repro.report']``, so
+# ``from repro.report import render_table`` keeps working everywhere
+# while the attribute ``repro.report`` is the facade function below.
+from . import report as _report_module  # noqa: F401
+from .api import analyze, generate, load, report, serve
+
+__version__ = "1.1.0"
 
 __all__ = [
     "Breakdown",
@@ -47,4 +63,9 @@ __all__ = [
     "STUDY_MONTHS",
     "TrafficDistribution",
     "__version__",
+    "analyze",
+    "generate",
+    "load",
+    "report",
+    "serve",
 ]

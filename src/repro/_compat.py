@@ -1,0 +1,47 @@
+"""Warn-once plumbing for deprecated keyword aliases.
+
+The PR-3 API normalization renamed a few keyword arguments so the same
+concept has the same name everywhere (``cache`` for slice caches,
+``store`` for artifact stores, ``jobs`` for worker counts).  The old
+names keep working through :func:`deprecated_alias`, which emits one
+:class:`DeprecationWarning` per (owner, old-name) pair per process —
+loud enough to notice, quiet enough not to spam a request loop.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+_warned: set[tuple[str, str]] = set()
+
+
+def warn_once(key: tuple[str, str], message: str) -> None:
+    """Emit ``message`` as a DeprecationWarning the first time per process."""
+    if key in _warned:
+        return
+    _warned.add(key)
+    warnings.warn(message, DeprecationWarning, stacklevel=3)
+
+
+def deprecated_alias(
+    new_value: object,
+    old_value: object,
+    *,
+    owner: str,
+    old: str,
+    new: str,
+) -> object:
+    """Resolve a renamed keyword: prefer ``new``, accept ``old`` with a warning.
+
+    Passing both (with the old one not ``None``) is an error — silently
+    picking one would hide a real conflict at the call site.
+    """
+    if old_value is None:
+        return new_value
+    if new_value is not None:
+        raise TypeError(f"{owner}: pass {new!r}, not both {new!r} and {old!r}")
+    warn_once(
+        (owner, old),
+        f"{owner}: {old!r} is deprecated, use {new!r}",
+    )
+    return old_value

@@ -1,0 +1,271 @@
+"""repro.api — the stable top-level facade.
+
+Five verbs cover the library's lifecycle, re-exported from
+``repro/__init__.py`` so no consumer needs a deep import:
+
+* :func:`generate` — build a dataset (optionally parallel, cached,
+  lazy, and/or saved to disk);
+* :func:`load` — read a saved dataset back;
+* :func:`analyze` — run one pipeline task and return its result;
+* :func:`report` — run the full analysis DAG into a run directory;
+* :func:`serve` — stand up the HTTP serving layer over a dataset.
+
+Every function accepts plain strings where an enum or value type would
+otherwise be required (``platforms=("windows",)``,
+``months=("2022-02",)``), coercing through the same value types the
+deep APIs use, and every dataset-accepting function takes
+``BrowsingDataset | str | Path`` interchangeably.  The CLI's ``_cmd_*``
+handlers are thin wrappers over these functions — the shell and Python
+surfaces cannot drift apart.
+
+This module imports lazily: ``import repro`` stays cheap, and heavy
+subsystems (the generator universe, the analysis catalogue) load only
+when the corresponding verb is first used.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterable
+
+from .core.types import Metric, Month, Platform
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .core.dataset import BrowsingDataset
+    from .engine.cache import SliceCache
+    from .pipeline.artifacts import ArtifactStore
+    from .pipeline.runner import RunReport
+    from .service.http import ReproHTTPServer
+    from .synth.generator import GeneratorConfig
+
+#: What every dataset-accepting facade function takes.
+DatasetLike = "BrowsingDataset | str | Path"
+
+
+def _months(values: Iterable["Month | str"] | None) -> tuple[Month, ...] | None:
+    if values is None:
+        return None
+    return tuple(
+        Month.parse(v) if isinstance(v, str) else v for v in values
+    )
+
+
+def _platforms(
+    values: Iterable["Platform | str"] | None,
+) -> tuple[Platform, ...] | None:
+    if values is None:
+        return None
+    return tuple(Platform(v) if isinstance(v, str) else v for v in values)
+
+
+def _metrics(values: Iterable["Metric | str"] | None) -> tuple[Metric, ...] | None:
+    if values is None:
+        return None
+    return tuple(Metric(v) if isinstance(v, str) else v for v in values)
+
+
+def load(data: "DatasetLike") -> "BrowsingDataset":
+    """A :class:`BrowsingDataset` from a saved directory (or passthrough)."""
+    from .core.dataset import BrowsingDataset
+
+    if isinstance(data, BrowsingDataset):
+        return data
+    from .export.io import load_dataset
+
+    return load_dataset(data)
+
+
+def generate(
+    *,
+    small: bool = False,
+    seed: int = 2022,
+    config: "GeneratorConfig | None" = None,
+    countries: Iterable[str] | None = None,
+    platforms: Iterable["Platform | str"] | None = None,
+    metrics: Iterable["Metric | str"] | None = None,
+    months: Iterable["Month | str"] | None = None,
+    all_months: bool = False,
+    jobs: int = 1,
+    cache: "SliceCache | str | Path | None" = None,
+    lazy: bool = False,
+    out: str | Path | None = None,
+) -> "BrowsingDataset":
+    """Build a synthetic dataset through the generation engine.
+
+    ``config`` overrides ``small``/``seed``; ``months`` beats
+    ``all_months``; ``jobs > 1`` fans per-country work units out to a
+    process pool (byte-identical to serial); ``cache`` warms/reads the
+    content-addressed slice cache; ``lazy=True`` returns a
+    :class:`~repro.engine.LazyBrowsingDataset` whose slices materialise
+    on first access (incompatible with ``out``); ``out`` saves the
+    dataset before returning it.
+    """
+    from .core.types import REFERENCE_MONTH, STUDY_MONTHS
+    from .engine.engine import GenerationEngine
+    from .synth.generator import GeneratorConfig
+
+    if config is None:
+        config = (GeneratorConfig.small(seed=seed) if small
+                  else GeneratorConfig(seed=seed))
+    resolved_months = _months(months) or (
+        STUDY_MONTHS if all_months else (REFERENCE_MONTH,)
+    )
+    grid = {
+        "countries": tuple(countries) if countries else None,
+        "platforms": _platforms(platforms) or Platform.studied(),
+        "metrics": _metrics(metrics) or Metric.studied(),
+        "months": resolved_months,
+    }
+    engine = GenerationEngine(config, jobs=jobs, cache=cache)
+    if lazy:
+        if out is not None:
+            raise ValueError("lazy=True cannot be combined with out= "
+                             "(saving would materialise every slice)")
+        return engine.generate_lazy(**grid)
+    dataset = engine.generate(**grid)
+    if out is not None:
+        from .export.io import save_dataset
+
+        save_dataset(dataset, out)
+    return dataset
+
+
+def _context_config(
+    dataset: "BrowsingDataset",
+    config: "GeneratorConfig | None",
+    small: bool,
+    seed: int | None,
+) -> "GeneratorConfig":
+    if config is not None:
+        return config
+    from .pipeline.context import infer_config
+
+    return infer_config(dataset, small=small, seed=seed)
+
+
+def analyze(
+    data: "DatasetLike",
+    task: str,
+    *,
+    store: "ArtifactStore | str | Path | None" = None,
+    config: "GeneratorConfig | None" = None,
+    month: "Month | str | None" = None,
+    small: bool = False,
+    seed: int | None = None,
+) -> object:
+    """Run one registered pipeline task and return its (JSON-shaped) result.
+
+    Dependencies are resolved and cached through the same
+    :class:`~repro.pipeline.PipelineRunner` the full report uses.
+    Raises :class:`~repro.core.errors.PipelineError` if the task body
+    failed and :class:`~repro.core.errors.TaskUnavailable` if this
+    dataset cannot support it.
+    """
+    from .core.errors import PipelineError, TaskUnavailable
+    from .pipeline import TaskStatus, run_pipeline
+
+    dataset = load(data)
+    report = run_pipeline(
+        dataset,
+        [task],
+        store=store,
+        config=_context_config(dataset, config, small, seed),
+        month=Month.parse(month) if isinstance(month, str) else month,
+    )
+    record = report.records[task]
+    if record.status is TaskStatus.FAILED:
+        raise PipelineError(record.error or f"task {task!r} failed")
+    if record.status is TaskStatus.SKIPPED:
+        raise TaskUnavailable(record.error or f"task {task!r} unavailable")
+    return report.results[task]
+
+
+def report(
+    data: "DatasetLike",
+    out: str | Path,
+    *,
+    tasks: Iterable[str] | None = None,
+    jobs: int = 1,
+    store: "ArtifactStore | str | Path | None" = None,
+    no_store: bool = False,
+    config: "GeneratorConfig | None" = None,
+    month: "Month | str | None" = None,
+    small: bool = False,
+    seed: int | None = None,
+) -> "RunReport":
+    """Run the analysis DAG into a run directory; returns the run report.
+
+    The artifact store defaults to ``<data>/.artifacts`` when ``data``
+    is a saved-dataset path (so identical reruns execute zero tasks);
+    pass ``no_store=True`` to recompute everything.
+    """
+    from .pipeline import default_registry, run_pipeline, write_run_dir
+
+    dataset = load(data)
+    if no_store:
+        store = None
+    elif store is None and isinstance(data, (str, Path)):
+        store = Path(data) / ".artifacts"
+    run = run_pipeline(
+        dataset,
+        list(tasks) if tasks is not None else None,
+        jobs=jobs,
+        store=store,
+        config=_context_config(dataset, config, small, seed),
+        month=Month.parse(month) if isinstance(month, str) else month,
+    )
+    write_run_dir(out, default_registry(), run)
+    return run
+
+
+def serve(
+    data: "DatasetLike",
+    *,
+    host: str = "127.0.0.1",
+    port: int = 8000,
+    store: "ArtifactStore | str | Path | None" = None,
+    no_store: bool = False,
+    cache_size: int = 256,
+    jobs: int = 1,
+    config: "GeneratorConfig | None" = None,
+    month: "Month | str | None" = None,
+    small: bool = False,
+    seed: int | None = None,
+    block: bool = True,
+) -> "ReproHTTPServer | None":
+    """Serve a dataset over the JSON HTTP API (see :mod:`repro.service`).
+
+    With ``block=True`` (the default) this serves until interrupted and
+    returns ``None``.  With ``block=False`` it returns the bound
+    :class:`~repro.service.ReproHTTPServer` — call ``serve_forever()``
+    (e.g. on a thread) and ``shutdown()`` yourself; ``port=0`` picks a
+    free port, recorded in ``server.server_address``.
+
+    Like :func:`report`, the artifact store defaults to
+    ``<data>/.artifacts`` for saved-dataset paths, so analyses whose
+    artifacts exist are served without recomputation.
+    """
+    from .service.http import create_server, serve_forever
+    from .service.query import QueryService
+
+    dataset = load(data)
+    if no_store:
+        store = None
+    elif store is None and isinstance(data, (str, Path)):
+        store = Path(data) / ".artifacts"
+    service = QueryService(
+        dataset,
+        store=store,
+        config=_context_config(dataset, config, small, seed),
+        month=Month.parse(month) if isinstance(month, str) else month,
+        cache=cache_size,
+        jobs=jobs,
+    )
+    server = create_server(service, host=host, port=port)
+    if not block:
+        return server
+    serve_forever(server)
+    return None
+
+
+__all__ = ["analyze", "generate", "load", "report", "serve"]

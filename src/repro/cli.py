@@ -5,14 +5,17 @@ Commands
 generate   Build a synthetic telemetry dataset and save it to disk.
 inspect    Print the head of rank lists from a saved dataset.
 analyze    Run one pipeline task over a saved dataset and print it.
-report     Run the full analysis DAG into a run directory of artifacts.
+report     Run the full analysis DAG into a run directory.
+serve      Serve a saved dataset over the JSON HTTP API.
 crux       Produce the CrUX-style public rank-bucket export.
 world      Print facts about the synthetic world (countries, taxonomy).
 
-``analyze`` and ``report`` share the task registry in
-:mod:`repro.pipeline`: the ``--analysis`` choices are exactly the
-registered task names, and both commands resolve dependencies, caching
-and rendering through the same :class:`~repro.pipeline.PipelineRunner`.
+Every ``_cmd_*`` handler is a thin wrapper over the stable
+:mod:`repro.api` facade — the shell surface and the Python surface are
+the same five verbs, and the CLI only adds argument parsing, printing
+and exit codes.  ``analyze``/``report``/``serve`` share the task
+registry in :mod:`repro.pipeline`, and ``serve`` exposes it at
+``/v1/analyses`` over HTTP.
 """
 
 from __future__ import annotations
@@ -21,17 +24,14 @@ import argparse
 import sys
 from pathlib import Path
 
-from .core import Metric, Month, Platform, REFERENCE_MONTH, STUDY_MONTHS
+from .core import Metric, Month, Platform
 
 
 def _parse_month(text: str) -> Month:
     try:
-        year, month = text.split("-")
-        return Month(int(year), int(month))
-    except (ValueError, TypeError) as exc:
-        raise argparse.ArgumentTypeError(
-            f"month must look like 2022-02, got {text!r}"
-        ) from exc
+        return Month.parse(text)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from exc
 
 
 def _parse_platform(text: str) -> Platform:
@@ -129,52 +129,89 @@ def _build_parser() -> argparse.ArgumentParser:
     rep.add_argument("--seed", type=int, default=None,
                      help="generator seed (default: the dataset's own)")
 
+    srv = sub.add_parser(
+        "serve", help="serve a saved dataset over the JSON HTTP API"
+    )
+    srv.add_argument("--data", required=True, help="saved dataset directory")
+    srv.add_argument("--host", default="127.0.0.1")
+    srv.add_argument("--port", type=int, default=8000,
+                     help="listen port (0 picks a free one; default: 8000)")
+    srv.add_argument("--artifacts", default=None,
+                     help="artifact store directory "
+                          "(default: <data>/.artifacts)")
+    srv.add_argument("--no-artifacts", action="store_true",
+                     help="serve analyses without reading or writing "
+                          "the artifact store")
+    srv.add_argument("--cache-size", type=int, default=256,
+                     help="LRU capacity for rendered payloads "
+                          "(0 disables; default: 256)")
+    srv.add_argument("--jobs", type=int, default=1,
+                     help="concurrent pipeline tasks per analysis request "
+                          "(default: 1 = serial)")
+    srv.add_argument("--month", type=_parse_month, default=None,
+                     help="reference month (default: the dataset's last)")
+    srv.add_argument("--small", action="store_true",
+                     help="dataset was generated with --small (labels)")
+    srv.add_argument("--seed", type=int, default=None,
+                     help="generator seed (default: the dataset's own)")
+
     crux = sub.add_parser("crux", help="CrUX-style public export")
     crux.add_argument("--data", required=True)
     crux.add_argument("--out", required=True)
+    crux.add_argument("--platform", type=_parse_platform, default=None,
+                      help="platform to export "
+                           "(default: the dataset's last platform)")
+    crux.add_argument("--metric", type=_parse_metric, default=None,
+                      help="metric to export (default: page_loads — the "
+                           "only metric the public CrUX dataset carries)")
+    crux.add_argument("--month", type=_parse_month, default=None,
+                      help="month to export (default: the dataset's last)")
 
     sub.add_parser("world", help="print world facts")
     return parser
 
 
 def _cmd_generate(args: argparse.Namespace) -> int:
-    from .engine import GenerationEngine, ParallelExecutor, SliceCache
-    from .export.io import save_dataset
-    from .synth import GeneratorConfig
+    from . import api
+    from .engine import SliceCache
 
-    config = (GeneratorConfig.small(seed=args.seed) if args.small
-              else GeneratorConfig(seed=args.seed))
-    months = tuple(args.months) if args.months else (
-        STUDY_MONTHS if args.all_months else (REFERENCE_MONTH,)
-    )
-    engine = GenerationEngine(
-        config,
-        executor=ParallelExecutor(jobs=args.jobs) if args.jobs > 1 else None,
-        cache=SliceCache(args.cache_dir) if args.cache_dir else None,
-    )
-    dataset = engine.generate(
+    cache = SliceCache(args.cache_dir) if args.cache_dir else None
+    dataset = api.generate(
+        small=args.small,
+        seed=args.seed,
         countries=tuple(args.countries) if args.countries else None,
-        platforms=tuple(args.platforms) if args.platforms else Platform.studied(),
-        metrics=tuple(args.metrics) if args.metrics else Metric.studied(),
-        months=months,
+        platforms=tuple(args.platforms) if args.platforms else None,
+        metrics=tuple(args.metrics) if args.metrics else None,
+        months=tuple(args.months) if args.months else None,
+        all_months=args.all_months,
+        jobs=args.jobs,
+        cache=cache,
+        out=args.out,
     )
-    path = save_dataset(dataset, args.out)
-    print(f"wrote {len(dataset)} rank lists to {path}")
-    if engine.cache is not None:
-        print(f"slice cache {engine.cache.root}: {engine.cache.stats}")
+    print(f"wrote {len(dataset)} rank lists to {args.out}")
+    if cache is not None:
+        print(f"slice cache {cache.root}: {cache.stats}")
     return 0
 
 
 def _cmd_inspect(args: argparse.Namespace) -> int:
-    from .export.io import load_dataset
+    from . import api
     from .report import render_table
 
-    dataset = load_dataset(args.data)
+    dataset = api.load(args.data)
+    country = args.country.upper()
+    if country not in dataset.countries:
+        print(
+            f"unknown country {args.country!r}; dataset has: "
+            + " ".join(dataset.countries),
+            file=sys.stderr,
+        )
+        return 2
     rows = []
     for platform in dataset.platforms:
         for metric in dataset.metrics:
             ranked = dataset.get_or_none(
-                args.country, platform, metric, dataset.months[-1]
+                country, platform, metric, dataset.months[-1]
             )
             if ranked is None:
                 continue
@@ -184,70 +221,50 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
             ))
     print(render_table(
         ("platform", "metric", f"top {args.top}"), rows,
-        title=f"{args.country}, {dataset.months[-1]}",
+        title=f"{country}, {dataset.months[-1]}",
     ))
     return 0
 
 
 def _cmd_analyze(args: argparse.Namespace) -> int:
-    from .export.io import load_dataset
-    from .pipeline import (
-        PipelineRunner,
-        TaskContext,
-        TaskStatus,
-        canonical_json,
-        default_registry,
-        infer_config,
-        render_task,
-    )
+    from . import api
+    from .core.errors import PipelineError, TaskUnavailable
+    from .pipeline import canonical_json, default_registry
 
-    dataset = load_dataset(args.data)
-    registry = default_registry()
-    config = infer_config(dataset, small=args.small, seed=args.seed)
-    runner = PipelineRunner(registry)
-    report = runner.run(TaskContext(dataset, config=config), [args.analysis])
-    record = report.records[args.analysis]
-    if record.status is TaskStatus.FAILED:
-        print(record.error, file=sys.stderr)
-        return 1
-    if record.status is TaskStatus.SKIPPED:
-        print(record.error, file=sys.stderr)
+    try:
+        result = api.analyze(
+            args.data, args.analysis, small=args.small, seed=args.seed
+        )
+    except TaskUnavailable as exc:
+        print(exc, file=sys.stderr)
         return 2
-    rendered = render_task(registry, report, args.analysis)
-    if rendered is not None:
-        print(rendered)
-    else:
-        print(canonical_json(report.results[args.analysis]))
+    except PipelineError as exc:
+        print(exc, file=sys.stderr)
+        return 1
+    render = default_registry().get(args.analysis).render
+    print(render(result) if render is not None else canonical_json(result))
     return 0
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
-    from .export.io import load_dataset
-    from .pipeline import (
-        ArtifactStore,
-        PipelineRunner,
-        SerialTaskExecutor,
-        TaskContext,
-        ThreadedTaskExecutor,
-        default_registry,
-        infer_config,
-        write_run_dir,
-    )
+    from . import api
+    from .pipeline import ArtifactStore
 
-    dataset = load_dataset(args.data)
-    registry = default_registry()
-    config = infer_config(dataset, small=args.small, seed=args.seed)
     if args.no_artifacts:
         store = None
     else:
         store = ArtifactStore(args.artifacts or Path(args.data) / ".artifacts")
-    executor = (ThreadedTaskExecutor(args.jobs) if args.jobs > 1
-                else SerialTaskExecutor())
-    runner = PipelineRunner(registry, executor=executor, store=store)
-    ctx = TaskContext(dataset, config=config, month=args.month)
-    report = runner.run(ctx, args.tasks)
-    out = write_run_dir(args.out, registry, report)
-
+    report = api.report(
+        args.data,
+        args.out,
+        tasks=args.tasks,
+        jobs=args.jobs,
+        store=store,
+        no_store=args.no_artifacts,
+        month=args.month,
+        small=args.small,
+        seed=args.seed,
+    )
     for name in report.order:
         record = report.records[name]
         note = f"  ({record.error})" if record.error else ""
@@ -256,18 +273,58 @@ def _cmd_report(args: argparse.Namespace) -> int:
           f"failed {report.failed}, skipped {report.skipped}")
     if store is not None:
         print(f"artifact store {store.root}: {store.stats}")
-    print(f"wrote run directory {out}")
+    print(f"wrote run directory {args.out}")
     return 0 if report.ok else 1
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from . import api
+    from .service import ENDPOINTS, serve_forever
+
+    server = api.serve(
+        args.data,
+        host=args.host,
+        port=args.port,
+        store=args.artifacts,
+        no_store=args.no_artifacts,
+        cache_size=args.cache_size,
+        jobs=args.jobs,
+        month=args.month,
+        small=args.small,
+        seed=args.seed,
+        block=False,
+    )
+    host, port = server.server_address[:2]
+    print(f"serving {args.data} on http://{host}:{port}", flush=True)
+    print("endpoints: " + " ".join(ENDPOINTS), flush=True)
+    serve_forever(server)
+    return 0
 
 
 def _cmd_crux(args: argparse.Namespace) -> int:
     import json
 
+    from . import api
     from .export.crux import export_crux
-    from .export.io import load_dataset
 
-    dataset = load_dataset(args.data)
-    export = export_crux(dataset, dataset.platforms[-1], dataset.months[-1])
+    dataset = api.load(args.data)
+    platform = args.platform or dataset.platforms[-1]
+    metric = args.metric or (
+        Metric.PAGE_LOADS if Metric.PAGE_LOADS in dataset.metrics
+        else dataset.metrics[-1]
+    )
+    month = args.month or dataset.months[-1]
+    try:
+        export = export_crux(dataset, platform, month, metric=metric)
+    except ValueError:
+        print(
+            f"dataset has no ({platform.value}, {metric.value}, {month}) "
+            f"slice; months: {' '.join(str(m) for m in dataset.months)}, "
+            f"platforms: {' '.join(p.value for p in dataset.platforms)}, "
+            f"metrics: {' '.join(m.value for m in dataset.metrics)}",
+            file=sys.stderr,
+        )
+        return 2
     payload = {
         "platform": export.platform.value,
         "metric": export.metric.value,
@@ -305,6 +362,7 @@ _COMMANDS = {
     "inspect": _cmd_inspect,
     "analyze": _cmd_analyze,
     "report": _cmd_report,
+    "serve": _cmd_serve,
     "crux": _cmd_crux,
     "world": _cmd_world,
 }

@@ -100,6 +100,17 @@ class Month:
         return self.month == 12
 
     @classmethod
+    def parse(cls, text: str) -> "Month":
+        """Parse ``YYYY-MM`` (the form :meth:`__str__` emits)."""
+        try:
+            year, _, month = text.partition("-")
+            return cls(int(year), int(month))
+        except (TypeError, ValueError) as exc:
+            raise ValueError(
+                f"month must look like 2022-02, got {text!r}"
+            ) from exc
+
+    @classmethod
     def range(cls, first: "Month", last: "Month") -> Iterator["Month"]:
         """Yield months from ``first`` through ``last`` inclusive."""
         if last < first:

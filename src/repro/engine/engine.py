@@ -16,6 +16,7 @@ from pathlib import Path
 from typing import Iterable
 
 from ..core.dataset import BrowsingDataset
+from ..core.errors import GenerationError
 from ..core.rankedlist import RankedList
 from ..core.types import Breakdown, Metric, Month, Platform, REFERENCE_MONTH
 from ..synth.generator import GeneratorConfig, TelemetryGenerator
@@ -33,12 +34,26 @@ class GenerationEngine:
         config: GeneratorConfig | None = None,
         *,
         executor: SerialExecutor | ParallelExecutor | None = None,
+        jobs: int | None = None,
         cache: SliceCache | str | Path | None = None,
         generator: TelemetryGenerator | None = None,
+        cache_dir: str | Path | None = None,
     ) -> None:
+        from .._compat import deprecated_alias
+
+        cache = deprecated_alias(
+            cache, cache_dir,
+            owner="GenerationEngine", old="cache_dir", new="cache",
+        )
         if generator is not None:
             config = generator.config
         self.config = config or GeneratorConfig()
+        if jobs is not None:
+            if executor is not None:
+                raise GenerationError(
+                    "pass either executor= or jobs=, not both"
+                )
+            executor = ParallelExecutor(jobs=jobs) if jobs > 1 else None
         self.executor = executor or SerialExecutor()
         if isinstance(cache, (str, Path)):
             cache = SliceCache(cache)
@@ -110,12 +125,18 @@ class GenerationEngine:
 
     def generate(
         self,
+        *,
         countries: Iterable[str] | None = None,
         platforms: Iterable[Platform] = Platform.studied(),
         metrics: Iterable[Metric] = Metric.studied(),
         months: Iterable[Month] = (REFERENCE_MONTH,),
     ) -> BrowsingDataset:
-        """An eagerly materialised dataset for the requested grid."""
+        """An eagerly materialised dataset for the requested grid.
+
+        The grid knobs are keyword-only (PR-3 API normalization): every
+        subsystem spells them the same way, and call sites stay readable
+        as the grid grows dimensions.
+        """
         return self.generate_plan(
             SlicePlan.from_grid(countries, platforms, metrics, months)
         )
@@ -125,6 +146,7 @@ class GenerationEngine:
 
     def generate_lazy(
         self,
+        *,
         countries: Iterable[str] | None = None,
         platforms: Iterable[Platform] = Platform.studied(),
         metrics: Iterable[Metric] = Metric.studied(),

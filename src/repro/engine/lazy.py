@@ -12,6 +12,7 @@ declared over the whole grid costs nothing until used.
 
 from __future__ import annotations
 
+import threading
 from typing import Callable, Iterable
 
 from ..core.dataset import BrowsingDataset
@@ -26,6 +27,9 @@ class LazyBrowsingDataset(BrowsingDataset):
 
     def __init__(self, engine, plan: SlicePlan) -> None:
         self._engine = engine
+        # Serving reads a lazy dataset from many threads; materialize
+        # mutates _pending/_lists, so it runs under this lock.
+        self._materialize_lock = threading.Lock()
         self._pending: set[Breakdown] = set(plan.breakdowns())
         # Placeholder values: the base initialiser only reads keys, and
         # every value-reading path below materialises first.
@@ -41,15 +45,21 @@ class LazyBrowsingDataset(BrowsingDataset):
         return len(self._pending)
 
     def materialize(self, breakdowns: Iterable[Breakdown] | None = None) -> None:
-        """Generate the requested (default: all) still-pending slices."""
-        wanted = self._pending if breakdowns is None else (
-            set(breakdowns) & self._pending
-        )
-        if not wanted:
-            return
-        produced = self._engine.run(SlicePlan.from_breakdowns(wanted))
-        self._lists.update(produced)
-        self._pending -= set(produced)
+        """Generate the requested (default: all) still-pending slices.
+
+        Thread-safe: concurrent readers (e.g. server threads) serialize
+        here, and a slice is generated at most once.
+        """
+        wanted_input = None if breakdowns is None else set(breakdowns)
+        with self._materialize_lock:
+            wanted = self._pending if wanted_input is None else (
+                wanted_input & self._pending
+            )
+            if not wanted:
+                return
+            produced = self._engine.run(SlicePlan.from_breakdowns(wanted))
+            self._lists.update(produced)
+            self._pending -= set(produced)
 
     # -- value-reading paths ------------------------------------------------------
 

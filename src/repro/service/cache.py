@@ -1,0 +1,99 @@
+"""Thread-safe LRU cache of rendered response payloads.
+
+The serving layer caches the *bytes* it writes to sockets, not parsed
+values: every payload is canonical JSON (sorted keys, fixed
+separators), so the bytes are a pure function of the query and a hit
+is guaranteed byte-identical to a recompute.  First writer wins on a
+racing insert — later renders of the same key are discarded in favour
+of the stored bytes, so concurrent identical requests can never observe
+two different bodies even if a renderer were nondeterministic.
+
+``capacity=0`` disables the cache (every lookup misses, nothing is
+stored), which keeps the no-cache serving path on the same code shape.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+
+#: A cache key: the endpoint name plus its canonicalised parameters.
+PayloadKey = tuple[str, ...]
+
+
+class PayloadCache:
+    """An LRU mapping query keys to rendered payload bytes."""
+
+    def __init__(self, capacity: int = 256) -> None:
+        if capacity < 0:
+            raise ValueError(f"capacity must be >= 0, got {capacity}")
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._entries: OrderedDict[PayloadKey, bytes] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def get(self, key: PayloadKey, *, record_miss: bool = True) -> bytes | None:
+        """The cached payload (refreshing recency), or ``None``.
+
+        ``record_miss=False`` suppresses the miss counter for
+        re-checks that follow an already-counted miss (the
+        single-flight path), so ``hits + misses`` equals the number of
+        requests, not the number of probes.
+        """
+        with self._lock:
+            value = self._entries.get(key)
+            if value is None:
+                if record_miss:
+                    self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return value
+
+    def put(self, key: PayloadKey, value: bytes) -> bytes:
+        """Store ``value`` under ``key``; returns the authoritative bytes.
+
+        If another thread stored the key first, *its* bytes win and are
+        returned — callers must serve the return value, not their own
+        render.
+        """
+        if self.capacity == 0:
+            return value
+        with self._lock:
+            existing = self._entries.get(key)
+            if existing is not None:
+                self._entries.move_to_end(key)
+                return existing
+            self._entries[key] = value
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+            return value
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: object) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    def snapshot(self) -> dict[str, int]:
+        """JSON-shaped counters for the ``/v1/metrics`` payload."""
+        with self._lock:
+            return {
+                "capacity": self.capacity,
+                "size": len(self._entries),
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+            }
+
+    def __repr__(self) -> str:
+        snap = self.snapshot()
+        return (
+            f"PayloadCache(capacity={snap['capacity']}, size={snap['size']}, "
+            f"{snap['hits']} hits, {snap['misses']} misses)"
+        )

@@ -1,0 +1,188 @@
+"""Stdlib JSON HTTP API over a :class:`QueryService`.
+
+A :class:`ThreadingHTTPServer` (one thread per connection, daemon
+threads) dispatching to the shared service instance:
+
+====================================  =========================================
+``GET /v1/healthz``                   liveness + dataset identity
+``GET /v1/metrics``                   request counters, latency histograms,
+                                      cache + artifact-store stats
+``GET /v1/rankings?country=US&...``   rank-list head (``platform``, ``metric``,
+                                      ``month``, ``top`` optional)
+``GET /v1/sites/<site>?...``          one site's rank across all countries
+``GET /v1/distributions?...``         global traffic curve for a slice
+``GET /v1/analyses``                  the pipeline task catalogue
+``GET /v1/analyses/<task>``           one task's artifact (warm-served)
+====================================  =========================================
+
+All bodies — including every 4xx/5xx — are canonical JSON with a
+``Content-Length``, so responses are byte-identical across threads and
+runs.  Errors never leak a traceback: a :class:`ServiceError` maps to
+its status and structured payload (unknown country/task → 404 with the
+valid choices), anything else to a one-line 500.  Each request is
+logged through the ``repro.service`` logger as
+``method path status bytes ms``.
+"""
+
+from __future__ import annotations
+
+import logging
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qs, unquote, urlsplit
+
+from .errors import NotFound, ServiceError
+from .query import DEFAULT_TOP, QueryService, render_payload
+
+log = logging.getLogger("repro.service")
+
+#: Route table served on ``/`` and in unknown-route 404 choices.
+ENDPOINTS: tuple[str, ...] = (
+    "/v1/healthz",
+    "/v1/metrics",
+    "/v1/rankings",
+    "/v1/sites/<site>",
+    "/v1/distributions",
+    "/v1/analyses",
+    "/v1/analyses/<task>",
+)
+
+
+class ReproHTTPServer(ThreadingHTTPServer):
+    """A threading HTTP server bound to one :class:`QueryService`."""
+
+    daemon_threads = True
+
+    def __init__(self, address: tuple[str, int], service: QueryService) -> None:
+        super().__init__(address, ReproRequestHandler)
+        self.service = service
+
+    @property
+    def url(self) -> str:
+        host, port = self.server_address[:2]
+        return f"http://{host}:{port}"
+
+
+class ReproRequestHandler(BaseHTTPRequestHandler):
+    """Routes one request to the service; see the module docstring."""
+
+    server_version = "repro-serve/1.0"
+    protocol_version = "HTTP/1.1"
+
+    @property
+    def service(self) -> QueryService:
+        return self.server.service  # type: ignore[attr-defined]
+
+    # -- plumbing -----------------------------------------------------------------
+
+    def _respond(self, status: int, body: bytes, started: float) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+        log.info(
+            "%s %s %d %dB %.1fms",
+            self.command, self.path, status, len(body),
+            (time.perf_counter() - started) * 1000.0,
+        )
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        """Route default handler chatter through our logger, not stderr."""
+        log.debug(format, *args)
+
+    def _params(self, query: str) -> dict[str, str]:
+        return {key: values[-1] for key, values in parse_qs(query).items()}
+
+    # -- dispatch -----------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        started = time.perf_counter()
+        try:
+            status, body = self._route()
+        except ServiceError as exc:
+            status, body = exc.status, render_payload(exc.payload())
+        except Exception as exc:  # noqa: BLE001 - no tracebacks on the wire
+            status = 500
+            body = render_payload({
+                "error": "internal_error",
+                "message": f"{type(exc).__name__}: {exc}",
+            })
+        self._respond(status, body, started)
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        started = time.perf_counter()
+        body = render_payload({
+            "error": "method_not_allowed",
+            "message": "the serving API is read-only; use GET",
+        })
+        self._respond(405, body, started)
+
+    do_PUT = do_DELETE = do_PATCH = do_POST
+
+    def _route(self) -> tuple[int, bytes]:
+        parsed = urlsplit(self.path)
+        path = unquote(parsed.path).rstrip("/") or "/"
+        params = self._params(parsed.query)
+        service = self.service
+
+        if path in ("/", "/v1"):
+            return 200, render_payload({
+                "service": "repro",
+                "endpoints": list(ENDPOINTS),
+            })
+        if path == "/v1/healthz":
+            return 200, service.healthz()
+        if path == "/v1/metrics":
+            return 200, service.metrics_payload()
+        if path == "/v1/rankings":
+            country = params.get("country")
+            if not country:
+                raise NotFound(
+                    "rankings requires a ?country=<ISO code> parameter",
+                    choices=service.dataset.countries,
+                )
+            return 200, service.rankings(
+                country,
+                platform=params.get("platform"),
+                metric=params.get("metric"),
+                month=params.get("month"),
+                top=params.get("top", DEFAULT_TOP),
+            )
+        if path == "/v1/distributions":
+            return 200, service.distribution(
+                platform=params.get("platform"),
+                metric=params.get("metric"),
+            )
+        if path == "/v1/analyses":
+            return 200, service.analyses()
+        if path.startswith("/v1/analyses/"):
+            return 200, service.analysis(path[len("/v1/analyses/"):])
+        if path.startswith("/v1/sites/"):
+            return 200, service.site(
+                path[len("/v1/sites/"):],
+                platform=params.get("platform"),
+                metric=params.get("metric"),
+                month=params.get("month"),
+            )
+        service.metrics.observe("unknown", 0.0, error=True)
+        raise NotFound(f"unknown endpoint {path!r}", choices=ENDPOINTS)
+
+
+def create_server(
+    service: QueryService,
+    host: str = "127.0.0.1",
+    port: int = 8000,
+) -> ReproHTTPServer:
+    """A bound (not yet serving) server; ``port=0`` picks a free port."""
+    return ReproHTTPServer((host, port), service)
+
+
+def serve_forever(server: ReproHTTPServer) -> None:
+    """Serve until interrupted; always releases the socket."""
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive only
+        pass
+    finally:
+        server.server_close()

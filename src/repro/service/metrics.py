@@ -1,0 +1,118 @@
+"""Request counters and latency histograms for the serving layer.
+
+One :class:`ServiceMetrics` instance lives on each
+:class:`~repro.service.query.QueryService` and is shared by every
+server thread, so all mutation happens behind one lock.  The snapshot
+is plain JSON data — it *is* the ``/v1/metrics`` payload body — and
+deliberately contains only monotonic counters plus fixed-bound latency
+buckets, so scraping it is cheap and diffable.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Mapping
+
+#: Fixed latency bucket upper bounds, in milliseconds; an implicit
+#: +inf bucket catches the tail.
+LATENCY_BUCKETS_MS: tuple[float, ...] = (
+    1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0, 1000.0,
+)
+
+
+class LatencyHistogram:
+    """Fixed-bucket latency histogram (not thread-safe by itself)."""
+
+    def __init__(self, bounds_ms: tuple[float, ...] = LATENCY_BUCKETS_MS) -> None:
+        self.bounds_ms = bounds_ms
+        self.counts = [0] * (len(bounds_ms) + 1)
+        self.count = 0
+        self.sum_ms = 0.0
+        self.max_ms = 0.0
+
+    def observe(self, seconds: float) -> None:
+        ms = seconds * 1000.0
+        self.count += 1
+        self.sum_ms += ms
+        self.max_ms = max(self.max_ms, ms)
+        for i, bound in enumerate(self.bounds_ms):
+            if ms <= bound:
+                self.counts[i] += 1
+                return
+        self.counts[-1] += 1
+
+    def snapshot(self) -> dict[str, object]:
+        buckets = {
+            f"le_{bound:g}ms": self.counts[i]
+            for i, bound in enumerate(self.bounds_ms)
+        }
+        buckets["gt_%gms" % self.bounds_ms[-1]] = self.counts[-1]
+        return {
+            "count": self.count,
+            "sum_ms": round(self.sum_ms, 3),
+            "max_ms": round(self.max_ms, 3),
+            "buckets": buckets,
+        }
+
+
+class EndpointStats:
+    """Per-endpoint request/error counters plus a latency histogram."""
+
+    def __init__(self) -> None:
+        self.requests = 0
+        self.errors = 0
+        self.latency = LatencyHistogram()
+
+    def observe(self, seconds: float, *, error: bool = False) -> None:
+        self.requests += 1
+        if error:
+            self.errors += 1
+        self.latency.observe(seconds)
+
+    def snapshot(self) -> dict[str, object]:
+        return {
+            "requests": self.requests,
+            "errors": self.errors,
+            "latency": self.latency.snapshot(),
+        }
+
+
+class ServiceMetrics:
+    """Thread-safe metrics registry for one service instance."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._endpoints: dict[str, EndpointStats] = {}
+        self._counters: dict[str, int] = {}
+
+    def observe(self, endpoint: str, seconds: float, *, error: bool = False) -> None:
+        """Record one request against ``endpoint``."""
+        with self._lock:
+            stats = self._endpoints.get(endpoint)
+            if stats is None:
+                stats = self._endpoints[endpoint] = EndpointStats()
+            stats.observe(seconds, error=error)
+
+    def add(self, counter: str, amount: int = 1) -> None:
+        """Bump a named free-form counter (e.g. ``pipeline_runs``)."""
+        with self._lock:
+            self._counters[counter] = self._counters.get(counter, 0) + amount
+
+    def counter(self, name: str) -> int:
+        with self._lock:
+            return self._counters.get(name, 0)
+
+    def snapshot(
+        self, *, cache: Mapping[str, object] | None = None
+    ) -> dict[str, object]:
+        """The full metrics payload (sorted, JSON-shaped)."""
+        with self._lock:
+            endpoints = {
+                name: stats.snapshot()
+                for name, stats in sorted(self._endpoints.items())
+            }
+            counters = dict(sorted(self._counters.items()))
+        out: dict[str, object] = {"endpoints": endpoints, "counters": counters}
+        if cache is not None:
+            out["cache"] = dict(cache)
+        return out

@@ -1,0 +1,438 @@
+"""The query service: every read path of the serving layer.
+
+:class:`QueryService` wraps a loaded :class:`BrowsingDataset` (eager or
+:class:`~repro.engine.lazy.LazyBrowsingDataset` — slices materialise on
+first query) plus the reproduction pipeline, and answers four families
+of queries:
+
+* **rankings** — the top of one (country, platform, metric, month) list;
+* **site** — one site's rank across every country of a slice;
+* **distribution** — the global traffic-volume curve of a (platform,
+  metric) pair;
+* **analysis** — any registered pipeline task, resolved through the
+  shared :class:`~repro.pipeline.PipelineRunner` so warm artifacts are
+  served without recomputation.
+
+Every public endpoint returns the exact *bytes* the HTTP layer writes:
+canonical JSON plus a trailing newline.  Rendered payloads live in a
+thread-safe LRU (:class:`~repro.service.cache.PayloadCache`) behind a
+per-key single-flight lock, so N concurrent identical requests compute
+once and all receive byte-identical bodies.  Request counts and latency
+histograms accumulate in :class:`~repro.service.metrics.ServiceMetrics`
+whether the service is driven over HTTP or called directly.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from pathlib import Path
+from typing import TYPE_CHECKING, Callable, Iterable
+
+from ..core.dataset import BrowsingDataset
+from ..core.types import Metric, Month, Platform
+from ..pipeline import (
+    ArtifactStore,
+    PipelineRunner,
+    SerialTaskExecutor,
+    TaskContext,
+    TaskStatus,
+    ThreadedTaskExecutor,
+    canonical_json,
+    default_registry,
+)
+from .cache import PayloadCache, PayloadKey
+from .errors import BadRequest, NotFound, ServiceError, Unavailable, not_found
+from .metrics import ServiceMetrics
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..engine.engine import GenerationEngine
+
+#: Default number of ranks returned by a rankings query.
+DEFAULT_TOP = 50
+
+#: Ranks at which the distribution endpoint samples the cumulative curve.
+_CURVE_SAMPLE_RANKS = (1, 6, 10, 100, 1_000, 10_000, 100_000, 1_000_000)
+
+
+def render_payload(payload: object) -> bytes:
+    """The one byte encoding every endpoint serves (canonical JSON)."""
+    return canonical_json(payload).encode("utf-8") + b"\n"
+
+
+class QueryService:
+    """Cached read-path over one dataset + artifact store; see module doc."""
+
+    def __init__(
+        self,
+        dataset: BrowsingDataset,
+        *,
+        store: ArtifactStore | str | Path | None = None,
+        registry=None,
+        config=None,
+        month: Month | None = None,
+        cache: PayloadCache | int = 256,
+        jobs: int = 1,
+    ) -> None:
+        self.dataset = dataset
+        self.registry = registry if registry is not None else default_registry()
+        if isinstance(store, (str, Path)):
+            store = ArtifactStore(store)
+        self.store = store
+        executor = ThreadedTaskExecutor(jobs) if jobs > 1 else SerialTaskExecutor()
+        self.runner = PipelineRunner(self.registry, executor=executor, store=store)
+        self.ctx = TaskContext(dataset, config=config, month=month)
+        self.cache = cache if isinstance(cache, PayloadCache) else PayloadCache(cache)
+        self.metrics = ServiceMetrics()
+        self._flights: dict[PayloadKey, threading.Lock] = {}
+        self._flights_guard = threading.Lock()
+
+    @classmethod
+    def from_engine(
+        cls,
+        engine: "GenerationEngine",
+        *,
+        countries: Iterable[str] | None = None,
+        platforms: Iterable[Platform] | None = None,
+        metrics: Iterable[Metric] | None = None,
+        months: Iterable[Month] | None = None,
+        **kwargs,
+    ) -> "QueryService":
+        """A service over a lazily-generated grid: slices appear on query."""
+        grid: dict[str, object] = {"countries": countries}
+        if platforms is not None:
+            grid["platforms"] = tuple(platforms)
+        if metrics is not None:
+            grid["metrics"] = tuple(metrics)
+        if months is not None:
+            grid["months"] = tuple(months)
+        dataset = engine.generate_lazy(**grid)
+        return cls(dataset, config=engine.config, **kwargs)
+
+    # -- parameter coercion -------------------------------------------------------
+
+    def _platform(self, value: Platform | str | None) -> Platform:
+        if value is None:
+            return self.ctx.primary_platform
+        if isinstance(value, str):
+            try:
+                value = Platform(value)
+            except ValueError:
+                raise BadRequest(
+                    f"unparseable platform {value!r}",
+                    choices=[p.value for p in Platform],
+                ) from None
+        if value not in self.dataset.platforms:
+            raise not_found(
+                "platform", value.value, [p.value for p in self.dataset.platforms]
+            )
+        return value
+
+    def _metric(self, value: Metric | str | None) -> Metric:
+        if value is None:
+            return self.ctx.primary_metric
+        if isinstance(value, str):
+            try:
+                value = Metric(value)
+            except ValueError:
+                raise BadRequest(
+                    f"unparseable metric {value!r}",
+                    choices=[m.value for m in Metric],
+                ) from None
+        if value not in self.dataset.metrics:
+            raise not_found(
+                "metric", value.value, [m.value for m in self.dataset.metrics]
+            )
+        return value
+
+    def _month(self, value: Month | str | None) -> Month:
+        if value is None:
+            return self.ctx.month
+        if isinstance(value, str):
+            try:
+                value = Month.parse(value)
+            except ValueError:
+                raise BadRequest(
+                    f"month must look like 2022-02, got {value!r}"
+                ) from None
+        if value not in self.dataset.months:
+            raise not_found("month", value, [str(m) for m in self.dataset.months])
+        return value
+
+    def _country(self, value: str) -> str:
+        country = value.upper()
+        if country not in self.dataset.countries:
+            raise not_found("country", value, self.dataset.countries)
+        return country
+
+    def _task(self, name: str):
+        if name not in self.registry:
+            raise not_found("task", name, sorted(self.registry.names()))
+        return self.registry.get(name)
+
+    # -- caching / instrumentation ------------------------------------------------
+
+    def _flight(self, key: PayloadKey) -> threading.Lock:
+        with self._flights_guard:
+            lock = self._flights.get(key)
+            if lock is None:
+                lock = self._flights[key] = threading.Lock()
+            return lock
+
+    def _cached(self, key: PayloadKey, build: Callable[[], object]) -> bytes:
+        """LRU + single-flight: build each payload at most once at a time."""
+        hit = self.cache.get(key)
+        if hit is not None:
+            return hit
+        with self._flight(key):
+            hit = self.cache.get(key, record_miss=False)
+            if hit is not None:
+                return hit
+            payload = self.cache.put(key, render_payload(build()))
+        with self._flights_guard:
+            self._flights.pop(key, None)
+        return payload
+
+    def _instrumented(self, endpoint: str, fn: Callable[[], bytes]) -> bytes:
+        start = time.perf_counter()
+        try:
+            result = fn()
+        except Exception:
+            self.metrics.observe(
+                endpoint, time.perf_counter() - start, error=True
+            )
+            raise
+        self.metrics.observe(endpoint, time.perf_counter() - start)
+        return result
+
+    # -- endpoints ----------------------------------------------------------------
+
+    def rankings(
+        self,
+        country: str,
+        *,
+        platform: Platform | str | None = None,
+        metric: Metric | str | None = None,
+        month: Month | str | None = None,
+        top: int | str = DEFAULT_TOP,
+    ) -> bytes:
+        """The head of one (country, platform, metric, month) rank list."""
+        return self._instrumented(
+            "rankings",
+            lambda: self._rankings(country, platform, metric, month, top),
+        )
+
+    def _rankings(self, country, platform, metric, month, top) -> bytes:
+        country = self._country(country)
+        platform = self._platform(platform)
+        metric = self._metric(metric)
+        month = self._month(month)
+        try:
+            top = int(top)
+        except (TypeError, ValueError):
+            raise BadRequest(f"top must be an integer, got {top!r}") from None
+        if top < 1:
+            raise BadRequest(f"top must be >= 1, got {top}")
+        key = ("rankings", country, platform.value, metric.value,
+               str(month), str(top))
+
+        def build() -> dict[str, object]:
+            ranked = self.dataset.get_or_none(country, platform, metric, month)
+            if ranked is None:
+                raise NotFound(
+                    f"no rank list for {country}/{platform.value}/"
+                    f"{metric.value}/{month}"
+                )
+            head = ranked.top(min(top, len(ranked)))
+            return {
+                "country": country,
+                "platform": platform.value,
+                "metric": metric.value,
+                "month": str(month),
+                "total_sites": len(ranked),
+                "top": len(head),
+                "sites": list(head.sites),
+            }
+
+        return self._cached(key, build)
+
+    def site(
+        self,
+        site: str,
+        *,
+        platform: Platform | str | None = None,
+        metric: Metric | str | None = None,
+        month: Month | str | None = None,
+    ) -> bytes:
+        """One site's rank in every country of a (platform, metric, month)."""
+        return self._instrumented(
+            "site", lambda: self._site(site, platform, metric, month)
+        )
+
+    def _site(self, site, platform, metric, month) -> bytes:
+        if not site:
+            raise BadRequest("site must be non-empty")
+        platform = self._platform(platform)
+        metric = self._metric(metric)
+        month = self._month(month)
+        key = ("site", site, platform.value, metric.value, str(month))
+
+        def build() -> dict[str, object]:
+            ranks: dict[str, int | None] = {}
+            best: tuple[int, str] | None = None
+            for country in self.dataset.countries:
+                ranked = self.dataset.get_or_none(country, platform, metric, month)
+                rank = ranked.rank_of(site) if ranked is not None else None
+                ranks[country] = rank
+                if rank is not None and (best is None or rank < best[0]):
+                    best = (rank, country)
+            present = sum(1 for r in ranks.values() if r is not None)
+            if present == 0:
+                raise NotFound(
+                    f"site {site!r} is not ranked in any country for "
+                    f"{platform.value}/{metric.value}/{month}"
+                )
+            return {
+                "site": site,
+                "platform": platform.value,
+                "metric": metric.value,
+                "month": str(month),
+                "ranks": ranks,
+                "countries_ranked": present,
+                "best": {"country": best[1], "rank": best[0]},
+            }
+
+        return self._cached(key, build)
+
+    def distribution(
+        self,
+        *,
+        platform: Platform | str | None = None,
+        metric: Metric | str | None = None,
+    ) -> bytes:
+        """The global cumulative traffic curve for a (platform, metric)."""
+        return self._instrumented(
+            "distribution", lambda: self._distribution(platform, metric)
+        )
+
+    def _distribution(self, platform, metric) -> bytes:
+        platform = self._platform(platform)
+        metric = self._metric(metric)
+        key = ("distribution", platform.value, metric.value)
+
+        def build() -> dict[str, object]:
+            dist = self.dataset.distribution(platform, metric)
+            return {
+                "platform": platform.value,
+                "metric": metric.value,
+                "total_sites": dist.total_sites,
+                "anchors": [[rank, share] for rank, share in dist.anchors],
+                "cumulative_share": {
+                    str(rank): round(dist.cumulative_share(rank), 6)
+                    for rank in _CURVE_SAMPLE_RANKS
+                    if rank <= dist.total_sites
+                },
+            }
+
+        return self._cached(key, build)
+
+    def analysis(self, task: str) -> bytes:
+        """One pipeline task's artifact, served warm when possible."""
+        return self._instrumented("analysis", lambda: self._analysis(task))
+
+    def _analysis(self, name: str) -> bytes:
+        task = self._task(name)
+        key = ("analysis", name)
+
+        def build() -> dict[str, object]:
+            self.metrics.add("pipeline_runs")
+            report = self.runner.run(self.ctx, [name])
+            self.metrics.add("pipeline_executed", report.executed)
+            self.metrics.add("pipeline_cached", report.cached)
+            record = report.records[name]
+            if record.status is TaskStatus.FAILED:
+                raise ServiceError(f"task {name!r} failed: {record.error}")
+            if record.status is TaskStatus.SKIPPED:
+                raise Unavailable(
+                    f"task {name!r} unavailable: {record.error}"
+                )
+            return {
+                "task": name,
+                "title": task.title or name,
+                "section": task.section,
+                "key": record.key,
+                "result": report.results[name],
+            }
+
+        return self._cached(key, build)
+
+    def analyses(self) -> bytes:
+        """The task catalogue: names, sections, dependencies."""
+        return self._instrumented("analyses", lambda: self._analyses())
+
+    def _analyses(self) -> bytes:
+        def build() -> dict[str, object]:
+            return {
+                "tasks": [
+                    {
+                        "name": task.name,
+                        "title": task.title or task.name,
+                        "section": task.section,
+                        "deps": list(task.deps),
+                    }
+                    for task in sorted(self.registry, key=lambda t: t.name)
+                ]
+            }
+
+        return self._cached(("analyses",), build)
+
+    def healthz(self) -> bytes:
+        """Liveness + dataset identity; never cached."""
+        return self._instrumented("healthz", lambda: self._healthz())
+
+    def _healthz(self) -> bytes:
+        from .. import __version__
+
+        payload: dict[str, object] = {
+            "status": "ok",
+            "version": __version__,
+            "fingerprint": self.ctx.fingerprint,
+            "countries": len(self.dataset.countries),
+            "platforms": [p.value for p in self.dataset.platforms],
+            "metrics": [m.value for m in self.dataset.metrics],
+            "months": [str(m) for m in self.dataset.months],
+            "lists": len(self.dataset),
+            "tasks": len(self.registry),
+        }
+        pending = getattr(self.dataset, "pending", None)
+        if pending is not None:
+            payload["pending_slices"] = pending
+        return render_payload(payload)
+
+    def metrics_payload(self) -> bytes:
+        """The ``/v1/metrics`` body: counters, histograms, cache stats."""
+        return self._instrumented("metrics", lambda: self._metrics_payload())
+
+    def _metrics_payload(self) -> bytes:
+        snapshot = self.metrics.snapshot(cache=self.cache.snapshot())
+        if self.store is not None:
+            snapshot["artifact_store"] = {
+                "root": str(self.store.root),
+                "hits": self.store.stats.hits,
+                "misses": self.store.stats.misses,
+                "writes": self.store.stats.writes,
+            }
+        return render_payload(snapshot)
+
+    def __repr__(self) -> str:
+        return (
+            f"QueryService(fingerprint={self.ctx.fingerprint}, "
+            f"lists={len(self.dataset)}, cache={self.cache!r})"
+        )
+
+
+__all__ = [
+    "DEFAULT_TOP",
+    "QueryService",
+    "render_payload",
+]

@@ -397,6 +397,7 @@ class TelemetryGenerator:
 
     def generate(
         self,
+        *,
         countries: tuple[str, ...] | None = None,
         platforms: tuple[Platform, ...] = Platform.studied(),
         metrics: tuple[Metric, ...] = Metric.studied(),

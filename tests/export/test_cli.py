@@ -148,3 +148,75 @@ class TestCruxAndWorld:
         out = capsys.readouterr().out
         assert "45 study countries" in out
         assert "61 categories" in out
+
+
+class TestInspectErrors:
+    def test_unknown_country_exits_2_with_choices(self, dataset_dir, capsys):
+        assert main(["inspect", "--data", str(dataset_dir),
+                     "--country", "XX"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown country 'XX'" in err
+        assert "US" in err and "KR" in err
+
+    def test_country_is_case_insensitive(self, dataset_dir, capsys):
+        assert main(["inspect", "--data", str(dataset_dir),
+                     "--country", "kr", "--top", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "KR, 2022-02" in out
+
+
+class TestCruxSliceFlags:
+    def test_explicit_platform_metric_month(self, dataset_dir, tmp_path, capsys):
+        out = tmp_path / "crux.json"
+        assert main([
+            "crux", "--data", str(dataset_dir), "--out", str(out),
+            "--platform", "android", "--metric", "time_on_page",
+            "--month", "2022-02",
+        ]) == 0
+        payload = json.loads(out.read_text())
+        assert payload["platform"] == "android"
+        assert payload["metric"] == "time_on_page"
+        assert payload["month"] == "2022-02"
+
+    def test_default_metric_prefers_page_loads(self, dataset_dir, tmp_path):
+        out = tmp_path / "crux.json"
+        assert main(["crux", "--data", str(dataset_dir),
+                     "--out", str(out)]) == 0
+        assert json.loads(out.read_text())["metric"] == "page_loads"
+
+    def test_absent_slice_exits_2_listing_the_grid(
+        self, dataset_dir, tmp_path, capsys
+    ):
+        assert main([
+            "crux", "--data", str(dataset_dir),
+            "--out", str(tmp_path / "crux.json"), "--month", "2021-12",
+        ]) == 2
+        err = capsys.readouterr().err
+        assert "2021-12" in err
+        assert "months: 2022-02" in err
+        assert "platforms:" in err and "metrics:" in err
+
+    def test_bad_month_flag_rejected_by_parser(self, dataset_dir, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["crux", "--data", str(dataset_dir),
+                  "--out", str(tmp_path / "x"), "--month", "february"])
+
+
+class TestServeParser:
+    def test_defaults(self):
+        args = _build_parser().parse_args(["serve", "--data", "somewhere"])
+        assert args.host == "127.0.0.1"
+        assert args.port == 8000
+        assert args.cache_size == 256
+        assert args.jobs == 1
+        assert args.artifacts is None
+        assert not args.no_artifacts
+
+    def test_port_zero_and_flags_accepted(self):
+        args = _build_parser().parse_args([
+            "serve", "--data", "ds", "--port", "0",
+            "--cache-size", "16", "--jobs", "4", "--no-artifacts",
+        ])
+        assert args.port == 0
+        assert args.cache_size == 16
+        assert args.no_artifacts

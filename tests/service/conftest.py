@@ -1,0 +1,29 @@
+"""Serving-layer fixtures: one small two-country dataset + service."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Metric, Platform, REFERENCE_MONTH
+from repro.service import QueryService
+
+
+@pytest.fixture(scope="module")
+def service_dataset(generator):
+    """US + KR, both platforms and metrics, the reference month."""
+    return generator.generate(
+        countries=("US", "KR"),
+        platforms=Platform.studied(),
+        metrics=Metric.studied(),
+        months=(REFERENCE_MONTH,),
+    )
+
+
+@pytest.fixture()
+def service(service_dataset, generator, tmp_path) -> QueryService:
+    """A fresh service per test: clean cache, metrics and artifact store."""
+    return QueryService(
+        service_dataset,
+        store=tmp_path / "artifacts",
+        config=generator.config,
+    )

@@ -1,0 +1,89 @@
+"""Tests for the rendered-payload LRU cache."""
+
+import threading
+
+import pytest
+
+from repro.service.cache import PayloadCache
+
+
+class TestBasics:
+    def test_miss_then_hit(self):
+        cache = PayloadCache(capacity=4)
+        assert cache.get(("a",)) is None
+        cache.put(("a",), b"payload")
+        assert cache.get(("a",)) == b"payload"
+        assert cache.hits == 1
+        assert cache.misses == 1
+
+    def test_record_miss_false_suppresses_the_counter(self):
+        cache = PayloadCache(capacity=4)
+        assert cache.get(("a",), record_miss=False) is None
+        assert cache.misses == 0
+
+    def test_first_writer_wins(self):
+        cache = PayloadCache(capacity=4)
+        assert cache.put(("k",), b"first") == b"first"
+        assert cache.put(("k",), b"second") == b"first"
+        assert cache.get(("k",)) == b"first"
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError, match="capacity"):
+            PayloadCache(capacity=-1)
+
+
+class TestEviction:
+    def test_lru_evicts_least_recently_used(self):
+        cache = PayloadCache(capacity=2)
+        cache.put(("a",), b"1")
+        cache.put(("b",), b"2")
+        cache.get(("a",))          # refresh "a" -> "b" is now LRU
+        cache.put(("c",), b"3")
+        assert ("a",) in cache
+        assert ("b",) not in cache
+        assert ("c",) in cache
+        assert cache.evictions == 1
+        assert len(cache) == 2
+
+    def test_zero_capacity_disables_storage(self):
+        cache = PayloadCache(capacity=0)
+        assert cache.put(("a",), b"1") == b"1"
+        assert cache.get(("a",)) is None
+        assert len(cache) == 0
+
+
+class TestSnapshot:
+    def test_snapshot_shape(self):
+        cache = PayloadCache(capacity=8)
+        cache.put(("a",), b"1")
+        cache.get(("a",))
+        cache.get(("b",))
+        assert cache.snapshot() == {
+            "capacity": 8,
+            "size": 1,
+            "hits": 1,
+            "misses": 1,
+            "evictions": 0,
+        }
+
+
+class TestConcurrency:
+    def test_racing_writers_all_observe_one_value(self):
+        cache = PayloadCache(capacity=16)
+        barrier = threading.Barrier(8)
+        seen: list[bytes] = []
+        lock = threading.Lock()
+
+        def writer(i: int) -> None:
+            barrier.wait()
+            value = cache.put(("race",), f"writer-{i}".encode())
+            with lock:
+                seen.append(value)
+
+        threads = [threading.Thread(target=writer, args=(i,)) for i in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(set(seen)) == 1
+        assert cache.get(("race",)) == seen[0]

@@ -1,0 +1,157 @@
+"""Tests for the HTTP layer: routing, errors, caching acceptance criteria."""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.service import ENDPOINTS, create_server
+
+
+@pytest.fixture()
+def server(service):
+    srv = create_server(service, "127.0.0.1", 0)
+    thread = threading.Thread(target=srv.serve_forever, daemon=True)
+    thread.start()
+    yield srv
+    srv.shutdown()
+    srv.server_close()
+    thread.join(timeout=5)
+
+
+def fetch(server, path: str) -> tuple[int, bytes]:
+    """GET ``path``; returns (status, body) for 2xx and 4xx/5xx alike."""
+    try:
+        with urllib.request.urlopen(server.url + path, timeout=10) as response:
+            return response.status, response.read()
+    except urllib.error.HTTPError as error:
+        return error.code, error.read()
+
+
+def fetch_json(server, path: str) -> tuple[int, dict]:
+    status, raw = fetch(server, path)
+    return status, json.loads(raw)
+
+
+class TestRouting:
+    def test_index_lists_endpoints(self, server):
+        status, payload = fetch_json(server, "/")
+        assert status == 200
+        assert payload["endpoints"] == list(ENDPOINTS)
+
+    def test_healthz(self, server):
+        status, payload = fetch_json(server, "/v1/healthz")
+        assert status == 200
+        assert payload["status"] == "ok"
+
+    def test_rankings(self, server):
+        status, payload = fetch_json(server, "/v1/rankings?country=KR&top=3")
+        assert status == 200
+        assert payload["country"] == "KR"
+        assert len(payload["sites"]) == 3
+
+    def test_rankings_full_params(self, server):
+        status, payload = fetch_json(
+            server,
+            "/v1/rankings?country=us&platform=android"
+            "&metric=time_on_page&month=2022-02&top=2",
+        )
+        assert status == 200
+        assert payload["platform"] == "android"
+        assert payload["metric"] == "time_on_page"
+
+    def test_sites(self, server, service):
+        top = json.loads(service.rankings("US", top=1))["sites"][0]
+        status, payload = fetch_json(server, f"/v1/sites/{top}")
+        assert status == 200
+        assert payload["ranks"]["US"] == 1
+
+    def test_distributions(self, server):
+        status, payload = fetch_json(server, "/v1/distributions")
+        assert status == 200
+        assert payload["total_sites"] > 0
+
+    def test_analyses_catalogue(self, server):
+        status, payload = fetch_json(server, "/v1/analyses")
+        assert status == 200
+        assert any(t["name"] == "concentration" for t in payload["tasks"])
+
+    def test_trailing_slash_is_tolerated(self, server):
+        assert fetch(server, "/v1/healthz/")[0] == 200
+
+
+class TestErrors:
+    def test_unknown_country_is_404_with_choices(self, server):
+        status, payload = fetch_json(server, "/v1/rankings?country=ZZ")
+        assert status == 404
+        assert payload["error"] == "not_found"
+        assert payload["choices"] == ["KR", "US"]
+        assert "Traceback" not in payload["message"]
+
+    def test_missing_country_param_is_404(self, server):
+        status, payload = fetch_json(server, "/v1/rankings")
+        assert status == 404
+        assert payload["choices"] == ["KR", "US"]
+
+    def test_bad_platform_is_400(self, server):
+        status, payload = fetch_json(server, "/v1/rankings?country=US&platform=amiga")
+        assert status == 400
+        assert payload["error"] == "bad_request"
+
+    def test_unknown_task_is_404_with_registry(self, server):
+        status, payload = fetch_json(server, "/v1/analyses/nope")
+        assert status == 404
+        assert "concentration" in payload["choices"]
+
+    def test_unknown_route_is_404_with_endpoints(self, server, service):
+        status, payload = fetch_json(server, "/v2/everything")
+        assert status == 404
+        assert payload["choices"] == list(ENDPOINTS)
+        assert service.metrics.snapshot()["endpoints"]["unknown"]["errors"] == 1
+
+    def test_write_methods_are_405(self, server):
+        request = urllib.request.Request(
+            server.url + "/v1/healthz", data=b"{}", method="POST"
+        )
+        with pytest.raises(urllib.error.HTTPError) as exc:
+            urllib.request.urlopen(request, timeout=10)
+        assert exc.value.code == 405
+        assert json.loads(exc.value.read())["error"] == "method_not_allowed"
+
+
+class TestAcceptance:
+    """The ISSUE's acceptance criteria, asserted over the wire."""
+
+    def test_second_request_served_from_lru_without_pipeline(self, server):
+        first = fetch(server, "/v1/analyses/concentration")
+        second = fetch(server, "/v1/analyses/concentration")
+        assert first == second  # status and bytes
+        _, metrics = fetch_json(server, "/v1/metrics")
+        assert metrics["counters"]["pipeline_runs"] == 1
+        assert metrics["cache"]["hits"] == 1
+        assert metrics["endpoints"]["analysis"]["requests"] == 2
+
+    def test_concurrent_identical_requests_byte_identical(self, server):
+        barrier = threading.Barrier(8)
+
+        def hit() -> tuple[int, bytes]:
+            barrier.wait()
+            return fetch(server, "/v1/rankings?country=US&top=20")
+
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            results = [f.result() for f in [pool.submit(hit) for _ in range(8)]]
+        statuses = {status for status, _ in results}
+        bodies = {raw for _, raw in results}
+        assert statuses == {200}
+        assert len(bodies) == 1
+
+    def test_metrics_track_latency_histograms(self, server):
+        fetch(server, "/v1/rankings?country=US")
+        _, metrics = fetch_json(server, "/v1/metrics")
+        latency = metrics["endpoints"]["rankings"]["latency"]
+        assert latency["count"] == 1
+        assert sum(latency["buckets"].values()) == 1
+        assert metrics["endpoints"]["rankings"]["requests"] == 1

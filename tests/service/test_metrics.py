@@ -1,0 +1,80 @@
+"""Tests for the serving-layer metrics primitives."""
+
+import threading
+
+from repro.service.metrics import (
+    LATENCY_BUCKETS_MS,
+    LatencyHistogram,
+    ServiceMetrics,
+)
+
+
+class TestLatencyHistogram:
+    def test_observations_land_in_correct_buckets(self):
+        hist = LatencyHistogram()
+        hist.observe(0.0004)          # 0.4 ms -> first bucket
+        hist.observe(0.030)           # 30 ms  -> le_50ms
+        hist.observe(5.0)             # 5 s    -> overflow bucket
+        snap = hist.snapshot()
+        assert snap["count"] == 3
+        assert snap["buckets"]["le_1ms"] == 1
+        assert snap["buckets"]["le_50ms"] == 1
+        assert snap["buckets"]["gt_1000ms"] == 1
+
+    def test_sum_and_max_track_milliseconds(self):
+        hist = LatencyHistogram()
+        hist.observe(0.002)
+        hist.observe(0.010)
+        snap = hist.snapshot()
+        assert snap["sum_ms"] == 12.0
+        assert snap["max_ms"] == 10.0
+
+    def test_bucket_count_covers_bounds_plus_overflow(self):
+        hist = LatencyHistogram()
+        assert len(hist.counts) == len(LATENCY_BUCKETS_MS) + 1
+        assert len(hist.snapshot()["buckets"]) == len(LATENCY_BUCKETS_MS) + 1
+
+
+class TestServiceMetrics:
+    def test_observe_counts_requests_and_errors(self):
+        metrics = ServiceMetrics()
+        metrics.observe("rankings", 0.001)
+        metrics.observe("rankings", 0.002, error=True)
+        snap = metrics.snapshot()["endpoints"]["rankings"]
+        assert snap["requests"] == 2
+        assert snap["errors"] == 1
+        assert snap["latency"]["count"] == 2
+
+    def test_named_counters_accumulate(self):
+        metrics = ServiceMetrics()
+        metrics.add("pipeline_runs")
+        metrics.add("pipeline_runs", 2)
+        assert metrics.counter("pipeline_runs") == 3
+        assert metrics.counter("never_touched") == 0
+
+    def test_snapshot_is_json_shaped_and_sorted(self):
+        import json
+
+        metrics = ServiceMetrics()
+        metrics.observe("b", 0.001)
+        metrics.observe("a", 0.001)
+        snap = metrics.snapshot(cache={"hits": 1})
+        json.dumps(snap)  # must not raise
+        assert list(snap["endpoints"]) == ["a", "b"]
+        assert snap["cache"] == {"hits": 1}
+
+    def test_concurrent_observations_are_not_lost(self):
+        metrics = ServiceMetrics()
+
+        def hammer():
+            for _ in range(500):
+                metrics.observe("x", 0.0001)
+                metrics.add("n")
+
+        threads = [threading.Thread(target=hammer) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert metrics.snapshot()["endpoints"]["x"]["requests"] == 4000
+        assert metrics.counter("n") == 4000
