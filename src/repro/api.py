@@ -89,6 +89,7 @@ def generate(
     cache: "SliceCache | str | Path | None" = None,
     lazy: bool = False,
     out: str | Path | None = None,
+    trace: str | Path | None = None,
 ) -> "BrowsingDataset":
     """Build a synthetic dataset through the generation engine.
 
@@ -98,10 +99,12 @@ def generate(
     content-addressed slice cache; ``lazy=True`` returns a
     :class:`~repro.engine.LazyBrowsingDataset` whose slices materialise
     on first access (incompatible with ``out``); ``out`` saves the
-    dataset before returning it.
+    dataset before returning it; ``trace`` writes a JSONL span trace of
+    the run (see :mod:`repro.obs`).
     """
     from .core.types import REFERENCE_MONTH, STUDY_MONTHS
     from .engine.engine import GenerationEngine
+    from .obs import tracing
     from .synth.generator import GeneratorConfig
 
     if config is None:
@@ -121,12 +124,16 @@ def generate(
         if out is not None:
             raise ValueError("lazy=True cannot be combined with out= "
                              "(saving would materialise every slice)")
+        if trace is not None:
+            raise ValueError("trace= cannot be combined with lazy=True "
+                             "(there is no bounded run to trace)")
         return engine.generate_lazy(**grid)
-    dataset = engine.generate(**grid)
-    if out is not None:
-        from .export.io import save_dataset
+    with tracing(trace):
+        dataset = engine.generate(**grid)
+        if out is not None:
+            from .export.io import save_dataset
 
-        save_dataset(dataset, out)
+            save_dataset(dataset, out)
     return dataset
 
 
@@ -192,29 +199,34 @@ def report(
     month: "Month | str | None" = None,
     small: bool = False,
     seed: int | None = None,
+    trace: str | Path | None = None,
 ) -> "RunReport":
     """Run the analysis DAG into a run directory; returns the run report.
 
     The artifact store defaults to ``<data>/.artifacts`` when ``data``
     is a saved-dataset path (so identical reruns execute zero tasks);
-    pass ``no_store=True`` to recompute everything.
+    pass ``no_store=True`` to recompute everything.  ``trace`` writes a
+    JSONL span trace covering dataset load (incl. any engine work a
+    lazy dataset triggers) and every pipeline task.
     """
+    from .obs import tracing
     from .pipeline import default_registry, run_pipeline, write_run_dir
 
-    dataset = load(data)
-    if no_store:
-        store = None
-    elif store is None and isinstance(data, (str, Path)):
-        store = Path(data) / ".artifacts"
-    run = run_pipeline(
-        dataset,
-        list(tasks) if tasks is not None else None,
-        jobs=jobs,
-        store=store,
-        config=_context_config(dataset, config, small, seed),
-        month=Month.parse(month) if isinstance(month, str) else month,
-    )
-    write_run_dir(out, default_registry(), run)
+    with tracing(trace):
+        dataset = load(data)
+        if no_store:
+            store = None
+        elif store is None and isinstance(data, (str, Path)):
+            store = Path(data) / ".artifacts"
+        run = run_pipeline(
+            dataset,
+            list(tasks) if tasks is not None else None,
+            jobs=jobs,
+            store=store,
+            config=_context_config(dataset, config, small, seed),
+            month=Month.parse(month) if isinstance(month, str) else month,
+        )
+        write_run_dir(out, default_registry(), run)
     return run
 
 
@@ -232,6 +244,7 @@ def serve(
     small: bool = False,
     seed: int | None = None,
     block: bool = True,
+    trace: str | Path | None = None,
 ) -> "ReproHTTPServer | None":
     """Serve a dataset over the JSON HTTP API (see :mod:`repro.service`).
 
@@ -243,25 +256,38 @@ def serve(
 
     Like :func:`report`, the artifact store defaults to
     ``<data>/.artifacts`` for saved-dataset paths, so analyses whose
-    artifacts exist are served without recomputation.
+    artifacts exist are served without recomputation.  ``trace``
+    installs a tracer for the server's lifetime (one ``http.request``
+    span per request); the JSONL file is written when
+    :func:`repro.service.serve_forever` returns — embedders who drive
+    ``server.serve_forever()`` directly should close
+    ``server.trace_scope`` themselves.
     """
+    from .obs import tracing
     from .service.http import create_server, serve_forever
     from .service.query import QueryService
 
-    dataset = load(data)
-    if no_store:
-        store = None
-    elif store is None and isinstance(data, (str, Path)):
-        store = Path(data) / ".artifacts"
-    service = QueryService(
-        dataset,
-        store=store,
-        config=_context_config(dataset, config, small, seed),
-        month=Month.parse(month) if isinstance(month, str) else month,
-        cache=cache_size,
-        jobs=jobs,
-    )
-    server = create_server(service, host=host, port=port)
+    scope = tracing(trace)
+    scope.__enter__()
+    try:
+        dataset = load(data)
+        if no_store:
+            store = None
+        elif store is None and isinstance(data, (str, Path)):
+            store = Path(data) / ".artifacts"
+        service = QueryService(
+            dataset,
+            store=store,
+            config=_context_config(dataset, config, small, seed),
+            month=Month.parse(month) if isinstance(month, str) else month,
+            cache=cache_size,
+            jobs=jobs,
+        )
+        server = create_server(service, host=host, port=port)
+    except BaseException:
+        scope.__exit__(None, None, None)
+        raise
+    server.trace_scope = scope if trace is not None else None
     if not block:
         return server
     serve_forever(server)

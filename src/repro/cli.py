@@ -7,6 +7,7 @@ inspect    Print the head of rank lists from a saved dataset.
 analyze    Run one pipeline task over a saved dataset and print it.
 report     Run the full analysis DAG into a run directory.
 serve      Serve a saved dataset over the JSON HTTP API.
+trace      Summarize a JSONL span trace written by ``--trace``.
 crux       Produce the CrUX-style public rank-bucket export.
 world      Print facts about the synthetic world (countries, taxonomy).
 
@@ -86,6 +87,9 @@ def _build_parser() -> argparse.ArgumentParser:
     gen.add_argument("--cache-dir", default=None,
                      help="content-addressed slice cache directory; warm "
                           "slices skip scoring and the universe build")
+    gen.add_argument("--trace", default=None, metavar="PATH",
+                     help="write a JSONL span trace of the run "
+                          "(engine slices incl. cache hit/miss)")
 
     ins = sub.add_parser("inspect", help="print rank-list heads")
     ins.add_argument("--data", required=True)
@@ -128,6 +132,9 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="dataset was generated with --small (labels)")
     rep.add_argument("--seed", type=int, default=None,
                      help="generator seed (default: the dataset's own)")
+    rep.add_argument("--trace", default=None, metavar="PATH",
+                     help="write a JSONL span trace of the run "
+                          "(every pipeline task with status + timing)")
 
     srv = sub.add_parser(
         "serve", help="serve a saved dataset over the JSON HTTP API"
@@ -154,6 +161,20 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="dataset was generated with --small (labels)")
     srv.add_argument("--seed", type=int, default=None,
                      help="generator seed (default: the dataset's own)")
+    srv.add_argument("--trace", default=None, metavar="PATH",
+                     help="write a JSONL span trace on shutdown "
+                          "(one http.request span per request)")
+
+    trc = sub.add_parser(
+        "trace", help="inspect a JSONL span trace written by --trace"
+    )
+    trc_sub = trc.add_subparsers(dest="trace_command", required=True)
+    summ = trc_sub.add_parser(
+        "summarize", help="print the slowest spans and per-name totals"
+    )
+    summ.add_argument("path", help="JSONL trace file (from --trace)")
+    summ.add_argument("--top", type=int, default=15,
+                      help="how many individual spans to list (default: 15)")
 
     crux = sub.add_parser("crux", help="CrUX-style public export")
     crux.add_argument("--data", required=True)
@@ -187,10 +208,13 @@ def _cmd_generate(args: argparse.Namespace) -> int:
         jobs=args.jobs,
         cache=cache,
         out=args.out,
+        trace=args.trace,
     )
     print(f"wrote {len(dataset)} rank lists to {args.out}")
     if cache is not None:
         print(f"slice cache {cache.root}: {cache.stats}")
+    if args.trace:
+        print(f"wrote trace {args.trace}")
     return 0
 
 
@@ -264,6 +288,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
         month=args.month,
         small=args.small,
         seed=args.seed,
+        trace=args.trace,
     )
     for name in report.order:
         record = report.records[name]
@@ -274,6 +299,8 @@ def _cmd_report(args: argparse.Namespace) -> int:
     if store is not None:
         print(f"artifact store {store.root}: {store.stats}")
     print(f"wrote run directory {args.out}")
+    if args.trace:
+        print(f"wrote trace {args.trace}")
     return 0 if report.ok else 1
 
 
@@ -293,11 +320,34 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         small=args.small,
         seed=args.seed,
         block=False,
+        trace=args.trace,
     )
-    host, port = server.server_address[:2]
-    print(f"serving {args.data} on http://{host}:{port}", flush=True)
+    # server.url substitutes loopback for a wildcard bind, so the
+    # printed address is always connectable (and greppable by CI).
+    print(f"serving {args.data} on {server.url}", flush=True)
     print("endpoints: " + " ".join(ENDPOINTS), flush=True)
+    if args.trace:
+        print(f"tracing to {args.trace} (written on shutdown)", flush=True)
     serve_forever(server)
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from .obs import format_summary, read_trace
+
+    path = Path(args.path)
+    if not path.is_file():
+        print(f"no trace file at {path}", file=sys.stderr)
+        return 2
+    try:
+        spans = read_trace(path)
+    except ValueError as exc:
+        print(f"malformed trace {path}: {exc}", file=sys.stderr)
+        return 1
+    if not spans:
+        print(f"trace {path} contains no spans", file=sys.stderr)
+        return 1
+    print(format_summary(spans, top=args.top))
     return 0
 
 
@@ -363,6 +413,7 @@ _COMMANDS = {
     "analyze": _cmd_analyze,
     "report": _cmd_report,
     "serve": _cmd_serve,
+    "trace": _cmd_trace,
     "crux": _cmd_crux,
     "world": _cmd_world,
 }

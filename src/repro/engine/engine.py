@@ -12,6 +12,7 @@ grid without paying the ~25 s full-scale universe build.
 
 from __future__ import annotations
 
+import time
 from pathlib import Path
 from typing import Iterable
 
@@ -19,6 +20,7 @@ from ..core.dataset import BrowsingDataset
 from ..core.errors import GenerationError
 from ..core.rankedlist import RankedList
 from ..core.types import Breakdown, Metric, Month, Platform, REFERENCE_MONTH
+from ..obs import get_tracer
 from ..synth.generator import GeneratorConfig, TelemetryGenerator
 from ..synth.traffic import global_distributions
 from .cache import SliceCache
@@ -89,26 +91,49 @@ class GenerationEngine:
         """Produce every slice of ``plan``, in plan order.
 
         Cache hits are served as-is; only the remaining breakdowns reach
-        the executor, and everything generated is written back.
+        the executor, and everything generated is written back.  Under
+        an active tracer every slice gets an ``engine.generate_slice``
+        span carrying its breakdown and a ``cache: hit|miss`` attribute
+        (miss spans come from the executor, wherever it runs).
         """
-        results: dict[Breakdown, RankedList] = {}
-        if self.cache is not None:
-            for breakdown in plan.breakdowns():
-                cached = self.cache.get(self.fingerprint, breakdown)
-                if cached is not None:
-                    results[breakdown] = cached
-            misses = plan.without(results)
-        else:
-            misses = plan
-        if len(misses):
-            produced = self.executor.execute(
-                self.config, misses, generator=self._generator
-            )
+        tracer = get_tracer()
+        with tracer.span(
+            "engine.run", fingerprint=self.fingerprint, slices=len(plan)
+        ) as root:
+            results: dict[Breakdown, RankedList] = {}
             if self.cache is not None:
-                for breakdown, ranked in produced.items():
-                    self.cache.put(self.fingerprint, breakdown, ranked)
-            results.update(produced)
-        return {b: results[b] for b in plan.breakdowns()}
+                for breakdown in plan.breakdowns():
+                    start = time.perf_counter()
+                    cached = self.cache.get(self.fingerprint, breakdown)
+                    if cached is not None:
+                        results[breakdown] = cached
+                        root.add("cache_hits")
+                        tracer.record(
+                            "engine.generate_slice",
+                            time.perf_counter() - start,
+                            country=breakdown.country,
+                            platform=breakdown.platform.value,
+                            metric=breakdown.metric.value,
+                            month=str(breakdown.month),
+                            cache="hit",
+                        )
+                misses = plan.without(results)
+            else:
+                misses = plan
+            if len(misses):
+                root.add("cache_misses", len(misses))
+                produced = self.executor.execute(
+                    self.config, misses,
+                    generator=self._generator, tracer=tracer,
+                )
+                if self.cache is not None:
+                    with tracer.span(
+                        "engine.cache_write", slices=len(produced)
+                    ):
+                        for breakdown, ranked in produced.items():
+                            self.cache.put(self.fingerprint, breakdown, ranked)
+                results.update(produced)
+            return {b: results[b] for b in plan.breakdowns()}
 
     def rank_list(
         self,

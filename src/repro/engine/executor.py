@@ -20,6 +20,7 @@ from concurrent.futures import ProcessPoolExecutor, as_completed
 from ..core.errors import GenerationError
 from ..core.rankedlist import RankedList
 from ..core.types import Breakdown
+from ..obs import NULL_TRACER, NullTracer, Tracer
 from ..synth.generator import GeneratorConfig, TelemetryGenerator
 from .plan import CountryWorkUnit, SlicePlan
 
@@ -41,17 +42,47 @@ def generator_for(config: GeneratorConfig) -> TelemetryGenerator:
 
 
 def _run_work_unit(
-    config: GeneratorConfig, unit: CountryWorkUnit
+    config: GeneratorConfig,
+    unit: CountryWorkUnit,
+    tracer: Tracer | NullTracer = NULL_TRACER,
 ) -> list[tuple[Breakdown, RankedList]]:
     """Worker entry point: generate every slice of one country's unit."""
     generator = generator_for(config)
-    return [
-        (request.breakdown,
-         generator.rank_list(
-             request.country, request.platform, request.metric, request.month
-         ))
-        for request in unit.requests
-    ]
+    results: list[tuple[Breakdown, RankedList]] = []
+    for request in unit.requests:
+        with tracer.span(
+            "engine.generate_slice",
+            country=request.country,
+            platform=request.platform.value,
+            metric=request.metric.value,
+            month=str(request.month),
+            cache="miss",
+        ):
+            results.append((
+                request.breakdown,
+                generator.rank_list(
+                    request.country, request.platform,
+                    request.metric, request.month,
+                ),
+            ))
+    return results
+
+
+def _run_work_unit_traced(
+    config: GeneratorConfig, unit: CountryWorkUnit
+) -> tuple[list[tuple[Breakdown, RankedList]], list[dict[str, object]]]:
+    """Worker entry point when the parent traces: ship span dicts back.
+
+    The worker records into its own local tracer (a forked worker must
+    not touch the parent's collector through the inherited module
+    global) and the parent adopts the finished spans; the pid-prefixed
+    span ids keep workers' spans distinct from each other's.
+    """
+    tracer = Tracer(span_prefix=f"w{os.getpid()}-")
+    with tracer.span("engine.work_unit", country=unit.country,
+                     pid=os.getpid(), slices=len(unit)):
+        results = _run_work_unit(config, unit, tracer)
+    return results, tracer.collector.drain()
 
 
 class SerialExecutor:
@@ -64,12 +95,15 @@ class SerialExecutor:
         config: GeneratorConfig,
         plan: SlicePlan,
         generator: TelemetryGenerator | None = None,
+        tracer: Tracer | NullTracer | None = None,
     ) -> dict[Breakdown, RankedList]:
         if generator is None:
             generator = generator_for(config)
+        if tracer is None:
+            tracer = NULL_TRACER
         results: dict[Breakdown, RankedList] = {}
         for unit in plan.partition():
-            results.update(_run_work_unit(config, unit))
+            results.update(_run_work_unit(config, unit, tracer))
         return results
 
 
@@ -105,18 +139,37 @@ class ParallelExecutor:
         config: GeneratorConfig,
         plan: SlicePlan,
         generator: TelemetryGenerator | None = None,
+        tracer: Tracer | NullTracer | None = None,
     ) -> dict[Breakdown, RankedList]:
+        if tracer is None:
+            tracer = NULL_TRACER
         units = plan.partition()
         if self.jobs == 1 or len(units) <= 1:
-            return SerialExecutor().execute(config, plan, generator=generator)
+            return SerialExecutor().execute(
+                config, plan, generator=generator, tracer=tracer
+            )
         results: dict[Breakdown, RankedList] = {}
         workers = min(self.jobs, len(units))
         with ProcessPoolExecutor(
             max_workers=workers, mp_context=self._context()
         ) as pool:
-            futures = [
-                pool.submit(_run_work_unit, config, unit) for unit in units
-            ]
-            for future in as_completed(futures):
-                results.update(future.result())
+            if tracer.enabled:
+                # Workers trace locally and ship span dicts back with
+                # their results; adopting re-parents them under the
+                # caller's active span so one file covers the whole run.
+                futures = [
+                    pool.submit(_run_work_unit_traced, config, unit)
+                    for unit in units
+                ]
+                for future in as_completed(futures):
+                    produced, spans = future.result()
+                    results.update(produced)
+                    tracer.adopt(spans)
+            else:
+                futures = [
+                    pool.submit(_run_work_unit, config, unit)
+                    for unit in units
+                ]
+                for future in as_completed(futures):
+                    results.update(future.result())
         return results

@@ -30,6 +30,7 @@ from typing import Callable, Iterable
 from ..core.dataset import BrowsingDataset
 from ..core.errors import PipelineError, TaskUnavailable
 from ..core.types import Month
+from ..obs import get_tracer
 from .artifacts import ArtifactStore
 from .context import TaskContext
 from .registry import TaskRegistry
@@ -155,6 +156,20 @@ class PipelineRunner:
         ctx: TaskContext,
         tasks: Iterable[str] | None = None,
     ) -> RunReport:
+        tracer = get_tracer()
+        with tracer.span(
+            "pipeline.run", fingerprint=ctx.fingerprint
+        ) as root:
+            report = self._run(ctx, tasks, tracer)
+            root.set("tasks", len(report.order))
+            root.add("executed", report.executed)
+            root.add("cached", report.cached)
+            root.add("failed", report.failed)
+            root.add("skipped", report.skipped)
+            return report
+
+    def _run(self, ctx, tasks, tracer) -> RunReport:
+        store_outcome = "miss" if self.store is not None else "off"
         order = self.registry.topological_order(tasks)
         report = RunReport(fingerprint=ctx.fingerprint, order=order)
         for name in order:
@@ -186,6 +201,10 @@ class PipelineRunner:
                         error=f"dependency {bad[0]!r} "
                               f"{report.records[bad[0]].status.value}",
                     )
+                    tracer.record(
+                        "pipeline.task", 0.0, task=name,
+                        status=TaskStatus.SKIPPED.value, reason="dependency",
+                    )
                     continue
                 try:
                     key = task.key(ctx)
@@ -193,14 +212,25 @@ class PipelineRunner:
                     report.records[name] = TaskRecord(
                         name, TaskStatus.SKIPPED, error=str(exc)
                     )
+                    tracer.record(
+                        "pipeline.task", 0.0, task=name,
+                        status=TaskStatus.SKIPPED.value, reason="unavailable",
+                    )
                     continue
                 if self.store is not None:
+                    lookup = time.perf_counter()
                     cached = self.store.get(ctx.fingerprint, name, key)
                     if cached is not None:
                         report.records[name] = TaskRecord(
                             name, TaskStatus.CACHED, key=key
                         )
                         report.results[name] = cached
+                        tracer.record(
+                            "pipeline.task",
+                            time.perf_counter() - lookup,
+                            task=name, status=TaskStatus.CACHED.value,
+                            store="hit",
+                        )
                         continue
                 inputs = {d: report.results[d] for d in task.deps}
                 runnable.append((
@@ -222,6 +252,10 @@ class PipelineRunner:
                     report.results[name] = result
                     if self.store is not None:
                         self.store.put(ctx.fingerprint, name, record.key, result)
+                tracer.record(
+                    "pipeline.task", seconds,
+                    task=name, status=status.value, store=store_outcome,
+                )
 
             done.update(wave_names)
             pending = [n for n in pending if n not in done]

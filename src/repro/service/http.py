@@ -21,7 +21,15 @@ runs.  Errors never leak a traceback: a :class:`ServiceError` maps to
 its status and structured payload (unknown country/task → 404 with the
 valid choices), anything else to a one-line 500.  Each request is
 logged through the ``repro.service`` logger as
-``method path status bytes ms``.
+``method path status bytes ms``, traced as one ``http.request`` span
+when tracing is on, and observed in :class:`ServiceMetrics` exactly
+once — service-level responses by the service itself, everything else
+(index hits, handler-level 4xx, 405s, routing 500s) by the handler —
+so ``/v1/metrics`` request counters always equal the responses sent.
+
+Paths are percent-decoded *per segment, after splitting*: a site name
+containing an encoded slash (``/v1/sites/foo%2Fbar``) stays one
+``<site>`` segment instead of shattering the route.
 """
 
 from __future__ import annotations
@@ -31,7 +39,9 @@ import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import parse_qs, unquote, urlsplit
 
+from ..obs import get_tracer
 from .errors import NotFound, ServiceError
+from .metrics import was_observed
 from .query import DEFAULT_TOP, QueryService, render_payload
 
 log = logging.getLogger("repro.service")
@@ -59,7 +69,17 @@ class ReproHTTPServer(ThreadingHTTPServer):
 
     @property
     def url(self) -> str:
+        """A *connectable* base URL for this server.
+
+        A wildcard bind (``0.0.0.0`` / ``::``) is a listen address, not
+        a destination — substituting loopback keeps the startup log and
+        smoke tests pointing at something a client can actually open.
+        """
         host, port = self.server_address[:2]
+        if host in ("0.0.0.0", "::", ""):
+            host = "::1" if host == "::" else "127.0.0.1"
+        if ":" in host:  # bracket IPv6 literals for URL syntax
+            host = f"[{host}]"
         return f"http://{host}:{port}"
 
 
@@ -97,45 +117,84 @@ class ReproRequestHandler(BaseHTTPRequestHandler):
     # -- dispatch -----------------------------------------------------------------
 
     def do_GET(self) -> None:  # noqa: N802 - http.server API
-        started = time.perf_counter()
-        try:
-            status, body = self._route()
-        except ServiceError as exc:
-            status, body = exc.status, render_payload(exc.payload())
-        except Exception as exc:  # noqa: BLE001 - no tracebacks on the wire
-            status = 500
-            body = render_payload({
-                "error": "internal_error",
-                "message": f"{type(exc).__name__}: {exc}",
-            })
-        self._respond(status, body, started)
+        self._dispatch(self._route)
 
     def do_POST(self) -> None:  # noqa: N802 - http.server API
+        self._dispatch(self._method_not_allowed)
+
+    do_PUT = do_DELETE = do_PATCH = do_POST
+
+    def _dispatch(self, handler) -> None:
+        """Run ``handler``, trace the request, observe the response once.
+
+        Responses the service already counted (``observed`` true from
+        the handler, or an exception tagged by ``_instrumented``) are
+        not observed again; everything else — index hits, handler-level
+        4xx, 405s, routing 500s — is observed here, so the metrics
+        request counters equal the total responses sent.
+        """
         started = time.perf_counter()
+        with get_tracer().span(
+            "http.request", method=self.command, path=self.path
+        ) as span:
+            self._endpoint = "unknown"
+            try:
+                status, body, observed = handler()
+            except ServiceError as exc:
+                status, body = exc.status, render_payload(exc.payload())
+                observed = was_observed(exc)
+            except Exception as exc:  # noqa: BLE001 - no tracebacks on the wire
+                status = 500
+                body = render_payload({
+                    "error": "internal_error",
+                    "message": f"{type(exc).__name__}: {exc}",
+                })
+                observed = was_observed(exc)
+            span.set("endpoint", self._endpoint)
+            span.set("status_code", status)
+            if not observed:
+                self.service.metrics.observe(
+                    self._endpoint,
+                    time.perf_counter() - started,
+                    error=status >= 400,
+                )
+            self._respond(status, body, started)
+
+    def _method_not_allowed(self) -> tuple[int, bytes, bool]:
+        self._endpoint = "method_not_allowed"
         body = render_payload({
             "error": "method_not_allowed",
             "message": "the serving API is read-only; use GET",
         })
-        self._respond(405, body, started)
+        return 405, body, False
 
-    do_PUT = do_DELETE = do_PATCH = do_POST
+    def _route(self) -> tuple[int, bytes, bool]:
+        """Dispatch one GET; returns (status, body, observed-by-service).
 
-    def _route(self) -> tuple[int, bytes]:
+        Percent-decoding happens per segment *after* splitting, so an
+        encoded slash inside a ``<site>`` or ``<task>`` name stays part
+        of that one segment instead of changing the route shape.
+        """
         parsed = urlsplit(self.path)
-        path = unquote(parsed.path).rstrip("/") or "/"
+        raw = parsed.path.rstrip("/")
+        segments = tuple(unquote(s) for s in raw.split("/")[1:]) if raw else ()
         params = self._params(parsed.query)
         service = self.service
 
-        if path in ("/", "/v1"):
+        if segments in ((), ("v1",)):
+            self._endpoint = "index"
             return 200, render_payload({
                 "service": "repro",
                 "endpoints": list(ENDPOINTS),
-            })
-        if path == "/v1/healthz":
-            return 200, service.healthz()
-        if path == "/v1/metrics":
-            return 200, service.metrics_payload()
-        if path == "/v1/rankings":
+            }), False
+        if segments == ("v1", "healthz"):
+            self._endpoint = "healthz"
+            return 200, service.healthz(), True
+        if segments == ("v1", "metrics"):
+            self._endpoint = "metrics"
+            return 200, service.metrics_payload(), True
+        if segments == ("v1", "rankings"):
+            self._endpoint = "rankings"
             country = params.get("country")
             if not country:
                 raise NotFound(
@@ -148,25 +207,30 @@ class ReproRequestHandler(BaseHTTPRequestHandler):
                 metric=params.get("metric"),
                 month=params.get("month"),
                 top=params.get("top", DEFAULT_TOP),
-            )
-        if path == "/v1/distributions":
+            ), True
+        if segments == ("v1", "distributions"):
+            self._endpoint = "distribution"
             return 200, service.distribution(
                 platform=params.get("platform"),
                 metric=params.get("metric"),
-            )
-        if path == "/v1/analyses":
-            return 200, service.analyses()
-        if path.startswith("/v1/analyses/"):
-            return 200, service.analysis(path[len("/v1/analyses/"):])
-        if path.startswith("/v1/sites/"):
+            ), True
+        if segments == ("v1", "analyses"):
+            self._endpoint = "analyses"
+            return 200, service.analyses(), True
+        if len(segments) == 3 and segments[:2] == ("v1", "analyses"):
+            self._endpoint = "analysis"
+            return 200, service.analysis(segments[2]), True
+        if len(segments) == 3 and segments[:2] == ("v1", "sites"):
+            self._endpoint = "site"
             return 200, service.site(
-                path[len("/v1/sites/"):],
+                segments[2],
                 platform=params.get("platform"),
                 metric=params.get("metric"),
                 month=params.get("month"),
-            )
-        service.metrics.observe("unknown", 0.0, error=True)
-        raise NotFound(f"unknown endpoint {path!r}", choices=ENDPOINTS)
+            ), True
+        raise NotFound(
+            f"unknown endpoint {parsed.path!r}", choices=ENDPOINTS
+        )
 
 
 def create_server(
@@ -179,10 +243,33 @@ def create_server(
 
 
 def serve_forever(server: ReproHTTPServer) -> None:
-    """Serve until interrupted; always releases the socket."""
+    """Serve until interrupted; always releases the socket.
+
+    When run on the main thread, SIGTERM is handled like Ctrl-C — a
+    plain ``kill`` (what CI and process managers send) shuts the server
+    down cleanly instead of dropping the socket mid-request.  If
+    :func:`repro.api.serve` attached a tracing scope to the server
+    (``--trace``), it is closed here so the JSONL trace is written on
+    either exit path.
+    """
+    import signal
+    import threading
+
+    previous = None
+    on_main = threading.current_thread() is threading.main_thread()
+    if on_main:
+        def _interrupt(signum, frame):  # pragma: no cover - signal path
+            raise KeyboardInterrupt
+        previous = signal.signal(signal.SIGTERM, _interrupt)
     try:
         server.serve_forever()
     except KeyboardInterrupt:  # pragma: no cover - interactive only
         pass
     finally:
+        if on_main:
+            signal.signal(signal.SIGTERM, previous)
         server.server_close()
+        scope = getattr(server, "trace_scope", None)
+        if scope is not None:
+            server.trace_scope = None
+            scope.__exit__(None, None, None)

@@ -6,12 +6,35 @@ server thread, so all mutation happens behind one lock.  The snapshot
 is plain JSON data — it *is* the ``/v1/metrics`` payload body — and
 deliberately contains only monotonic counters plus fixed-bound latency
 buckets, so scraping it is cheap and diffable.
+
+The serving invariant is **every response is observed exactly once**:
+requests that reach a :class:`~repro.service.query.QueryService` method
+are observed there (so direct in-process callers are covered too), and
+the HTTP handler observes everything else — index hits, handler-level
+4xx/5xx, 405s.  :func:`mark_observed` / :func:`was_observed` carry the
+"already counted" bit across the exception path so the two layers never
+double-count one request.
 """
 
 from __future__ import annotations
 
 import threading
 from typing import Mapping
+
+_OBSERVED_FLAG = "_service_metrics_observed"
+
+
+def mark_observed(exc: BaseException) -> None:
+    """Tag ``exc`` as already counted by :meth:`ServiceMetrics.observe`."""
+    try:
+        setattr(exc, _OBSERVED_FLAG, True)
+    except AttributeError:  # pragma: no cover - slotted exception
+        pass
+
+
+def was_observed(exc: BaseException) -> bool:
+    """Whether ``exc`` was already counted (see :func:`mark_observed`)."""
+    return bool(getattr(exc, _OBSERVED_FLAG, False))
 
 #: Fixed latency bucket upper bounds, in milliseconds; an implicit
 #: +inf bucket catches the tail.
@@ -102,6 +125,11 @@ class ServiceMetrics:
         with self._lock:
             return self._counters.get(name, 0)
 
+    def total_requests(self) -> int:
+        """Observed requests across all endpoints (== responses sent)."""
+        with self._lock:
+            return sum(stats.requests for stats in self._endpoints.values())
+
     def snapshot(
         self, *, cache: Mapping[str, object] | None = None
     ) -> dict[str, object]:
@@ -112,7 +140,12 @@ class ServiceMetrics:
                 for name, stats in sorted(self._endpoints.items())
             }
             counters = dict(sorted(self._counters.items()))
-        out: dict[str, object] = {"endpoints": endpoints, "counters": counters}
+            total = sum(stats.requests for stats in self._endpoints.values())
+        out: dict[str, object] = {
+            "endpoints": endpoints,
+            "counters": counters,
+            "requests_total": total,
+        }
         if cache is not None:
             out["cache"] = dict(cache)
         return out

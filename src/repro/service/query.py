@@ -31,6 +31,7 @@ from typing import TYPE_CHECKING, Callable, Iterable
 
 from ..core.dataset import BrowsingDataset
 from ..core.types import Metric, Month, Platform
+from ..obs import get_tracer
 from ..pipeline import (
     ArtifactStore,
     PipelineRunner,
@@ -43,7 +44,7 @@ from ..pipeline import (
 )
 from .cache import PayloadCache, PayloadKey
 from .errors import BadRequest, NotFound, ServiceError, Unavailable, not_found
-from .metrics import ServiceMetrics
+from .metrics import ServiceMetrics, mark_observed
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..engine.engine import GenerationEngine
@@ -184,24 +185,32 @@ class QueryService:
         hit = self.cache.get(key)
         if hit is not None:
             return hit
-        with self._flight(key):
-            hit = self.cache.get(key, record_miss=False)
-            if hit is not None:
-                return hit
-            payload = self.cache.put(key, render_payload(build()))
-        with self._flights_guard:
-            self._flights.pop(key, None)
-        return payload
+        try:
+            with self._flight(key):
+                hit = self.cache.get(key, record_miss=False)
+                if hit is not None:
+                    return hit
+                return self.cache.put(key, render_payload(build()))
+        finally:
+            # Always discard the flight lock — a build() that raises
+            # (bad site name, failing task) must not leave its key in
+            # _flights forever, or an error scan grows it unboundedly.
+            with self._flights_guard:
+                self._flights.pop(key, None)
 
     def _instrumented(self, endpoint: str, fn: Callable[[], bytes]) -> bytes:
         start = time.perf_counter()
-        try:
-            result = fn()
-        except Exception:
-            self.metrics.observe(
-                endpoint, time.perf_counter() - start, error=True
-            )
-            raise
+        with get_tracer().span(f"service.{endpoint}"):
+            try:
+                result = fn()
+            except Exception as exc:
+                self.metrics.observe(
+                    endpoint, time.perf_counter() - start, error=True
+                )
+                # Tell the HTTP layer this response is already counted
+                # (it observes everything the service never saw).
+                mark_observed(exc)
+                raise
         self.metrics.observe(endpoint, time.perf_counter() - start)
         return result
 
@@ -415,6 +424,7 @@ class QueryService:
 
     def _metrics_payload(self) -> bytes:
         snapshot = self.metrics.snapshot(cache=self.cache.snapshot())
+        snapshot["trace"] = get_tracer().snapshot()
         if self.store is not None:
             snapshot["artifact_store"] = {
                 "root": str(self.store.root),

@@ -211,6 +211,7 @@ class TestServeParser:
         assert args.jobs == 1
         assert args.artifacts is None
         assert not args.no_artifacts
+        assert args.trace is None
 
     def test_port_zero_and_flags_accepted(self):
         args = _build_parser().parse_args([
@@ -220,3 +221,78 @@ class TestServeParser:
         assert args.port == 0
         assert args.cache_size == 16
         assert args.no_artifacts
+
+
+class TestTraceFlag:
+    def test_parsers_accept_trace(self):
+        for command in (
+            ["generate", "--out", "x"],
+            ["report", "--data", "ds", "--out", "run"],
+            ["serve", "--data", "ds"],
+        ):
+            args = _build_parser().parse_args(command + ["--trace", "t.jsonl"])
+            assert args.trace == "t.jsonl"
+            assert _build_parser().parse_args(command).trace is None
+
+    def test_generate_trace_covers_engine_slices(self, tmp_path, capsys):
+        trace = tmp_path / "gen.jsonl"
+        assert main([
+            "generate", "--small", "--out", str(tmp_path / "ds"),
+            "--countries", "US", "--platforms", "windows",
+            "--metrics", "page_loads", "--trace", str(trace),
+        ]) == 0
+        assert f"wrote trace {trace}" in capsys.readouterr().out
+        spans = [json.loads(line) for line in trace.read_text().splitlines()]
+        names = {s["name"] for s in spans}
+        assert "engine.run" in names
+        slices = [s for s in spans if s["name"] == "engine.generate_slice"]
+        assert [s["attrs"]["cache"] for s in slices] == ["miss"]
+
+    def test_report_trace_covers_every_pipeline_task(
+        self, dataset_dir, tmp_path, capsys
+    ):
+        trace = tmp_path / "rep.jsonl"
+        assert main([
+            "report", "--data", str(dataset_dir),
+            "--out", str(tmp_path / "run"), "--no-artifacts", "--small",
+            "--tasks", "concentration", "--trace", str(trace),
+        ]) == 0
+        assert f"wrote trace {trace}" in capsys.readouterr().out
+        spans = [json.loads(line) for line in trace.read_text().splitlines()]
+        (run,) = [s for s in spans if s["name"] == "pipeline.run"]
+        tasks = [s for s in spans if s["name"] == "pipeline.task"]
+        assert len(tasks) == run["attrs"]["tasks"] >= 1
+        assert all(t["parent"] == run["span"] for t in tasks)
+        assert {t["attrs"]["task"] for t in tasks} >= {"concentration"}
+
+
+class TestTraceSummarize:
+    def test_summarizes_a_report_trace(self, dataset_dir, tmp_path, capsys):
+        trace = tmp_path / "rep.jsonl"
+        assert main([
+            "report", "--data", str(dataset_dir),
+            "--out", str(tmp_path / "run"), "--no-artifacts", "--small",
+            "--tasks", "concentration", "--trace", str(trace),
+        ]) == 0
+        capsys.readouterr()
+        assert main(["trace", "summarize", str(trace), "--top", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "slowest spans" in out
+        assert "by span name" in out
+        assert "pipeline.task" in out
+
+    def test_missing_file_exits_2(self, tmp_path, capsys):
+        assert main(["trace", "summarize", str(tmp_path / "nope.jsonl")]) == 2
+        assert "no trace file" in capsys.readouterr().err
+
+    def test_empty_trace_exits_1(self, tmp_path, capsys):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        assert main(["trace", "summarize", str(empty)]) == 1
+        assert "no spans" in capsys.readouterr().err
+
+    def test_malformed_trace_exits_1(self, tmp_path, capsys):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("this is not json\n")
+        assert main(["trace", "summarize", str(bad)]) == 1
+        assert "malformed" in capsys.readouterr().err

@@ -1,0 +1,149 @@
+"""Tracing wired through the engine and pipeline layers.
+
+The serving-layer wiring (``http.request`` spans, the ``trace`` block
+in ``/v1/metrics``) is covered next to the other HTTP tests in
+``tests/service/test_http.py``.
+"""
+
+import pytest
+
+from repro.core import Metric, Platform
+from repro.engine import GenerationEngine, ParallelExecutor, SliceCache
+from repro.obs import NULL_TRACER, Tracer, set_tracer
+from repro.pipeline import PipelineRunner, TaskContext, TaskRegistry
+
+
+@pytest.fixture()
+def tracer():
+    """Install a fresh Tracer for one test; always restore the shim."""
+    active = Tracer()
+    previous = set_tracer(active)
+    yield active
+    set_tracer(previous)
+
+
+def _by_name(tracer):
+    spans = tracer.collector.snapshot()
+    grouped: dict[str, list[dict]] = {}
+    for span in spans:
+        grouped.setdefault(span["name"], []).append(span)
+    return grouped
+
+
+GRID = {"platforms": (Platform.WINDOWS,), "metrics": (Metric.PAGE_LOADS,)}
+
+
+class TestEngineTracing:
+    def test_miss_then_hit_slice_spans(self, generator, tmp_path, tracer):
+        cache = SliceCache(tmp_path / "slices")
+        engine = GenerationEngine(
+            generator.config, cache=cache, generator=generator
+        )
+        engine.generate(countries=("US",), **GRID)
+        engine.generate(countries=("US",), **GRID)
+
+        spans = _by_name(tracer)
+        assert len(spans["engine.run"]) == 2
+        cold, warm = spans["engine.run"]
+        assert cold["counters"] == {"cache_misses": 1}
+        assert warm["counters"] == {"cache_hits": 1}
+        outcomes = [s["attrs"]["cache"] for s in spans["engine.generate_slice"]]
+        assert outcomes == ["miss", "hit"]
+        assert len(spans["engine.cache_write"]) == 1  # only the cold run
+
+    def test_slice_spans_nest_under_engine_run(self, generator, tracer):
+        engine = GenerationEngine(generator.config, generator=generator)
+        engine.generate(countries=("US", "KR"), **GRID)
+
+        spans = _by_name(tracer)
+        (run,) = spans["engine.run"]
+        slices = spans["engine.generate_slice"]
+        assert {s["attrs"]["country"] for s in slices} == {"US", "KR"}
+        assert all(s["parent"] == run["span"] for s in slices)
+        assert all(s["attrs"]["cache"] == "miss" for s in slices)
+
+    def test_uninstrumented_run_collects_nothing(self, generator):
+        assert not NULL_TRACER.enabled
+        engine = GenerationEngine(generator.config, generator=generator)
+        engine.generate(countries=("US",), **GRID)  # must not raise
+
+    def test_parallel_workers_spans_are_adopted(self, generator, tracer):
+        engine = GenerationEngine(
+            generator.config, executor=ParallelExecutor(jobs=2)
+        )
+        engine.generate(countries=("US", "KR"), **GRID)
+
+        spans = _by_name(tracer)
+        (run,) = spans["engine.run"]
+        units = spans["engine.work_unit"]
+        assert {u["attrs"]["country"] for u in units} == {"US", "KR"}
+        assert all(u["parent"] == run["span"] for u in units)
+        unit_ids = {u["span"] for u in units}
+        slices = spans["engine.generate_slice"]
+        assert len(slices) == 2
+        assert {s["parent"] for s in slices} <= unit_ids
+        # Worker ids are pid-prefixed, so two pools can never collide.
+        assert all(u["span"].startswith("w") for u in units)
+        assert all(
+            s["trace"] == tracer.trace_id
+            for s in tracer.collector.snapshot()
+        )
+
+
+class TestPipelineTracing:
+    def _registry(self) -> TaskRegistry:
+        registry = TaskRegistry()
+
+        @registry.task("base")
+        def base(ctx, inputs):
+            return {"value": 1}
+
+        @registry.task("boom", deps=("base",))
+        def boom(ctx, inputs):
+            raise RuntimeError("exploded")
+
+        @registry.task("downstream", deps=("boom",))
+        def downstream(ctx, inputs):  # pragma: no cover - never runs
+            return {}
+
+        return registry
+
+    def test_task_spans_carry_status_and_store(
+        self, reference_dataset, tracer
+    ):
+        runner = PipelineRunner(self._registry())
+        runner.run(TaskContext(reference_dataset))
+
+        spans = _by_name(tracer)
+        (run,) = spans["pipeline.run"]
+        assert run["attrs"]["tasks"] == 3
+        assert run["counters"]["executed"] == 1
+        assert run["counters"]["failed"] == 1
+        assert run["counters"]["skipped"] == 1
+        by_task = {s["attrs"]["task"]: s for s in spans["pipeline.task"]}
+        assert by_task["base"]["attrs"]["status"] == "ok"
+        assert by_task["base"]["attrs"]["store"] == "off"
+        assert by_task["boom"]["attrs"]["status"] == "failed"
+        assert by_task["downstream"]["attrs"]["status"] == "skipped"
+        assert by_task["downstream"]["attrs"]["reason"] == "dependency"
+        assert all(
+            s["parent"] == run["span"] for s in spans["pipeline.task"]
+        )
+
+    def test_store_hit_recorded_on_second_run(
+        self, reference_dataset, tmp_path, tracer
+    ):
+        registry = TaskRegistry()
+
+        @registry.task("only")
+        def only(ctx, inputs):
+            return {"value": 7}
+
+        runner = PipelineRunner(registry, store=tmp_path / "artifacts")
+        ctx = TaskContext(reference_dataset)
+        runner.run(ctx)
+        runner.run(ctx)
+
+        tasks = _by_name(tracer)["pipeline.task"]
+        assert [t["attrs"].get("store") for t in tasks] == ["miss", "hit"]
+        assert tasks[1]["attrs"]["status"] == "cached"

@@ -2,6 +2,7 @@
 
 import json
 import threading
+import time
 import urllib.error
 import urllib.request
 from concurrent.futures import ThreadPoolExecutor
@@ -83,6 +84,61 @@ class TestRouting:
         assert fetch(server, "/v1/healthz/")[0] == 200
 
 
+class TestServerUrl:
+    def test_loopback_bind_round_trips(self, server):
+        host, port = server.server_address[:2]
+        assert server.url == f"http://{host}:{port}"
+
+    def test_wildcard_bind_substitutes_loopback(self, service):
+        srv = create_server(service, "0.0.0.0", 0)
+        try:
+            port = srv.server_address[1]
+            assert srv.url == f"http://127.0.0.1:{port}"
+        finally:
+            srv.server_close()
+
+    def test_wildcard_url_is_connectable(self, service):
+        srv = create_server(service, "0.0.0.0", 0)
+        thread = threading.Thread(target=srv.serve_forever, daemon=True)
+        thread.start()
+        try:
+            status, payload = fetch_json(srv, "/v1/healthz")
+            assert status == 200
+            assert payload["status"] == "ok"
+        finally:
+            srv.shutdown()
+            srv.server_close()
+            thread.join(timeout=5)
+
+
+class TestSegmentDecoding:
+    def test_encoded_slash_stays_one_site_segment(self, server):
+        # %2F must not shatter the route: this is a site lookup that
+        # finds nothing, not an unknown-endpoint 404.
+        status, payload = fetch_json(server, "/v1/sites/foo%2Fbar")
+        assert status == 404
+        assert "foo/bar" in payload["message"]
+        assert "not ranked" in payload["message"]
+
+    def test_encoded_site_routes_and_decodes(self, server, service):
+        top = json.loads(service.rankings("US", top=1))["sites"][0]
+        encoded = f"%{ord(top[0]):02X}{top[1:]}"  # first char percent-encoded
+        assert encoded != top
+        status, payload = fetch_json(server, f"/v1/sites/{encoded}")
+        assert status == 200
+        assert payload["site"] == top
+
+    def test_encoded_slash_in_task_name_is_one_segment(self, server):
+        status, payload = fetch_json(server, "/v1/analyses/a%2Fb")
+        assert status == 404
+        assert "concentration" in payload["choices"]  # task 404, not route
+
+    def test_literal_extra_segment_is_still_unknown_route(self, server):
+        status, payload = fetch_json(server, "/v1/sites/a/b")
+        assert status == 404
+        assert payload["choices"] == list(ENDPOINTS)
+
+
 class TestErrors:
     def test_unknown_country_is_404_with_choices(self, server):
         status, payload = fetch_json(server, "/v1/rankings?country=ZZ")
@@ -155,3 +211,91 @@ class TestAcceptance:
         assert latency["count"] == 1
         assert sum(latency["buckets"].values()) == 1
         assert metrics["endpoints"]["rankings"]["requests"] == 1
+
+
+class TestExactlyOnceMetrics:
+    """Every response is observed exactly once, whatever path produced it."""
+
+    def test_counters_equal_responses_sent(self, server, service):
+        responses = 0
+        for path in (
+            "/",                                  # index (handler-observed)
+            "/v1/healthz",                        # 200 via the service
+            "/v1/rankings?country=US",            # 200 via the service
+            "/v1/rankings",                       # 404 raised in routing
+            "/v1/rankings?country=ZZ",            # 404 raised in the service
+            "/v1/rankings?country=US&platform=x", # 400 raised in the service
+            "/v2/everything",                     # 404 unknown route
+            "/v1/sites/a/b",                      # 404 unknown route shape
+        ):
+            fetch(server, path)
+            responses += 1
+        request = urllib.request.Request(
+            server.url + "/v1/healthz", data=b"{}", method="POST"
+        )
+        with pytest.raises(urllib.error.HTTPError):
+            urllib.request.urlopen(request, timeout=10)  # 405
+        responses += 1
+
+        assert service.metrics.total_requests() == responses
+        status, metrics = fetch_json(server, "/v1/metrics")
+        responses += 1
+        assert status == 200
+        # The snapshot was taken before its own response went out.
+        assert metrics["requests_total"] == responses - 1
+        assert service.metrics.total_requests() == responses
+
+    def test_route_level_404_reaches_metrics(self, server, service):
+        fetch(server, "/v1/rankings")  # missing ?country — raised in _route
+        stats = service.metrics.snapshot()["endpoints"]["rankings"]
+        assert stats == {**stats, "requests": 1, "errors": 1}
+
+    def test_405_reaches_metrics(self, server, service):
+        request = urllib.request.Request(
+            server.url + "/v1/metrics", data=b"{}", method="PUT"
+        )
+        with pytest.raises(urllib.error.HTTPError):
+            urllib.request.urlopen(request, timeout=10)
+        snapshot = service.metrics.snapshot()
+        stats = snapshot["endpoints"]["method_not_allowed"]
+        assert stats == {**stats, "requests": 1, "errors": 1}
+
+
+class TestTraceWiring:
+    def test_metrics_trace_block_disabled_by_default(self, server):
+        _, metrics = fetch_json(server, "/v1/metrics")
+        assert metrics["trace"] == {"enabled": False}
+
+    def test_requests_traced_when_tracer_installed(self, server):
+        from repro.obs import Tracer, set_tracer
+
+        tracer = Tracer()
+        previous = set_tracer(tracer)
+        try:
+            fetch(server, "/v1/rankings?country=US&top=3")
+            fetch(server, "/v2/everything")
+            _, metrics = fetch_json(server, "/v1/metrics")
+        finally:
+            set_tracer(previous)
+
+        assert metrics["trace"]["enabled"] is True
+        assert metrics["trace"]["trace_id"] == tracer.trace_id
+        # The handler thread closes its span just after the client has
+        # read the body, so give the last span a moment to land.
+        deadline = time.time() + 5
+        while time.time() < deadline:
+            spans = tracer.collector.snapshot()
+            requests = [s for s in spans if s["name"] == "http.request"]
+            if len(requests) == 3:
+                break
+            time.sleep(0.01)
+        assert sorted(
+            (s["attrs"]["endpoint"], s["attrs"]["status_code"])
+            for s in requests
+        ) == [("metrics", 200), ("rankings", 200), ("unknown", 404)]
+        # Service spans nest under their request span.
+        ranking_request = requests[0]
+        service_span = next(
+            s for s in spans if s["name"] == "service.rankings"
+        )
+        assert service_span["parent"] == ranking_request["span"]

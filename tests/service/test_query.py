@@ -216,6 +216,54 @@ class TestCachingSemantics:
         assert len(service.cache) == 0
 
 
+class TestSingleFlightLifecycle:
+    """Flight locks are per-build scaffolding and must never accumulate."""
+
+    def test_flights_empty_after_success(self, service):
+        service.rankings("US")
+        service.site(json.loads(service.rankings("US", top=1))["sites"][0])
+        assert service._flights == {}
+
+    def test_flights_empty_after_error(self, service):
+        # The 404 is raised inside build(), i.e. while the flight lock
+        # for this key is held — it must still be discarded.
+        with pytest.raises(NotFound):
+            service.site("no-such-site.invalid")
+        assert service._flights == {}
+
+    def test_flights_empty_after_mixed_sequence(self, service):
+        service.rankings("US")
+        with pytest.raises(NotFound):
+            service.site("no-such-site.invalid")
+        service.rankings("KR")
+        with pytest.raises(NotFound):
+            service.rankings("US", month="2021-12")
+        assert service._flights == {}
+
+    def test_hammering_an_erroring_key_stays_bounded(self, service):
+        barrier = threading.Barrier(8)
+
+        def hammer(i: int) -> None:
+            barrier.wait()
+            for _ in range(20):
+                with pytest.raises(NotFound):
+                    service.site(f"missing-{i % 2}.invalid")
+
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            for f in [pool.submit(hammer, i) for i in range(8)]:
+                f.result()
+        assert service._flights == {}
+        assert len(service.cache) == 0  # errors never cached either
+
+    def test_erroring_key_can_still_single_flight_later(self, service):
+        with pytest.raises(NotFound):
+            service.site("no-such-site.invalid")
+        # A later success on the same shape of call works normally.
+        top = json.loads(service.rankings("US", top=1))["sites"][0]
+        assert json.loads(service.site(top))["site"] == top
+        assert service._flights == {}
+
+
 class TestFromEngine:
     def test_lazy_grid_materialises_on_query(self, generator):
         from repro.engine import GenerationEngine
