@@ -1,5 +1,8 @@
 """Helpers shared by the benchmark files."""
 
+import json
+from pathlib import Path
+
 from repro.report import render_comparison
 
 
@@ -7,3 +10,15 @@ def print_comparison(rows, title):
     """Render a paper-vs-measured table to stdout."""
     print()
     print(render_comparison(rows, title))
+
+
+def write_bench_json(name, payload):
+    """Persist a machine-readable benchmark result as ``BENCH_<name>.json``.
+
+    Written to the current working directory (the repo root under CI),
+    where the workflow uploads every ``BENCH_*.json`` as an artifact.
+    """
+    path = Path(f"BENCH_{name}.json")
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"\nwrote {path.resolve()}")
+    return path

@@ -1,0 +1,119 @@
+"""Vectorized kernels vs the scalar reference on the paper's workload.
+
+The headline measurement: the full Figure 10 matrix — traffic-weighted
+RBO over all C(45, 2) = 990 country pairs at depth 10,000 — through the
+batched kernel (:func:`repro.stats.kernels.pairwise_wrbo`) against the
+per-pair scalar loop (:func:`repro.stats.rbo.weighted_rbo`).
+
+Two kernel timings are reported:
+
+* **cold** — a fresh :class:`SiteVocabulary`, so every list pays string
+  interning.  That cost is paid once per dataset in production (the
+  shared ``dataset.vocabulary()`` caches id arrays on the lists).
+* **steady-state** — id arrays already interned, as every analysis
+  after the first sees.  This is the kernel's real throughput and the
+  number the ≥10× assertion runs against.
+
+Both must be *bit-identical* to the scalar loop, pair for pair.
+Results land in ``BENCH_kernels.json`` for the CI artifact upload.
+"""
+
+import time
+from itertools import combinations
+
+import numpy as np
+
+from repro.analysis.similarity import weighted_rbo_matrix
+from repro.core import Metric, Platform, REFERENCE_MONTH, SiteVocabulary
+from repro.stats.rbo import weighted_rbo
+
+from _bench_utils import print_comparison, write_bench_json
+
+DEPTH = 10_000
+MIN_SPEEDUP = 10.0
+
+
+def _scalar_matrix(lists, weights, depth):
+    """The pre-kernel pair loop, verbatim from the old matrix builder."""
+    countries = tuple(sorted(lists))
+    scores = [
+        weighted_rbo(lists[a], lists[b], weights, depth=depth)
+        for a, b in combinations(countries, 2)
+    ]
+    return np.asarray(scores)
+
+
+def test_kernel_wrbo_matrix_speedup(benchmark, feb_dataset):
+    lists = feb_dataset.select(
+        Platform.WINDOWS, Metric.PAGE_LOADS, REFERENCE_MONTH
+    )
+    countries = tuple(sorted(lists))
+    n = len(countries)
+    depth = min(DEPTH, min(len(lists[c]) for c in countries))
+    dist = feb_dataset.distribution(Platform.WINDOWS, Metric.PAGE_LOADS)
+    weights = dist.weights(depth)
+
+    start = time.perf_counter()
+    scalar_scores = _scalar_matrix(lists, weights, depth)
+    scalar_seconds = time.perf_counter() - start
+
+    # Cold: a fresh vocabulary forces every list to re-intern (the
+    # id-array cache is keyed by vocabulary identity).
+    start = time.perf_counter()
+    weighted_rbo_matrix(lists, dist, depth=depth, vocab=SiteVocabulary())
+    cold_seconds = time.perf_counter() - start
+
+    # Steady-state: one shared vocabulary, id arrays cached on the
+    # lists — what the pipeline's dataset.vocabulary() delivers to
+    # every analysis after the first.
+    vocab = SiteVocabulary()
+    weighted_rbo_matrix(lists, dist, depth=depth, vocab=vocab)  # warm the cache
+
+    def kernel_compute():
+        return weighted_rbo_matrix(lists, dist, depth=depth, vocab=vocab)
+
+    start = time.perf_counter()
+    matrix = kernel_compute()
+    kernel_seconds = time.perf_counter() - start
+    benchmark.pedantic(kernel_compute, rounds=1, iterations=1)
+
+    kernel_scores = np.asarray([
+        matrix.values[i, j] for i, j in combinations(range(n), 2)
+    ])
+    speedup = scalar_seconds / kernel_seconds
+    cold_speedup = scalar_seconds / cold_seconds
+
+    print_comparison(
+        [
+            ("countries", 45, n, "all of the paper's markets"),
+            ("depth", 10_000, depth, "top-10K lists"),
+            ("pairs", 990, n * (n - 1) // 2, "C(45, 2)"),
+            ("scalar seconds", "", round(scalar_seconds, 3), "per-pair loop"),
+            ("kernel seconds (cold)", "", round(cold_seconds, 3),
+             "includes one-off interning"),
+            ("kernel seconds (steady)", "", round(kernel_seconds, 3),
+             "id arrays cached"),
+            ("speedup (steady)", ">= 10x", round(speedup, 1), "asserted below"),
+            ("speedup (cold)", "", round(cold_speedup, 1), ""),
+        ],
+        "Kernel vs scalar — weighted RBO matrix",
+    )
+    write_bench_json("kernels", {
+        "workload": "weighted_rbo_matrix",
+        "countries": n,
+        "depth": depth,
+        "pairs": n * (n - 1) // 2,
+        "scalar_seconds": scalar_seconds,
+        "kernel_seconds_cold": cold_seconds,
+        "kernel_seconds_steady": kernel_seconds,
+        "speedup_cold": cold_speedup,
+        "speedup_steady": speedup,
+        "bit_identical": bool(np.array_equal(scalar_scores, kernel_scores)),
+    })
+
+    # Exactness first: a fast wrong answer is worthless.
+    assert np.array_equal(scalar_scores, kernel_scores)
+    assert speedup >= MIN_SPEEDUP, (
+        f"kernel path only {speedup:.1f}x faster "
+        f"({scalar_seconds:.2f}s scalar vs {kernel_seconds:.2f}s kernel)"
+    )

@@ -27,6 +27,8 @@ from typing import Mapping
 import numpy as np
 
 from ..core.rankedlist import RankedList
+from ..core.vocab import SiteVocabulary
+from ..stats.kernels import rank_matrix
 from ..stats.outliers import OutlierResult, mad_outliers
 
 #: The sentinel rank for a country whose top-10K misses the site
@@ -137,21 +139,42 @@ def classify_shape(curve: PopularityCurve) -> str:
 def popularity_curves(
     lists_by_country: Mapping[str, RankedList],
     eligible_rank: int = 1_000,
+    *,
+    vocab: SiteVocabulary | None = None,
 ) -> list[PopularityCurve]:
     """Curves for every site ranking in the top ``eligible_rank``
-    of at least one country (the paper's 23,785-site population)."""
+    of at least one country (the paper's 23,785-site population).
+
+    Vectorized: the lists are interned once, the eligible population is
+    a ``np.unique`` over the prefix id arrays, and the full site ×
+    country rank matrix comes from
+    :func:`repro.stats.kernels.rank_matrix` (one scatter + gather per
+    country) followed by a row sort — no per-site dict probes.
+    """
     countries = sorted(lists_by_country)
-    eligible: set[str] = set()
-    for ranked in lists_by_country.values():
-        eligible.update(ranked.top(eligible_rank).sites)
-    rank_maps = {c: lists_by_country[c].as_rank_map() for c in countries}
-    curves = []
-    for site in sorted(eligible):
-        ranks = sorted(
-            rank_maps[c].get(site, MISSING_RANK) for c in countries
-        )
-        curves.append(PopularityCurve(site, tuple(ranks)))
-    return curves
+    if not countries:
+        return []
+    if vocab is None:
+        vocab = SiteVocabulary()
+    id_arrays = [lists_by_country[c].ids(vocab) for c in countries]
+    prefixes = [ids[:eligible_rank] for ids in id_arrays]
+    eligible_ids = np.unique(np.concatenate(prefixes))
+    if len(eligible_ids) == 0:
+        return []
+    # The curves are emitted in site-name order, exactly as the scalar
+    # reference iterated ``sorted(eligible)``.
+    by_name = sorted(
+        (vocab.site_of(int(sid)), int(sid)) for sid in eligible_ids
+    )
+    site_ids = np.fromiter(
+        (sid for _, sid in by_name), dtype=np.int64, count=len(by_name)
+    )
+    ranks = rank_matrix(id_arrays, site_ids, missing=MISSING_RANK)
+    ranks.sort(axis=1)
+    return [
+        PopularityCurve(name, tuple(int(r) for r in row))
+        for (name, _), row in zip(by_name, ranks)
+    ]
 
 
 @dataclass(frozen=True)
@@ -182,6 +205,8 @@ def score_endemicity(
     lists_by_country: Mapping[str, RankedList],
     eligible_rank: int = 1_000,
     mad_threshold: float = 3.5,
+    *,
+    vocab: SiteVocabulary | None = None,
 ) -> EndemicityResult:
     """Run the full Section 5.1 pipeline on one dataset slice.
 
@@ -189,7 +214,7 @@ def score_endemicity(
     bound (distance / bound); *upper* outliers — sites far below maximal
     endemicity for their own best rank — are the globally popular ones.
     """
-    curves = popularity_curves(lists_by_country, eligible_rank)
+    curves = popularity_curves(lists_by_country, eligible_rank, vocab=vocab)
     if not curves:
         raise ValueError("no eligible sites")
     scores = np.array([c.endemicity_score() for c in curves])

@@ -22,7 +22,8 @@ from ..core.dataset import BrowsingDataset
 from ..core.rankedlist import RankedList
 from ..core.types import Metric, Month, Platform
 from ..stats.descriptive import Quartiles, quartiles
-from ..stats.spearman import spearman_from_lists
+from ..stats.kernels import rank_pairs_ids
+from ..stats.spearman import spearman_from_lists, spearman_rho
 from .weighting import per_site_share
 
 
@@ -44,19 +45,26 @@ def metric_overlap(
     top_n: int = 10_000,
     countries: tuple[str, ...] | None = None,
 ) -> MetricOverlap:
-    """Intersection % and Spearman between loads and time lists."""
+    """Intersection % and Spearman between loads and time lists.
+
+    One :func:`repro.stats.kernels.rank_pairs_ids` pass per country
+    yields both statistics from the interned lists.
+    """
     loads = dataset.select(platform, Metric.PAGE_LOADS, month, countries)
     time = dataset.select(platform, Metric.TIME_ON_PAGE, month, countries)
     shared = sorted(set(loads) & set(time))
     if not shared:
         raise ValueError("no countries with both metrics")
+    vocab = dataset.vocabulary()
     intersections: dict[str, float] = {}
     spearmans: dict[str, float] = {}
     for country in shared:
-        a = loads[country].top(top_n)
-        b = time[country].top(top_n)
-        intersections[country] = a.percent_intersection(b)
-        rho = spearman_from_lists(a, b)
+        ids_a = loads[country].ids(vocab)
+        ids_b = time[country].ids(vocab)
+        xs, ys = rank_pairs_ids(ids_a, ids_b, depth=top_n)
+        denom = min(top_n, len(ids_a), len(ids_b))
+        intersections[country] = len(xs) / denom if denom else 0.0
+        rho = spearman_rho(xs, ys) if len(xs) >= 2 else float("nan")
         if not math.isnan(rho):
             spearmans[country] = rho
     return MetricOverlap(

@@ -4,6 +4,14 @@
   (the Figure 10 heatmap and its appendix variants);
 * unweighted percent intersection per rank bucket, summarised as the
   cumulative sum of the sorted pairwise values (Figure 12).
+
+Both run through the vectorized kernels in :mod:`repro.stats.kernels`:
+the lists are interned to dense id arrays under one shared
+:class:`~repro.core.vocab.SiteVocabulary` and every pair is a few
+numpy passes instead of a Python rank loop.  Results are bit-identical
+to the scalar reference (:func:`repro.stats.rbo.weighted_rbo`,
+``RankedList.percent_intersection``); ``jobs > 1`` fans the pair loop
+out across threads.
 """
 
 from __future__ import annotations
@@ -16,9 +24,11 @@ import numpy as np
 
 from ..core.dataset import BrowsingDataset
 from ..core.distribution import TrafficDistribution
+from ..core.errors import AnalysisError
 from ..core.rankedlist import RankedList
 from ..core.types import Metric, Month, Platform
-from ..stats.rbo import weighted_rbo
+from ..core.vocab import SiteVocabulary
+from ..stats.kernels import bucket_intersections, pairwise_wrbo
 
 
 @dataclass(frozen=True)
@@ -33,13 +43,22 @@ class SimilarityMatrix:
         if self.values.shape != (n, n):
             raise ValueError("matrix shape must match country count")
 
+    def _index(self, country: str) -> int:
+        try:
+            return self.countries.index(country)
+        except ValueError:
+            raise AnalysisError(
+                f"unknown country {country!r}; "
+                f"valid choices: {', '.join(self.countries)}"
+            ) from None
+
     def pair(self, a: str, b: str) -> float:
-        i = self.countries.index(a)
-        j = self.countries.index(b)
+        i = self._index(a)
+        j = self._index(b)
         return float(self.values[i, j])
 
     def most_similar_to(self, country: str, k: int = 5) -> list[tuple[str, float]]:
-        i = self.countries.index(country)
+        i = self._index(country)
         order = np.argsort(-self.values[i])
         out = []
         for j in order:
@@ -52,7 +71,7 @@ class SimilarityMatrix:
 
     def mean_similarity(self, country: str) -> float:
         """Average similarity to all other countries (outliers score low)."""
-        i = self.countries.index(country)
+        i = self._index(country)
         mask = np.ones(len(self.countries), dtype=bool)
         mask[i] = False
         return float(self.values[i, mask].mean())
@@ -62,11 +81,19 @@ def weighted_rbo_matrix(
     lists_by_country: Mapping[str, RankedList],
     distribution: TrafficDistribution,
     depth: int = 10_000,
+    *,
+    vocab: SiteVocabulary | None = None,
+    jobs: int = 1,
 ) -> SimilarityMatrix:
     """Pairwise traffic-weighted RBO over per-country lists.
 
     The weight of agreement at depth d is the traffic share of rank d
-    (Section 5.3.1's replacement for RBO's geometric weights).
+    (Section 5.3.1's replacement for RBO's geometric weights).  All
+    C(n, 2) pairs are batched through
+    :func:`repro.stats.kernels.pairwise_wrbo`; pass the dataset's
+    shared ``vocab`` to reuse cached id arrays across analyses, and
+    ``jobs > 1`` to split the pair loop over threads (scores are
+    written to disjoint cells, so parallel runs are byte-identical).
     """
     countries = tuple(sorted(lists_by_country))
     n = len(countries)
@@ -75,13 +102,11 @@ def weighted_rbo_matrix(
         depth, min(len(lists_by_country[c]) for c in countries)
     )
     weights = distribution.weights(max_depth)
-    for i, j in combinations(range(n), 2):
-        score = weighted_rbo(
-            lists_by_country[countries[i]],
-            lists_by_country[countries[j]],
-            weights,
-            depth=max_depth,
-        )
+    if vocab is None:
+        vocab = SiteVocabulary()
+    ids = [lists_by_country[c].ids(vocab) for c in countries]
+    scores = pairwise_wrbo(ids, weights, depth=max_depth, jobs=jobs)
+    for score, (i, j) in zip(scores, combinations(range(n), 2)):
         values[i, j] = values[j, i] = score
     return SimilarityMatrix(countries, values)
 
@@ -93,12 +118,17 @@ def rbo_matrix_for(
     month: Month,
     depth: int = 10_000,
     countries: tuple[str, ...] | None = None,
+    *,
+    jobs: int = 1,
 ) -> SimilarityMatrix:
     """Figure 10 (and 18–20): the wRBO matrix for one dataset slice."""
     lists = dataset.select(platform, metric, month, countries)
     if len(lists) < 2:
         raise ValueError("need at least two countries")
-    return weighted_rbo_matrix(lists, dataset.distribution(platform, metric), depth)
+    return weighted_rbo_matrix(
+        lists, dataset.distribution(platform, metric), depth,
+        vocab=dataset.vocabulary(), jobs=jobs,
+    )
 
 
 @dataclass(frozen=True)
@@ -118,19 +148,57 @@ class IntersectionCurve:
         return float(self.sorted_values.mean())
 
 
+def _curves_from_counts(
+    counts: np.ndarray,
+    lengths: list[int],
+    buckets: tuple[int, ...],
+) -> list[IntersectionCurve]:
+    """Percent-intersection curves from raw pairwise counts.
+
+    The denominator matches ``percent_intersection`` on the truncated
+    lists: ``min(bucket, len_a, len_b)`` (0 pairs score 0.0).
+    """
+    n = len(lengths)
+    pair_mins = np.array(
+        [min(lengths[i], lengths[j]) for i, j in combinations(range(n), 2)],
+        dtype=np.int64,
+    )
+    curves = []
+    for column, bucket in enumerate(buckets):
+        denoms = np.minimum(pair_mins, bucket)
+        values = np.where(denoms > 0, counts[:, column] / np.maximum(denoms, 1), 0.0)
+        ordered = np.sort(values)[::-1]
+        curves.append(IntersectionCurve(bucket, ordered, np.cumsum(ordered)))
+    return curves
+
+
 def pairwise_intersections(
     lists_by_country: Mapping[str, RankedList],
     bucket: int,
+    *,
+    vocab: SiteVocabulary | None = None,
 ) -> IntersectionCurve:
     """Unweighted percent intersection for every country pair at one bucket."""
+    return intersection_curves_for_lists(
+        lists_by_country, buckets=(bucket,), vocab=vocab
+    )[0]
+
+
+def intersection_curves_for_lists(
+    lists_by_country: Mapping[str, RankedList],
+    buckets: tuple[int, ...],
+    *,
+    vocab: SiteVocabulary | None = None,
+    jobs: int = 1,
+) -> list[IntersectionCurve]:
+    """All pairs × all rank buckets from one kernel pass per pair."""
     countries = sorted(lists_by_country)
-    tops = {c: lists_by_country[c].top(bucket) for c in countries}
-    values = [
-        tops[a].percent_intersection(tops[b])
-        for a, b in combinations(countries, 2)
-    ]
-    ordered = np.sort(np.asarray(values))[::-1]
-    return IntersectionCurve(bucket, ordered, np.cumsum(ordered))
+    if vocab is None:
+        vocab = SiteVocabulary()
+    ids = [lists_by_country[c].ids(vocab) for c in countries]
+    lengths = [len(lists_by_country[c]) for c in countries]
+    counts = bucket_intersections(ids, buckets, jobs=jobs)
+    return _curves_from_counts(counts, lengths, tuple(buckets))
 
 
 def intersection_curves(
@@ -140,9 +208,13 @@ def intersection_curves(
     month: Month,
     buckets: tuple[int, ...] = (10, 100, 1_000, 10_000),
     countries: tuple[str, ...] | None = None,
+    *,
+    jobs: int = 1,
 ) -> list[IntersectionCurve]:
     """Figure 12's family of curves across rank buckets."""
     lists = dataset.select(platform, metric, month, countries)
     if len(lists) < 2:
         raise ValueError("need at least two countries")
-    return [pairwise_intersections(lists, bucket) for bucket in buckets]
+    return intersection_curves_for_lists(
+        lists, tuple(buckets), vocab=dataset.vocabulary(), jobs=jobs,
+    )

@@ -18,7 +18,8 @@ from typing import Mapping
 from ..core.dataset import BrowsingDataset
 from ..core.types import Metric, Month, Platform
 from ..stats.descriptive import Quartiles, quartiles
-from ..stats.spearman import spearman_from_lists
+from ..stats.kernels import rank_pairs_ids
+from ..stats.spearman import spearman_rho
 from .weighting import share_by_category
 
 #: Rank buckets used throughout Section 4.5.
@@ -47,19 +48,28 @@ def month_pair_similarity(
     bucket: int,
     countries: tuple[str, ...] | None = None,
 ) -> MonthPairSimilarity:
-    """Intersection/Spearman between two months, aggregated over countries."""
+    """Intersection/Spearman between two months, aggregated over countries.
+
+    Per country, one :func:`repro.stats.kernels.rank_pairs_ids` pass
+    over the interned lists yields both statistics — the intersection
+    size (the pair count) and the Spearman input — without building
+    truncated lists or rank dicts.
+    """
     lists_a = dataset.select(platform, metric, month_a, countries)
     lists_b = dataset.select(platform, metric, month_b, countries)
     shared = sorted(set(lists_a) & set(lists_b))
     if not shared:
         raise ValueError(f"no countries with both {month_a} and {month_b}")
+    vocab = dataset.vocabulary()
     intersections = []
     rhos = []
     for country in shared:
-        a = lists_a[country].top(bucket)
-        b = lists_b[country].top(bucket)
-        intersections.append(a.percent_intersection(b))
-        rho = spearman_from_lists(a, b)
+        ids_a = lists_a[country].ids(vocab)
+        ids_b = lists_b[country].ids(vocab)
+        xs, ys = rank_pairs_ids(ids_a, ids_b, depth=bucket)
+        denom = min(bucket, len(ids_a), len(ids_b))
+        intersections.append(len(xs) / denom if denom else 0.0)
+        rho = spearman_rho(xs, ys) if len(xs) >= 2 else float("nan")
         if rho == rho:  # not NaN
             rhos.append(rho)
     return MonthPairSimilarity(

@@ -15,6 +15,7 @@ from .errors import (
     TaxonomyError,
 )
 from .rankedlist import RankedList
+from .vocab import SiteVocabulary
 from .types import (
     DECEMBER,
     REFERENCE_MONTH,
@@ -43,6 +44,7 @@ __all__ = [
     "REFERENCE_MONTH",
     "ReproError",
     "STUDY_MONTHS",
+    "SiteVocabulary",
     "TaskUnavailable",
     "TaxonomyError",
     "TrafficDistribution",

@@ -14,12 +14,14 @@ paper's analyses consume the telemetry export.
 
 from __future__ import annotations
 
+import threading
 from typing import Callable, Iterable, Iterator, Mapping
 
 from .distribution import TrafficDistribution
 from .errors import DatasetError, MissingBreakdownError
 from .rankedlist import RankedList
 from .types import Breakdown, Metric, Month, Platform
+from .vocab import SiteVocabulary
 
 
 class BrowsingDataset:
@@ -40,6 +42,8 @@ class BrowsingDataset:
         self._platforms = tuple(sorted({b.platform for b in self._lists}, key=lambda p: p.value))
         self._metrics = tuple(sorted({b.metric for b in self._lists}, key=lambda m: m.value))
         self._months = tuple(sorted({b.month for b in self._lists}))
+        self._vocab: SiteVocabulary | None = None
+        self._vocab_lock = threading.Lock()
 
     # -- indices ------------------------------------------------------------------
 
@@ -100,6 +104,24 @@ class BrowsingDataset:
         month: Month,
     ) -> RankedList | None:
         return self._lists.get(Breakdown(country, platform, metric, month))
+
+    def vocabulary(self) -> SiteVocabulary:
+        """The dataset-wide site vocabulary, built lazily and shared.
+
+        One vocabulary per dataset keeps every list's cached id array
+        (:meth:`RankedList.ids`) valid across analyses — the wRBO
+        matrix, the intersection curves and the temporal sweeps all
+        index the same id space.  The vocabulary grows on demand as
+        lists are interned, so requesting it costs nothing and a run
+        that touches three slices interns three slices.
+        """
+        vocab = self._vocab
+        if vocab is None:
+            with self._vocab_lock:
+                if self._vocab is None:
+                    self._vocab = SiteVocabulary()
+                vocab = self._vocab
+        return vocab
 
     def distribution(self, platform: Platform, metric: Metric) -> TrafficDistribution:
         """The global traffic-distribution curve for a (platform, metric)."""

@@ -10,9 +10,14 @@ between lists, and rank-pair extraction for correlation measures.
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, Mapping, Sequence
+from typing import TYPE_CHECKING, Iterable, Iterator, Mapping, Sequence
 
 from .errors import RankListError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    import numpy as np
+
+    from .vocab import SiteVocabulary
 
 
 class RankedList:
@@ -25,7 +30,7 @@ class RankedList:
         must be unique and non-empty.
     """
 
-    __slots__ = ("_sites", "_rank_cache")
+    __slots__ = ("_sites", "_rank_cache", "_set_cache", "_ids_cache")
 
     def __init__(self, sites: Iterable[str]) -> None:
         sites_tuple = tuple(sites)
@@ -41,6 +46,24 @@ class RankedList:
         # on the order of a thousand 10K-site lists, and most are only
         # ever iterated, not probed.
         self._rank_cache: dict[str, int] | None = None
+        self._set_cache: frozenset[str] | None = None
+        self._ids_cache: tuple[object, "np.ndarray"] | None = None
+
+    @classmethod
+    def _trusted(cls, sites_tuple: tuple[str, ...]) -> "RankedList":
+        """Wrap an already-validated site tuple without re-checking it.
+
+        Internal-only: callers must guarantee uniqueness and
+        non-emptiness — true for any contiguous subsequence of an
+        existing list's sites, which is what :meth:`top`, :meth:`slice`
+        and :meth:`filter` produce.  Keeps truncation O(k) copy.
+        """
+        obj = cls.__new__(cls)
+        obj._sites = sites_tuple
+        obj._rank_cache = None
+        obj._set_cache = None
+        obj._ids_cache = None
+        return obj
 
     @property
     def _ranks(self) -> dict[str, int]:
@@ -49,6 +72,30 @@ class RankedList:
                 site: position for position, site in enumerate(self._sites, start=1)
             }
         return self._rank_cache
+
+    @property
+    def site_set(self) -> frozenset[str]:
+        """The sites as a set — membership without paying for the rank dict."""
+        if self._set_cache is None:
+            self._set_cache = frozenset(self._sites)
+        return self._set_cache
+
+    def ids(self, vocab: "SiteVocabulary") -> "np.ndarray":
+        """This list's sites as dense ``int32`` ids under ``vocab``.
+
+        The array is cached per vocabulary (a new vocabulary replaces
+        the cache entry) and returned read-only: every kernel in
+        :mod:`repro.stats.kernels` consumes these arrays, so repeated
+        pairwise analyses over one dataset intern each list exactly
+        once.
+        """
+        cached = self._ids_cache
+        if cached is not None and cached[0] is vocab:
+            return cached[1]
+        arr = vocab.intern_many(self._sites)
+        arr.setflags(write=False)
+        self._ids_cache = (vocab, arr)
+        return arr
 
     # -- basic container protocol -------------------------------------------------
 
@@ -59,7 +106,7 @@ class RankedList:
         return iter(self._sites)
 
     def __contains__(self, site: object) -> bool:
-        return site in self._ranks
+        return site in self.site_set
 
     def __getitem__(self, rank: int) -> str:
         """The site at 1-indexed ``rank``."""
@@ -106,25 +153,28 @@ class RankedList:
     # -- derived lists ---------------------------------------------------------------
 
     def top(self, n: int) -> "RankedList":
-        """The top-``n`` prefix (or the whole list if shorter)."""
+        """The top-``n`` prefix (or the whole list if shorter).
+
+        O(k) — a prefix of a validated list needs no re-validation.
+        """
         if n < 0:
             raise ValueError("n must be non-negative")
         if n >= len(self._sites):
             return self
-        return RankedList(self._sites[:n])
+        return RankedList._trusted(self._sites[:n])
 
     def slice(self, first: int, last: int) -> "RankedList":
         """Sites ranked ``first``..``last`` inclusive (1-indexed)."""
         if first < 1 or last < first:
             raise ValueError(f"invalid rank range {first}..{last}")
-        return RankedList(self._sites[first - 1 : last])
+        return RankedList._trusted(self._sites[first - 1 : last])
 
     def filter(self, predicate) -> "RankedList":
         """A new list keeping only sites for which ``predicate`` is true.
 
         Relative order is preserved; ranks are re-assigned densely.
         """
-        return RankedList(s for s in self._sites if predicate(s))
+        return RankedList._trusted(tuple(s for s in self._sites if predicate(s)))
 
     def rename(self, mapping: Mapping[str, str]) -> "RankedList":
         """Apply a site-identifier mapping, merging collisions.
@@ -146,10 +196,14 @@ class RankedList:
     # -- comparisons -----------------------------------------------------------------
 
     def intersection(self, other: "RankedList") -> set[str]:
-        """Sites present in both lists."""
-        if len(self._ranks) > len(other._ranks):
+        """Sites present in both lists.
+
+        Uses the site *sets*, not the site → rank dicts, so lists that
+        are only ever intersected never pay for dict construction.
+        """
+        if len(self._sites) > len(other._sites):
             self, other = other, self
-        return {s for s in self._ranks if s in other._ranks}
+        return set(self.site_set & other.site_set)
 
     def percent_intersection(self, other: "RankedList") -> float:
         """|A ∩ B| / min(|A|, |B|), in [0, 1].

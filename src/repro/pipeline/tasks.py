@@ -425,7 +425,10 @@ def _endemicity(ctx: TaskContext, inputs: dict[str, object]) -> object:
     lists = ctx.primary_lists()
     if len(lists) < 2:
         raise TaskUnavailable("endemicity needs at least two countries")
-    result = score_endemicity(lists, eligible_rank=1_000, mad_threshold=3.5)
+    result = score_endemicity(
+        lists, eligible_rank=1_000, mad_threshold=3.5,
+        vocab=ctx.dataset.vocabulary(),
+    )
     fraction, population = exclusivity_fraction(lists, head_rank=1_000)
     shapes: dict[str, int] = {}
     for curve in result.curves:

@@ -12,6 +12,15 @@ from .fisher import (
     proportion_test,
 )
 from .kendall import kendall_from_lists, kendall_tau
+from .kernels import (
+    agreement_sequence_ids,
+    bucket_intersections,
+    intersection_count_ids,
+    pairwise_wrbo,
+    rank_matrix,
+    rank_pairs_ids,
+    weighted_rbo_ids,
+)
 from .outliers import OutlierResult, iqr_outliers, mad_outliers
 from .rbo import agreement_sequence, rbo, traffic_weighted_rbo, weighted_rbo
 from .silhouette import SilhouetteReport, silhouette_samples, similarity_to_distance
@@ -27,6 +36,13 @@ __all__ = [
     "SilhouetteReport",
     "affinity_propagation",
     "agreement_sequence",
+    "agreement_sequence_ids",
+    "bucket_intersections",
+    "intersection_count_ids",
+    "pairwise_wrbo",
+    "rank_matrix",
+    "rank_pairs_ids",
+    "weighted_rbo_ids",
     "bonferroni",
     "bonferroni_adjusted",
     "fisher_exact",

@@ -11,6 +11,11 @@ agreement on the sites carrying the most traffic dominates the score:
     distribution."
 
 Both variants share the *agreement* sequence A_d = |S_{1:d} ∩ T_{1:d}| / d.
+
+These scalar implementations are the *reference*: the batched analyses
+(the full wRBO matrix, the intersection curves) run through the exact
+vectorized forms in :mod:`repro.stats.kernels`, which are asserted
+bit-identical to these functions by the parity suite.
 """
 
 from __future__ import annotations

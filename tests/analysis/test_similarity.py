@@ -10,6 +10,7 @@ from repro.analysis.similarity import (
     weighted_rbo_matrix,
 )
 from repro.core import Metric, Platform, REFERENCE_MONTH
+from repro.core.errors import AnalysisError
 
 SUBSET = ("US", "GB", "CA", "AU", "NZ", "FR", "BE", "NL", "JP", "KR",
           "MX", "AR", "CL", "CO", "BR", "DZ", "MA", "TN", "EG", "TW", "HK")
@@ -39,6 +40,25 @@ class TestMatrix:
         from repro.analysis.similarity import SimilarityMatrix
         with pytest.raises(ValueError):
             SimilarityMatrix(("A", "B"), np.zeros((3, 3)))
+
+
+class TestUnknownCountryErrors:
+    """Lookups on a missing country raise AnalysisError naming it and
+    the valid choices — not a bare ValueError from ``tuple.index``."""
+
+    def test_pair(self, matrix):
+        with pytest.raises(AnalysisError, match=r"unknown country 'XX'") as exc:
+            matrix.pair("US", "XX")
+        assert "valid choices" in str(exc.value)
+        assert "GB" in str(exc.value)
+
+    def test_most_similar_to(self, matrix):
+        with pytest.raises(AnalysisError, match=r"unknown country 'ZZ'"):
+            matrix.most_similar_to("ZZ")
+
+    def test_mean_similarity(self, matrix):
+        with pytest.raises(AnalysisError, match=r"unknown country 'QQ'"):
+            matrix.mean_similarity("QQ")
 
 
 class TestGeographicStructure:
