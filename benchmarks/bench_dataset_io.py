@@ -1,0 +1,203 @@
+"""Cold-start cost of the two dataset codecs on the paper's full grid.
+
+The workload is the full breakdown grid — 45 countries × 2 platforms ×
+2 metrics × 6 months = 1,080 ranked lists — saved once under each codec
+and then *cold-loaded* in a fresh subprocess per measurement, so every
+run pays the real process-start path: open the directory, parse or map,
+and answer one lookup.  Wall time and peak RSS come from the child via
+``resource.getrusage``.
+
+What the numbers show:
+
+* **text** reads and splits every ``lists/*.txt`` file eagerly —
+  cold start is O(total sites) in both time and resident memory;
+* **columnar** reads a few-KB binary manifest and ``numpy.memmap``\\ s
+  the id array and vocabulary — cold start is O(open), and pages fault
+  in only for the lists a query actually touches.
+
+The ≥10× cold-open assertion at the bottom is the serving-layer
+contract: restarting a `repro serve` worker over a converted dataset
+must not replay the whole parse.  Results land in
+``BENCH_dataset_io.json`` for the CI artifact upload.
+"""
+
+import json
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core import (
+    Breakdown,
+    BrowsingDataset,
+    Metric,
+    Platform,
+    RankedList,
+    STUDY_MONTHS,
+    TrafficDistribution,
+)
+from repro.export.io import save_dataset
+from repro.world import COUNTRY_CODES
+
+from _bench_utils import print_comparison, write_bench_json
+
+LIST_SIZE = 2_000
+SITE_POOL = 30_000
+MIN_COLD_OPEN_SPEEDUP = 10.0
+
+#: Child process: import everything first, then time only the load and
+#: one list materialisation, and report peak RSS (kB).  Peak comes from
+#: ``/proc/self/status`` ``VmHWM`` where available — Linux carries the
+#: *parent's* high-water mark through ``fork``/``exec`` into
+#: ``ru_maxrss``, which would make both codecs report the benchmark
+#: driver's footprint.
+_CHILD = """\
+import json, resource, sys, time
+from repro.export.io import load_dataset
+
+start = time.perf_counter()
+dataset = load_dataset(sys.argv[1])
+open_seconds = time.perf_counter() - start
+
+start = time.perf_counter()
+first = min(
+    dataset.breakdowns(),
+    key=lambda b: (b.country, b.platform.value, b.metric.value, b.month),
+)
+touched = len(dataset[first])
+first_list_seconds = time.perf_counter() - start
+
+max_rss_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+try:
+    with open("/proc/self/status") as status:
+        for line in status:
+            if line.startswith("VmHWM:"):
+                max_rss_kb = int(line.split(":")[1].strip().split()[0])
+except OSError:
+    pass
+
+print(json.dumps({
+    "open_seconds": open_seconds,
+    "first_list_seconds": first_list_seconds,
+    "max_rss_kb": max_rss_kb,
+    "lists": len(dataset),
+    "touched": touched,
+    "storage": dataset.storage,
+}))
+"""
+
+
+def _grid_dataset() -> BrowsingDataset:
+    """The 45 × 2 × 2 × 6 grid with synthetic-but-realistic lists.
+
+    Lists are drawn directly (seeded) rather than through the
+    generator: this benchmark measures I/O, not scoring, and the codecs
+    only see site strings either way.
+    """
+    rng = np.random.default_rng(2022)
+    pool = np.array([f"site-{i:06d}.example" for i in range(SITE_POOL)])
+    dist = TrafficDistribution([(1, 0.17), (10, 0.4), (10_000, 0.95)])
+    lists = {}
+    for country in COUNTRY_CODES:
+        for platform in Platform.studied():
+            for metric in Metric.studied():
+                for month in STUDY_MONTHS:
+                    picks = rng.choice(SITE_POOL, size=LIST_SIZE,
+                                       replace=False)
+                    lists[Breakdown(country, platform, metric, month)] = \
+                        RankedList(pool[picks].tolist())
+    distributions = {
+        (platform, metric): dist
+        for platform in Platform.studied()
+        for metric in Metric.studied()
+    }
+    return BrowsingDataset(lists, distributions, {"seed": 2022})
+
+
+def _cold_load(root: Path) -> dict:
+    """Load ``root`` in a fresh process; returns the child's measurements."""
+    import os
+    import repro
+
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (str(Path(repro.__file__).parents[1]),
+                    env.get("PYTHONPATH")) if p
+    )
+    result = subprocess.run(
+        [sys.executable, "-c", _CHILD, str(root)],
+        capture_output=True, text=True, check=True, env=env,
+    )
+    return json.loads(result.stdout)
+
+
+def test_columnar_cold_open_speedup(benchmark, tmp_path_factory):
+    out = tmp_path_factory.mktemp("dataset_io")
+    dataset = _grid_dataset()
+    total_sites = sum(len(dataset[b]) for b in dataset.breakdowns())
+
+    start = time.perf_counter()
+    save_dataset(dataset, out / "text", format="text")
+    text_save_seconds = time.perf_counter() - start
+    start = time.perf_counter()
+    save_dataset(dataset, out / "columnar", format="columnar")
+    columnar_save_seconds = time.perf_counter() - start
+
+    text = _cold_load(out / "text")
+    columnar = _cold_load(out / "columnar")
+    assert text["storage"] == "memory" and text["lists"] == len(dataset)
+    assert columnar["storage"] == "columnar-mmap"
+    assert columnar["lists"] == len(dataset)
+    assert columnar["touched"] == LIST_SIZE
+
+    def reopen():
+        from repro.export.io import load_dataset
+
+        return load_dataset(out / "columnar")
+
+    benchmark.pedantic(reopen, rounds=3, iterations=1)
+
+    speedup = text["open_seconds"] / columnar["open_seconds"]
+    rss_ratio = text["max_rss_kb"] / columnar["max_rss_kb"]
+    print_comparison(
+        [
+            ("grid", "45x2x2x6", len(dataset), "ranked lists"),
+            ("total sites", "", total_sites, f"{LIST_SIZE} per list"),
+            ("text save s", "", round(text_save_seconds, 3), ""),
+            ("columnar save s", "", round(columnar_save_seconds, 3), ""),
+            ("text cold open s", "", round(text["open_seconds"], 3),
+             "parses every list file"),
+            ("columnar cold open s", "", round(columnar["open_seconds"], 4),
+             "manifest + mmap only"),
+            ("cold-open speedup", ">= 10x", round(speedup, 1),
+             "asserted below"),
+            ("text peak RSS MB", "", round(text["max_rss_kb"] / 1024, 1), ""),
+            ("columnar peak RSS MB", "",
+             round(columnar["max_rss_kb"] / 1024, 1), "after one list read"),
+            ("RSS ratio", "", round(rss_ratio, 1), "text / columnar"),
+        ],
+        "Dataset cold start — text vs columnar",
+    )
+    write_bench_json("dataset_io", {
+        "workload": "cold_load_full_grid",
+        "lists": len(dataset),
+        "list_size": LIST_SIZE,
+        "total_sites": total_sites,
+        "text_save_seconds": text_save_seconds,
+        "columnar_save_seconds": columnar_save_seconds,
+        "text_cold_open_seconds": text["open_seconds"],
+        "columnar_cold_open_seconds": columnar["open_seconds"],
+        "columnar_first_list_seconds": columnar["first_list_seconds"],
+        "cold_open_speedup": speedup,
+        "text_max_rss_kb": text["max_rss_kb"],
+        "columnar_max_rss_kb": columnar["max_rss_kb"],
+        "rss_ratio": rss_ratio,
+    })
+
+    assert speedup >= MIN_COLD_OPEN_SPEEDUP, (
+        f"columnar cold open only {speedup:.1f}x faster "
+        f"({text['open_seconds']:.3f}s text vs "
+        f"{columnar['open_seconds']:.4f}s columnar)"
+    )

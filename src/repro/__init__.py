@@ -6,6 +6,7 @@ The package is organised as:
 * :mod:`repro.world` — static ground truth (countries, taxonomy, sites);
 * :mod:`repro.synth` — the synthetic Chrome-telemetry substrate;
 * :mod:`repro.engine` — plan/execute generation with slice caching;
+* :mod:`repro.store` — columnar binary dataset layout, memory-mapped;
 * :mod:`repro.etld` — public-suffix handling and domain merging;
 * :mod:`repro.categories` — the simulated categorisation API + validation;
 * :mod:`repro.stats` — from-scratch statistics (RBO, AP, Fisher, ...);
@@ -48,7 +49,7 @@ from .core import (
 # ``from repro.report import render_table`` keeps working everywhere
 # while the attribute ``repro.report`` is the facade function below.
 from . import report as _report_module  # noqa: F401
-from .api import analyze, generate, load, report, serve
+from .api import analyze, convert, generate, load, report, serve
 
 __version__ = "1.1.0"
 
@@ -64,6 +65,7 @@ __all__ = [
     "TrafficDistribution",
     "__version__",
     "analyze",
+    "convert",
     "generate",
     "load",
     "report",

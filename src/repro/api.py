@@ -1,11 +1,14 @@
 """repro.api — the stable top-level facade.
 
-Five verbs cover the library's lifecycle, re-exported from
+Six verbs cover the library's lifecycle, re-exported from
 ``repro/__init__.py`` so no consumer needs a deep import:
 
 * :func:`generate` — build a dataset (optionally parallel, cached,
-  lazy, and/or saved to disk);
-* :func:`load` — read a saved dataset back;
+  lazy, and/or saved to disk in either storage format);
+* :func:`load` — read a saved dataset back (codec auto-detected; a
+  columnar directory opens memory-mapped in O(open));
+* :func:`convert` — re-encode a saved dataset between the text and
+  columnar codecs, byte-identically;
 * :func:`analyze` — run one pipeline task and return its result;
 * :func:`report` — run the full analysis DAG into a run directory;
 * :func:`serve` — stand up the HTTP serving layer over a dataset.
@@ -64,15 +67,36 @@ def _metrics(values: Iterable["Metric | str"] | None) -> tuple[Metric, ...] | No
     return tuple(Metric(v) if isinstance(v, str) else v for v in values)
 
 
-def load(data: "DatasetLike") -> "BrowsingDataset":
-    """A :class:`BrowsingDataset` from a saved directory (or passthrough)."""
+def load(data: "DatasetLike", *, format: str | None = None) -> "BrowsingDataset":
+    """A :class:`BrowsingDataset` from a saved directory (or passthrough).
+
+    The storage codec is auto-detected (``format=None``): a columnar
+    directory comes back as a memory-mapped
+    :class:`~repro.store.MappedBrowsingDataset` whose lists materialise
+    lazily, a text directory as the eager container.
+    """
     from .core.dataset import BrowsingDataset
 
     if isinstance(data, BrowsingDataset):
         return data
     from .export.io import load_dataset
 
-    return load_dataset(data)
+    return load_dataset(data, format=format)
+
+
+def convert(
+    src: str | Path, dst: str | Path, *, format: str = "columnar"
+) -> Path:
+    """Re-encode the saved dataset at ``src`` into ``dst``.
+
+    Conversion is lossless and exact: text → columnar → text files are
+    byte-identical, and :func:`repro.export.io.dataset_fingerprint` is
+    unchanged, so warm artifact stores and slice caches keyed by the
+    fingerprint remain valid for the converted copy.
+    """
+    from .export.io import convert_dataset
+
+    return convert_dataset(src, dst, format=format)
 
 
 def generate(
@@ -89,6 +113,7 @@ def generate(
     cache: "SliceCache | str | Path | None" = None,
     lazy: bool = False,
     out: str | Path | None = None,
+    format: str = "text",
     trace: str | Path | None = None,
 ) -> "BrowsingDataset":
     """Build a synthetic dataset through the generation engine.
@@ -99,8 +124,9 @@ def generate(
     content-addressed slice cache; ``lazy=True`` returns a
     :class:`~repro.engine.LazyBrowsingDataset` whose slices materialise
     on first access (incompatible with ``out``); ``out`` saves the
-    dataset before returning it; ``trace`` writes a JSONL span trace of
-    the run (see :mod:`repro.obs`).
+    dataset before returning it, encoded by ``format`` (``"text"`` or
+    ``"columnar"``); ``trace`` writes a JSONL span trace of the run
+    (see :mod:`repro.obs`).
     """
     from .core.types import REFERENCE_MONTH, STUDY_MONTHS
     from .engine.engine import GenerationEngine
@@ -133,7 +159,7 @@ def generate(
         if out is not None:
             from .export.io import save_dataset
 
-            save_dataset(dataset, out)
+            save_dataset(dataset, out, format=format)
     return dataset
 
 
@@ -294,4 +320,4 @@ def serve(
     return None
 
 
-__all__ = ["analyze", "generate", "load", "report", "serve"]
+__all__ = ["analyze", "convert", "generate", "load", "report", "serve"]

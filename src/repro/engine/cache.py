@@ -2,16 +2,23 @@
 
 Layout::
 
-    <root>/<fingerprint>/<country>_<platform>_<metric>_<YYYY-MM>.txt
+    <root>/<fingerprint>/<country>_<platform>_<metric>_<YYYY-MM>.txt   # text
+    <root>/<fingerprint>/<country>_<platform>_<metric>_<YYYY-MM>.slc   # columnar
 
 The fingerprint directory is :meth:`GeneratorConfig.fingerprint` — a
 hash of every generation knob including the universe and privacy
 configs — so a hit is guaranteed byte-identical to regeneration and two
-different configurations can never collide.  List files reuse the
+different configurations can never collide.  The cache speaks both
+slice codecs: ``codec="text"`` (the default) writes the
 :mod:`repro.export.io` text format (one site per line, rank order), so
-a cache stays greppable and can be inspected or diffed with standard
-tools.  A warm cache serves slices without constructing a generator at
-all, skipping both scoring and the ~25 s full-scale universe build.
+a cache stays greppable and diffable with standard tools;
+``codec="columnar"`` writes the binary slice files of
+:mod:`repro.store.slicefile`, which carry an explicit count (truncation
+is detected, not silently served) and skip line splitting on read.
+Reads always try both extensions, so a cache directory can be shared by
+engines configured either way.  A warm cache serves slices without
+constructing a generator at all, skipping both scoring and the ~25 s
+full-scale universe build.
 """
 
 from __future__ import annotations
@@ -21,6 +28,7 @@ import tempfile
 from dataclasses import dataclass
 from pathlib import Path
 
+from ..core.errors import DatasetError
 from ..core.rankedlist import RankedList
 from ..core.types import Breakdown
 from ..export.io import breakdown_slug
@@ -41,30 +49,68 @@ class CacheStats:
 class SliceCache:
     """A content-addressed slice store under a configurable directory."""
 
-    def __init__(self, root: str | Path) -> None:
+    _SUFFIXES = (".txt", ".slc")
+
+    def __init__(self, root: str | Path, *, codec: str = "text") -> None:
+        if codec not in ("text", "columnar"):
+            raise DatasetError(
+                f"unknown slice-cache codec {codec!r}; "
+                "choose 'text' or 'columnar'"
+            )
         self.root = Path(root)
+        self.codec = codec
         self.stats = CacheStats()
 
     def dir_for(self, fingerprint: str) -> Path:
         return self.root / fingerprint
 
     def path_for(self, fingerprint: str, breakdown: Breakdown) -> Path:
-        return self.dir_for(fingerprint) / f"{breakdown_slug(breakdown)}.txt"
+        """Where :meth:`put` writes this slice under the configured codec."""
+        suffix = ".slc" if self.codec == "columnar" else ".txt"
+        return self.dir_for(fingerprint) / f"{breakdown_slug(breakdown)}{suffix}"
+
+    def _candidates(self, fingerprint: str, breakdown: Breakdown) -> tuple[Path, ...]:
+        """Read candidates, configured codec's extension first."""
+        base = self.dir_for(fingerprint) / breakdown_slug(breakdown)
+        first = self.path_for(fingerprint, breakdown)
+        return tuple(
+            dict.fromkeys(
+                (first, *(base.with_suffix(s) for s in self._SUFFIXES))
+            )
+        )
 
     def get(self, fingerprint: str, breakdown: Breakdown) -> RankedList | None:
-        """The cached slice, or ``None`` on a miss."""
-        path = self.path_for(fingerprint, breakdown)
-        try:
-            text = path.read_text(encoding="utf-8")
-        except OSError:
-            self.stats.misses += 1
-            return None
-        self.stats.hits += 1
-        return RankedList(line for line in text.splitlines() if line)
+        """The cached slice, or ``None`` on a miss (either codec)."""
+        for path in self._candidates(fingerprint, breakdown):
+            if path.suffix == ".slc":
+                from ..store.slicefile import read_slice
+
+                try:
+                    ranked = read_slice(path)
+                except OSError:
+                    continue
+            else:
+                try:
+                    text = path.read_text(encoding="utf-8")
+                except OSError:
+                    continue
+                ranked = RankedList(
+                    line for line in text.splitlines() if line
+                )
+            self.stats.hits += 1
+            return ranked
+        self.stats.misses += 1
+        return None
 
     def put(self, fingerprint: str, breakdown: Breakdown, ranked: RankedList) -> Path:
         """Store one slice; the write is atomic (tmp file + rename)."""
         path = self.path_for(fingerprint, breakdown)
+        if self.codec == "columnar":
+            from ..store.slicefile import write_slice
+
+            write_slice(path, ranked)
+            self.stats.writes += 1
+            return path
         path.parent.mkdir(parents=True, exist_ok=True)
         payload = "\n".join(ranked.sites) + "\n"
         fd, tmp_name = tempfile.mkstemp(
@@ -85,7 +131,13 @@ class SliceCache:
 
     def __contains__(self, key: tuple[str, Breakdown]) -> bool:
         fingerprint, breakdown = key
-        return self.path_for(fingerprint, breakdown).is_file()
+        return any(
+            path.is_file()
+            for path in self._candidates(fingerprint, breakdown)
+        )
 
     def __repr__(self) -> str:
-        return f"SliceCache({str(self.root)!r}, {self.stats})"
+        return (
+            f"SliceCache({str(self.root)!r}, codec={self.codec!r}, "
+            f"{self.stats})"
+        )

@@ -8,100 +8,39 @@ full-grid fixture.  :class:`LazyBrowsingDataset` keeps the full key set
 container) but defers list generation to the engine until a slice is
 actually read; with a warm slice cache behind the engine, a fixture
 declared over the whole grid costs nothing until used.
+
+The deferred-materialisation machinery (pending set, thread-safe
+``materialize``, value-path overrides) lives in
+:class:`repro.core.dataset.DeferredBrowsingDataset`, shared with the
+columnar store's memory-mapped dataset; this subclass only wires the
+production hook to the generation engine.
 """
 
 from __future__ import annotations
 
-import threading
-from typing import Callable, Iterable
+from typing import Mapping
 
-from ..core.dataset import BrowsingDataset
+from ..core.dataset import DeferredBrowsingDataset
 from ..core.rankedlist import RankedList
-from ..core.types import Breakdown, Metric, Month, Platform
+from ..core.types import Breakdown
 from ..synth.traffic import global_distributions
 from .plan import SlicePlan
 
 
-class LazyBrowsingDataset(BrowsingDataset):
+class LazyBrowsingDataset(DeferredBrowsingDataset):
     """Same contract as :class:`BrowsingDataset`; slices appear on demand."""
+
+    storage = "engine"
 
     def __init__(self, engine, plan: SlicePlan) -> None:
         self._engine = engine
-        # Serving reads a lazy dataset from many threads; materialize
-        # mutates _pending/_lists, so it runs under this lock.
-        self._materialize_lock = threading.Lock()
-        self._pending: set[Breakdown] = set(plan.breakdowns())
-        # Placeholder values: the base initialiser only reads keys, and
-        # every value-reading path below materialises first.
         super().__init__(
-            dict.fromkeys(plan.breakdowns()),
+            plan.breakdowns(),
             global_distributions(),
             engine.metadata(),
         )
 
-    @property
-    def pending(self) -> int:
-        """How many slices have not been generated yet."""
-        return len(self._pending)
-
-    def materialize(self, breakdowns: Iterable[Breakdown] | None = None) -> None:
-        """Generate the requested (default: all) still-pending slices.
-
-        Thread-safe: concurrent readers (e.g. server threads) serialize
-        here, and a slice is generated at most once.
-        """
-        wanted_input = None if breakdowns is None else set(breakdowns)
-        with self._materialize_lock:
-            wanted = self._pending if wanted_input is None else (
-                wanted_input & self._pending
-            )
-            if not wanted:
-                return
-            produced = self._engine.run(SlicePlan.from_breakdowns(wanted))
-            self._lists.update(produced)
-            self._pending -= set(produced)
-
-    # -- value-reading paths ------------------------------------------------------
-
-    def __getitem__(self, breakdown: Breakdown) -> RankedList:
-        if breakdown in self._pending:
-            self.materialize((breakdown,))
-        return super().__getitem__(breakdown)
-
-    def get_or_none(
-        self, country: str, platform: Platform, metric: Metric, month: Month
-    ) -> RankedList | None:
-        breakdown = Breakdown(country, platform, metric, month)
-        if breakdown not in self._lists:
-            return None
-        return self[breakdown]
-
-    def select(
-        self,
-        platform: Platform,
-        metric: Metric,
-        month: Month,
-        countries: Iterable[str] | None = None,
-    ) -> dict[str, RankedList]:
-        wanted = tuple(countries) if countries is not None else self.countries
-        self.materialize(
-            Breakdown(country, platform, metric, month) for country in wanted
-        )
-        return super().select(platform, metric, month, countries)
-
-    def filter(
-        self, predicate: Callable[[Breakdown], bool]
-    ) -> BrowsingDataset:
-        self.materialize(b for b in self._lists if predicate(b))
-        return super().filter(predicate)
-
-    def map_lists(
-        self, transform: Callable[[Breakdown, RankedList], RankedList]
-    ) -> BrowsingDataset:
-        self.materialize()
-        return super().map_lists(transform)
-
-    def __repr__(self) -> str:
-        return super().__repr__().replace(
-            "BrowsingDataset(", f"LazyBrowsingDataset(pending={self.pending}, ", 1
-        )
+    def _produce(
+        self, breakdowns: set[Breakdown]
+    ) -> Mapping[Breakdown, RankedList]:
+        return self._engine.run(SlicePlan.from_breakdowns(breakdowns))

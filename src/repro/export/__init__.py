@@ -8,17 +8,32 @@ from .crux import (
     export_crux,
     global_ranking,
 )
-from .io import breakdown_slug, dataset_fingerprint, load_dataset, save_dataset
+from .io import (
+    DatasetCodec,
+    available_formats,
+    breakdown_slug,
+    convert_dataset,
+    dataset_fingerprint,
+    detect_format,
+    load_dataset,
+    register_codec,
+    save_dataset,
+)
 
 __all__ = [
     "CRUX_BUCKETS",
     "CruxExport",
+    "DatasetCodec",
+    "available_formats",
     "breakdown_slug",
     "bucket_of",
     "coarsen_list",
+    "convert_dataset",
     "dataset_fingerprint",
+    "detect_format",
     "export_crux",
     "global_ranking",
     "load_dataset",
+    "register_codec",
     "save_dataset",
 ]

@@ -1,13 +1,30 @@
-"""Dataset persistence: save/load a BrowsingDataset as plain files.
+"""Dataset persistence: the codec registry plus the text codec.
 
-Layout::
+A saved dataset is a directory; *how* the directory encodes the lists
+is a **codec**:
 
-    <root>/manifest.json            # breakdown index + distributions
-    <root>/lists/<country>_<platform>_<metric>_<YYYY-MM>.txt
-                                    # one site per line, rank order
+``text``      the original greppable layout — ``manifest.json`` plus
+              one ``lists/<slug>.txt`` file per breakdown (one site per
+              line, rank order).  Deliberately boring so exports can be
+              consumed without this library; the export/debug codec.
+``columnar``  the binary layout of :mod:`repro.store` — ``manifest.bin``,
+              a packed vocabulary string table (``vocab.bin``) and one
+              contiguous ``int32`` id array (``lists.bin``) that
+              :func:`load_dataset` memory-maps, so cold start is
+              O(open) and processes share pages.
 
-The format is deliberately boring — greppable text files and one JSON
-manifest — so exported datasets can be consumed without this library.
+:func:`save_dataset` takes ``format=``; :func:`load_dataset`
+auto-detects from the files present (a ``manifest.bin`` wins over a
+``manifest.json`` when both exist).  The two codecs round-trip exactly:
+text → columnar → text is byte-identical, and
+:func:`dataset_fingerprint` agrees across codecs, so artifact stores
+and slice caches keyed by the fingerprint stay valid across a convert.
+
+Saves are crash-safe under both codecs: every file is written to a
+temp sibling and ``os.replace``\\ d into place, with the manifest
+written last, so an interrupted save never leaves a manifest naming
+files that are absent or torn.
+
 The manifest's ``metadata`` object carries the generator provenance;
 datasets produced by the generation engine include a ``fingerprint``
 key there — the :meth:`GeneratorConfig.fingerprint` content address of
@@ -24,8 +41,11 @@ from __future__ import annotations
 
 import hashlib
 import json
+import os
+import tempfile
+from dataclasses import dataclass
 from pathlib import Path
-from typing import Mapping
+from typing import Callable, Mapping
 
 from ..core.dataset import BrowsingDataset
 from ..core.distribution import TrafficDistribution
@@ -33,7 +53,7 @@ from ..core.errors import DatasetError
 from ..core.rankedlist import RankedList
 from ..core.types import Breakdown, Metric, Month, Platform
 
-_FORMAT_VERSION = 1
+TEXT_FORMAT_VERSION = 1
 
 
 def breakdown_slug(breakdown: Breakdown) -> str:
@@ -68,22 +88,70 @@ def _jsonable_metadata(metadata: Mapping[str, object]) -> dict[str, object]:
     return out
 
 
+def sorted_breakdowns(dataset: BrowsingDataset) -> list[Breakdown]:
+    """The canonical save order every codec writes breakdowns in."""
+    return sorted(
+        dataset.breakdowns(),
+        key=lambda b: (b.country, b.platform.value, b.metric.value, b.month),
+    )
+
+
+def distribution_entries(dataset: BrowsingDataset) -> list[dict]:
+    """The canonical manifest rows for the distribution curves."""
+    return [
+        {
+            "platform": platform.value,
+            "metric": metric.value,
+            **dist.to_dict(),
+        }
+        for (platform, metric), dist in sorted(
+            dataset.distributions().items(),
+            key=lambda kv: (kv[0][0].value, kv[0][1].value),
+        )
+    ]
+
+
+def parse_distribution_entries(
+    entries: list[dict],
+) -> dict[tuple[Platform, Metric], TrafficDistribution]:
+    return {
+        (Platform(entry["platform"]), Metric(entry["metric"])):
+            TrafficDistribution.from_dict(entry)
+        for entry in entries
+    }
+
+
+def parse_breakdown_entry(entry: Mapping[str, object]) -> Breakdown:
+    return Breakdown(
+        entry["country"],
+        Platform(entry["platform"]),
+        Metric(entry["metric"]),
+        Month(*entry["month"]),
+    )
+
+
 def dataset_fingerprint(dataset: BrowsingDataset) -> str:
     """The content address identifying this dataset's exact lists.
 
     Datasets produced by the generation engine carry the generator's
     ``fingerprint`` in their metadata, and save/load round-trips it, so
-    the recorded value is authoritative when present.  For datasets
-    from other sources (hand-built fixtures, external imports) the
-    fingerprint is a SHA-256 over every breakdown slug and its sites in
-    canonical order — still a pure function of the content, just paid
-    per call instead of read from provenance.
+    the recorded value is authoritative when present.  Columnar
+    datasets additionally record the computed content fingerprint in
+    their binary manifest
+    (:attr:`~repro.store.MappedBrowsingDataset.content_fingerprint`),
+    so an unprovenanced import still resolves without touching a single
+    list page.  Only when neither record exists is the fingerprint a
+    SHA-256 over every breakdown slug and its sites in canonical
+    order — still a pure function of the content, just paid per call.
     """
     recorded = dataset.metadata.get("fingerprint")
     if isinstance(recorded, str) and recorded:
         return recorded
+    recorded = getattr(dataset, "content_fingerprint", None)
+    if isinstance(recorded, str) and recorded:
+        return recorded
     digest = hashlib.sha256()
-    for breakdown in sorted(dataset.breakdowns()):
+    for breakdown in sorted_breakdowns(dataset):
         digest.update(breakdown_slug(breakdown).encode("utf-8"))
         digest.update(b"\x00")
         for site in dataset[breakdown].sites:
@@ -92,20 +160,145 @@ def dataset_fingerprint(dataset: BrowsingDataset) -> str:
     return digest.hexdigest()[:16]
 
 
-def save_dataset(dataset: BrowsingDataset, root: str | Path) -> Path:
-    """Write a dataset to ``root`` (created if needed); returns the path."""
+# -- codec registry -----------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class DatasetCodec:
+    """One on-disk dataset encoding: how to save, load and recognise it."""
+
+    name: str
+    save: Callable[[BrowsingDataset, Path], Path]
+    load: Callable[[Path], BrowsingDataset]
+    detect: Callable[[Path], bool]
+
+
+_CODECS: dict[str, DatasetCodec] = {}
+
+#: Detection order: binary manifests win when a directory carries both.
+_DETECT_ORDER = ("columnar", "text")
+
+
+def register_codec(codec: DatasetCodec) -> DatasetCodec:
+    """Add (or replace) a codec under its name; returns it for chaining."""
+    _CODECS[codec.name] = codec
+    return codec
+
+
+def _ensure_codecs() -> None:
+    """Import-time registration of the built-in non-text codecs.
+
+    The columnar codec lives in :mod:`repro.store`, which imports this
+    module for the shared manifest helpers — so the registry pulls it
+    in lazily rather than at import time.
+    """
+    if "columnar" not in _CODECS:
+        from .. import store  # noqa: F401  (registers "columnar")
+
+
+def codec_for(name: str) -> DatasetCodec:
+    """The registered codec called ``name``; raises with valid choices."""
+    _ensure_codecs()
+    try:
+        return _CODECS[name]
+    except KeyError:
+        choices = ", ".join(sorted(_CODECS))
+        raise DatasetError(
+            f"unknown dataset format {name!r}; choose one of: {choices}"
+        ) from None
+
+
+def available_formats() -> tuple[str, ...]:
+    """Names of every registered codec, sorted."""
+    _ensure_codecs()
+    return tuple(sorted(_CODECS))
+
+
+def detect_format(root: str | Path) -> str | None:
+    """The codec whose files are present under ``root`` (or ``None``)."""
+    _ensure_codecs()
     root = Path(root)
+    for name in _DETECT_ORDER:
+        codec = _CODECS.get(name)
+        if codec is not None and codec.detect(root):
+            return name
+    for name, codec in sorted(_CODECS.items()):
+        if name not in _DETECT_ORDER and codec.detect(root):
+            return name
+    return None
+
+
+def save_dataset(
+    dataset: BrowsingDataset, root: str | Path, *, format: str = "text"
+) -> Path:
+    """Write a dataset to ``root`` (created if needed); returns the path."""
+    return codec_for(format).save(dataset, Path(root))
+
+
+def load_dataset(root: str | Path, *, format: str | None = None) -> BrowsingDataset:
+    """Load a dataset previously written by :func:`save_dataset`.
+
+    With ``format=None`` (the default) the codec is auto-detected from
+    the files present; pass a name to force one.
+    """
+    root = Path(root)
+    if format is None:
+        format = detect_format(root)
+        if format is None:
+            raise DatasetError(
+                f"no dataset under {root}: neither manifest.bin (columnar) "
+                "nor manifest.json (text) is present"
+            )
+    return codec_for(format).load(root)
+
+
+def convert_dataset(
+    src: str | Path, dst: str | Path, *, format: str = "columnar"
+) -> Path:
+    """Re-encode the dataset at ``src`` into ``dst`` under ``format``.
+
+    Round-trips are exact: converting text → columnar → text yields
+    byte-identical files, and the dataset fingerprint (hence every
+    artifact-store and slice-cache address) is unchanged.
+    """
+    src, dst = Path(src), Path(dst)
+    if dst.resolve() == src.resolve():
+        raise DatasetError(
+            "convert requires a destination different from the source "
+            f"({src})"
+        )
+    return save_dataset(load_dataset(src), dst, format=format)
+
+
+# -- the text codec -----------------------------------------------------------------
+
+
+def _atomic_write_text(path: Path, text: str) -> None:
+    """Crash-safe text write: temp sibling + ``os.replace``."""
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(prefix=f".{path.name}.", dir=path.parent)
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+
+
+def _save_text(dataset: BrowsingDataset, root: Path) -> Path:
     lists_dir = root / "lists"
-    lists_dir.mkdir(parents=True, exist_ok=True)
 
     breakdowns = []
-    for breakdown in sorted(
-        dataset.breakdowns(),
-        key=lambda b: (b.country, b.platform.value, b.metric.value, b.month),
-    ):
+    for breakdown in sorted_breakdowns(dataset):
         slug = breakdown_slug(breakdown)
-        path = lists_dir / f"{slug}.txt"
-        path.write_text("\n".join(dataset[breakdown].sites) + "\n", encoding="utf-8")
+        _atomic_write_text(
+            lists_dir / f"{slug}.txt",
+            "\n".join(dataset[breakdown].sites) + "\n",
+        )
         breakdowns.append(
             {
                 "country": breakdown.country,
@@ -117,56 +310,68 @@ def save_dataset(dataset: BrowsingDataset, root: str | Path) -> Path:
         )
 
     manifest = {
-        "format_version": _FORMAT_VERSION,
+        "format_version": TEXT_FORMAT_VERSION,
         "metadata": _jsonable_metadata(dataset.metadata),
         "breakdowns": breakdowns,
-        "distributions": [
-            {
-                "platform": platform.value,
-                "metric": metric.value,
-                **dist.to_dict(),
-            }
-            for (platform, metric), dist in sorted(
-                dataset.distributions().items(),
-                key=lambda kv: (kv[0][0].value, kv[0][1].value),
-            )
-        ],
+        "distributions": distribution_entries(dataset),
     }
-    (root / "manifest.json").write_text(
-        json.dumps(manifest, indent=2), encoding="utf-8"
-    )
+    # The manifest goes last: a torn save leaves stray list files at
+    # worst, never a manifest naming files that are absent or short.
+    _atomic_write_text(root / "manifest.json", json.dumps(manifest, indent=2))
     return root
 
 
-def load_dataset(root: str | Path) -> BrowsingDataset:
-    """Load a dataset previously written by :func:`save_dataset`."""
-    root = Path(root)
+def _load_text(root: Path) -> BrowsingDataset:
     manifest_path = root / "manifest.json"
     if not manifest_path.is_file():
         raise DatasetError(f"no manifest.json under {root}")
     manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
-    if manifest.get("format_version") != _FORMAT_VERSION:
+    if manifest.get("format_version") != TEXT_FORMAT_VERSION:
         raise DatasetError(
             f"unsupported format version {manifest.get('format_version')!r}"
         )
 
     lists: dict[Breakdown, RankedList] = {}
     for entry in manifest["breakdowns"]:
-        breakdown = Breakdown(
-            entry["country"],
-            Platform(entry["platform"]),
-            Metric(entry["metric"]),
-            Month(*entry["month"]),
-        )
+        breakdown = parse_breakdown_entry(entry)
+        if breakdown in lists:
+            raise DatasetError(
+                f"{manifest_path}: duplicate manifest entry for {breakdown}"
+            )
         path = root / entry["file"]
-        sites = [
-            line for line in path.read_text(encoding="utf-8").splitlines() if line
-        ]
-        lists[breakdown] = RankedList(sites)
+        try:
+            text = path.read_text(encoding="utf-8")
+        except FileNotFoundError:
+            raise DatasetError(
+                f"dataset at {root} is torn: manifest names "
+                f"{entry['file']} for {breakdown}, but the file is absent"
+            ) from None
+        lists[breakdown] = RankedList(
+            line for line in text.splitlines() if line
+        )
 
-    distributions = {
-        (Platform(entry["platform"]), Metric(entry["metric"])):
-            TrafficDistribution.from_dict(entry)
-        for entry in manifest["distributions"]
-    }
+    distributions = parse_distribution_entries(manifest["distributions"])
     return BrowsingDataset(lists, distributions, manifest.get("metadata", {}))
+
+
+register_codec(
+    DatasetCodec(
+        name="text",
+        save=_save_text,
+        load=_load_text,
+        detect=lambda root: (root / "manifest.json").is_file(),
+    )
+)
+
+
+def __getattr__(name: str):  # pragma: no cover - compat shim
+    if name == "_FORMAT_VERSION":
+        from .._compat import warn_once
+
+        warn_once(
+            ("repro.export.io", "_FORMAT_VERSION"),
+            "repro.export.io._FORMAT_VERSION is deprecated; "
+            "use TEXT_FORMAT_VERSION",
+        )
+        return TEXT_FORMAT_VERSION
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

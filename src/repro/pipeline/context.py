@@ -44,7 +44,14 @@ class TaskContext:
 
     @property
     def fingerprint(self) -> str:
-        """The dataset half of every artifact address."""
+        """The dataset half of every artifact address.
+
+        Engine-provenanced datasets answer from their recorded metadata
+        fingerprint, and memory-mapped columnar datasets from the
+        fingerprint in their binary manifest — neither path hashes a
+        single list, so addressing a warm artifact store stays O(1)
+        even against a cold mmap.
+        """
         if self._fingerprint is None:
             from ..export.io import dataset_fingerprint
 
@@ -86,14 +93,21 @@ class TaskContext:
 
         Ground-truth tasks restrict their artifacts to this union so a
         full-scale label map stores ~the dataset's vocabulary, not the
-        whole 1.1M-site universe.
+        whole 1.1M-site universe.  Columnar datasets answer from their
+        packed string table in one bulk decode
+        (:meth:`~repro.store.MappedBrowsingDataset.all_sites`) instead
+        of materialising every list.
         """
         with self._lock:
             if self._sites is None:
-                union: set[str] = set()
-                for breakdown in self.dataset.breakdowns():
-                    union.update(self.dataset[breakdown].sites)
-                self._sites = frozenset(union)
+                all_sites = getattr(self.dataset, "all_sites", None)
+                if all_sites is not None:
+                    self._sites = frozenset(all_sites())
+                else:
+                    union: set[str] = set()
+                    for breakdown in self.dataset.breakdowns():
+                        union.update(self.dataset[breakdown].sites)
+                    self._sites = frozenset(union)
             return self._sites
 
     @property

@@ -1,9 +1,12 @@
 """The query service: every read path of the serving layer.
 
-:class:`QueryService` wraps a loaded :class:`BrowsingDataset` (eager or
-:class:`~repro.engine.lazy.LazyBrowsingDataset` — slices materialise on
-first query) plus the reproduction pipeline, and answers four families
-of queries:
+:class:`QueryService` wraps a loaded :class:`BrowsingDataset` (eager,
+:class:`~repro.engine.lazy.LazyBrowsingDataset`, or a memory-mapped
+:class:`~repro.store.MappedBrowsingDataset` — ``repro serve`` over a
+columnar directory opens the dataset read-only via mmap, so N worker
+processes share one physical copy of the pages and cold start never
+parses a list) plus the reproduction pipeline, and answers four
+families of queries:
 
 * **rankings** — the top of one (country, platform, metric, month) list;
 * **site** — one site's rank across every country of a slice;
@@ -405,6 +408,7 @@ class QueryService:
         payload: dict[str, object] = {
             "status": "ok",
             "version": __version__,
+            "storage": self.dataset.storage,
             "fingerprint": self.ctx.fingerprint,
             "countries": len(self.dataset.countries),
             "platforms": [p.value for p in self.dataset.platforms],

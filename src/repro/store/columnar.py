@@ -1,0 +1,188 @@
+"""The columnar dataset codec: save eagerly, open memory-mapped.
+
+Directory layout (see :mod:`repro.store.format` for byte layouts)::
+
+    <root>/manifest.bin     # binary manifest: breakdown index, metadata,
+                            # distribution vectors, content fingerprints
+    <root>/vocab.bin        # packed string table: site id -> UTF-8 name
+    <root>/lists.bin        # one contiguous int32 id array; each
+                            # breakdown owns an (offset, length) window
+
+Saving interns every list through one fresh
+:class:`~repro.core.vocab.SiteVocabulary` (first-seen order over the
+canonical breakdown sort), concatenates the id arrays, and records each
+breakdown's window in the manifest together with per-file SHA-256
+fingerprints and the dataset fingerprint.  Every file is written to a
+temp sibling and ``os.replace``\\ d, manifest last — an interrupted
+save never leaves a manifest naming torn files.
+
+Opening is O(open): read the manifest, validate the index, and
+``numpy.memmap`` the two data files.  No list page is touched until a
+breakdown is actually read (:class:`repro.store.MappedBrowsingDataset`
+materialises lazily).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from ..core.dataset import BrowsingDataset
+from ..core.errors import DatasetError
+from ..core.types import Breakdown
+from ..core.vocab import SiteVocabulary
+from ..export.io import (
+    DatasetCodec,
+    _jsonable_metadata,
+    breakdown_slug,
+    dataset_fingerprint,
+    distribution_entries,
+    parse_breakdown_entry,
+    parse_distribution_entries,
+    register_codec,
+    sorted_breakdowns,
+)
+from .format import (
+    COLUMNAR_VERSION,
+    atomic_write_bytes,
+    file_fingerprint,
+    map_id_array,
+    pack_id_array,
+    pack_manifest,
+    pack_string_table,
+    unpack_manifest,
+)
+from .mapped import MappedBrowsingDataset, MappedStringTable
+
+#: The file whose presence marks a columnar dataset directory.
+MANIFEST_NAME = "manifest.bin"
+VOCAB_NAME = "vocab.bin"
+LISTS_NAME = "lists.bin"
+
+
+def write_columnar(dataset: BrowsingDataset, root: str | Path) -> Path:
+    """Write ``dataset`` to ``root`` in the columnar layout."""
+    root = Path(root)
+    vocab = SiteVocabulary()
+    chunks: list[np.ndarray] = []
+    entries: list[dict] = []
+    offset = 0
+    for breakdown in sorted_breakdowns(dataset):
+        ids = vocab.intern_many(dataset[breakdown].sites)
+        chunks.append(ids)
+        entries.append(
+            {
+                "country": breakdown.country,
+                "platform": breakdown.platform.value,
+                "metric": breakdown.metric.value,
+                "month": [breakdown.month.year, breakdown.month.month],
+                "offset": offset,
+                "length": int(ids.size),
+            }
+        )
+        offset += int(ids.size)
+
+    all_ids = (
+        np.concatenate(chunks) if chunks else np.empty(0, dtype=np.int32)
+    )
+    vocab_bytes = pack_string_table(vocab.names())
+    lists_bytes = pack_id_array(all_ids)
+
+    manifest = {
+        "format_version": COLUMNAR_VERSION,
+        "metadata": _jsonable_metadata(dataset.metadata),
+        "dataset_fingerprint": dataset_fingerprint(dataset),
+        "breakdowns": entries,
+        "distributions": distribution_entries(dataset),
+        "files": {
+            VOCAB_NAME: {
+                "bytes": len(vocab_bytes),
+                "sha256": file_fingerprint(vocab_bytes),
+                "entries": len(vocab),
+            },
+            LISTS_NAME: {
+                "bytes": len(lists_bytes),
+                "sha256": file_fingerprint(lists_bytes),
+                "entries": int(all_ids.size),
+            },
+        },
+    }
+    atomic_write_bytes(root / VOCAB_NAME, vocab_bytes)
+    atomic_write_bytes(root / LISTS_NAME, lists_bytes)
+    # Manifest last: loaders start here, so a torn save is invisible.
+    atomic_write_bytes(root / MANIFEST_NAME, pack_manifest(manifest))
+    return root
+
+
+def open_columnar(root: str | Path) -> MappedBrowsingDataset:
+    """Memory-map the columnar dataset at ``root``; O(open), no list reads."""
+    root = Path(root)
+    manifest_path = root / MANIFEST_NAME
+    try:
+        manifest = unpack_manifest(manifest_path.read_bytes(), manifest_path)
+    except FileNotFoundError:
+        raise DatasetError(f"no {MANIFEST_NAME} under {root}") from None
+    if manifest.get("format_version") != COLUMNAR_VERSION:
+        raise DatasetError(
+            f"{manifest_path}: unsupported columnar format version "
+            f"{manifest.get('format_version')!r}"
+        )
+
+    lists_path = root / LISTS_NAME
+    try:
+        ids = map_id_array(lists_path)
+    except FileNotFoundError:
+        raise DatasetError(
+            f"columnar dataset at {root} is torn: the manifest references "
+            f"{LISTS_NAME}, but the file is absent"
+        ) from None
+    table = MappedStringTable(root / VOCAB_NAME)
+
+    windows: dict[Breakdown, tuple[int, int]] = {}
+    for entry in manifest.get("breakdowns", ()):
+        try:
+            breakdown = parse_breakdown_entry(entry)
+            offset = int(entry["offset"])
+            length = int(entry["length"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise DatasetError(
+                f"{manifest_path}: malformed breakdown entry {entry!r}: {exc}"
+            ) from exc
+        if breakdown in windows:
+            raise DatasetError(
+                f"{manifest_path}: duplicate manifest entry for {breakdown}"
+            )
+        if offset < 0 or length < 0 or offset + length > ids.size:
+            raise DatasetError(
+                f"{root}: short {LISTS_NAME} — manifest window for "
+                f"{breakdown_slug(breakdown)} spans ids "
+                f"[{offset}, {offset + length}) but the file holds "
+                f"{ids.size}"
+            )
+        windows[breakdown] = (offset, length)
+
+    fingerprint = manifest.get("dataset_fingerprint")
+    return MappedBrowsingDataset(
+        root,
+        windows=windows,
+        ids=ids,
+        table=table,
+        distributions=parse_distribution_entries(
+            manifest.get("distributions", [])
+        ),
+        metadata=manifest.get("metadata", {}),
+        content_fingerprint=(
+            fingerprint if isinstance(fingerprint, str) else None
+        ),
+    )
+
+
+COLUMNAR_CODEC = register_codec(
+    DatasetCodec(
+        name="columnar",
+        save=write_columnar,
+        load=open_columnar,
+        detect=lambda root: (root / MANIFEST_NAME).is_file(),
+    )
+)

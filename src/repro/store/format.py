@@ -1,0 +1,191 @@
+"""Binary layout primitives for the columnar dataset store.
+
+Every file the store writes starts with one fixed 24-byte header::
+
+    magic      8 bytes   file kind (``RPROVOC1`` / ``RPROIDS1`` / ...)
+    version    uint32    layout version of that file kind
+    reserved   uint32    zero today; room for flags
+    count      uint64    kind-specific element count (see each writer)
+
+All integers are little-endian.  The three file kinds:
+
+``vocab.bin``   packed string table — header (count = number of names),
+                ``int64 offsets[count + 1]`` of byte positions into the
+                blob (``offsets[0] == 0``), then the UTF-8 blob itself.
+                Name *i* is ``blob[offsets[i]:offsets[i + 1]]``; the
+                index into the table *is* the site id.
+``lists.bin``   one contiguous ``int32`` id array — header (count =
+                total ids across every ranked list), then the ids.  The
+                manifest records each breakdown's ``(offset, length)``
+                window into this array.
+``manifest.bin`` binary manifest — header (count = payload byte
+                length), then an order-preserving UTF-8 JSON payload
+                carrying the breakdown index, dataset metadata,
+                distribution vectors and per-file content fingerprints.
+
+The same string-table packing, under a fourth magic, backs the slice
+cache's per-slice binary files (:mod:`repro.store.slicefile`).
+
+Writes are crash-safe: :func:`atomic_write_bytes` writes a temp sibling
+and ``os.replace``\\ s it into place, so an interrupted save never
+leaves a torn file under the final name.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import struct
+import tempfile
+from pathlib import Path
+from typing import Sequence
+
+import numpy as np
+
+from ..core.errors import DatasetError
+
+#: Bump when any file layout changes incompatibly.
+COLUMNAR_VERSION = 1
+
+MAGIC_VOCAB = b"RPROVOC1"
+MAGIC_LISTS = b"RPROIDS1"
+MAGIC_MANIFEST = b"RPROMAN1"
+MAGIC_SLICE = b"RPROSLC1"
+
+_HEADER = struct.Struct("<8sIIQ")
+#: Fixed size of every file header, in bytes.
+HEADER_SIZE = _HEADER.size
+
+
+def pack_header(magic: bytes, count: int, version: int = COLUMNAR_VERSION) -> bytes:
+    return _HEADER.pack(magic, version, 0, count)
+
+
+def read_header(data: bytes, magic: bytes, path: Path) -> int:
+    """Validate a file header; returns its element count."""
+    if len(data) < HEADER_SIZE:
+        raise DatasetError(f"{path}: truncated header ({len(data)} bytes)")
+    got_magic, version, _reserved, count = _HEADER.unpack_from(data)
+    if got_magic != magic:
+        raise DatasetError(
+            f"{path}: bad magic {got_magic!r} (expected {magic!r})"
+        )
+    if version != COLUMNAR_VERSION:
+        raise DatasetError(
+            f"{path}: unsupported layout version {version} "
+            f"(this build reads version {COLUMNAR_VERSION})"
+        )
+    return count
+
+
+# -- string tables ------------------------------------------------------------------
+
+
+def pack_string_table(names: Sequence[str], magic: bytes = MAGIC_VOCAB) -> bytes:
+    """Serialise names as header + int64 offsets + UTF-8 blob."""
+    encoded = [name.encode("utf-8") for name in names]
+    offsets = np.zeros(len(encoded) + 1, dtype=np.int64)
+    np.cumsum([len(e) for e in encoded], out=offsets[1:])
+    return b"".join(
+        (pack_header(magic, len(encoded)), offsets.tobytes(), *encoded)
+    )
+
+
+def unpack_string_table(
+    data: bytes, path: Path, magic: bytes = MAGIC_VOCAB
+) -> tuple[str, ...]:
+    """Decode every name of a packed string table eagerly."""
+    count = read_header(data, magic, path)
+    offsets_end = HEADER_SIZE + 8 * (count + 1)
+    if len(data) < offsets_end:
+        raise DatasetError(f"{path}: truncated string-table offsets")
+    offsets = np.frombuffer(data, dtype=np.int64, count=count + 1,
+                            offset=HEADER_SIZE)
+    blob = data[offsets_end:]
+    if count and int(offsets[-1]) > len(blob):
+        raise DatasetError(f"{path}: string-table blob shorter than offsets")
+    return tuple(
+        blob[int(offsets[i]):int(offsets[i + 1])].decode("utf-8")
+        for i in range(count)
+    )
+
+
+# -- id arrays ----------------------------------------------------------------------
+
+
+def pack_id_array(ids: np.ndarray) -> bytes:
+    """Serialise one contiguous ``int32`` id array (header + raw ids)."""
+    arr = np.ascontiguousarray(ids, dtype=np.int32)
+    return pack_header(MAGIC_LISTS, arr.size) + arr.tobytes()
+
+
+def map_id_array(path: Path) -> np.ndarray:
+    """Memory-map the id array of ``lists.bin`` — O(open), no page reads."""
+    with open(path, "rb") as handle:
+        count = read_header(handle.read(HEADER_SIZE), MAGIC_LISTS, path)
+    expected = HEADER_SIZE + 4 * count
+    actual = path.stat().st_size
+    if actual < expected:
+        raise DatasetError(
+            f"{path}: short id file ({actual} bytes, header promises {expected})"
+        )
+    if count == 0:
+        return np.empty(0, dtype=np.int32)
+    return np.memmap(path, dtype=np.int32, mode="r",
+                     offset=HEADER_SIZE, shape=(count,))
+
+
+# -- manifest -----------------------------------------------------------------------
+
+
+def pack_manifest(header: dict) -> bytes:
+    """Serialise the manifest: binary header + order-preserving JSON.
+
+    ``json.dumps`` without ``sort_keys`` keeps dict insertion order, so
+    metadata written text → columnar → text round-trips byte-equal.
+    """
+    payload = json.dumps(
+        header, ensure_ascii=False, separators=(",", ":")
+    ).encode("utf-8")
+    return pack_header(MAGIC_MANIFEST, len(payload)) + payload
+
+
+def unpack_manifest(data: bytes, path: Path) -> dict:
+    count = read_header(data, MAGIC_MANIFEST, path)
+    payload = data[HEADER_SIZE:HEADER_SIZE + count]
+    if len(payload) < count:
+        raise DatasetError(f"{path}: truncated manifest payload")
+    try:
+        header = json.loads(payload.decode("utf-8"))
+    except ValueError as exc:
+        raise DatasetError(f"{path}: malformed manifest JSON: {exc}") from exc
+    if not isinstance(header, dict):
+        raise DatasetError(f"{path}: manifest payload is not an object")
+    return header
+
+
+# -- files --------------------------------------------------------------------------
+
+
+def atomic_write_bytes(path: Path, data: bytes) -> Path:
+    """Write ``data`` to ``path`` via a temp sibling + ``os.replace``."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(prefix=f".{path.name}.", dir=path.parent)
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(data)
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    return path
+
+
+def file_fingerprint(data: bytes) -> str:
+    """Content fingerprint recorded in the manifest for each data file."""
+    return hashlib.sha256(data).hexdigest()

@@ -1,0 +1,188 @@
+"""Memory-mapped views over a columnar dataset directory.
+
+Opening a columnar dataset is O(open): the manifest (a few KB) is the
+only file read eagerly; ``vocab.bin`` and ``lists.bin`` are wrapped in
+``numpy.memmap`` arrays whose pages fault in on first touch.  Multiple
+processes serving the same dataset therefore share one physical copy of
+the id arrays and string blob — the page cache is the only copy.
+
+Ownership and lifetime: the :class:`MappedBrowsingDataset` owns the
+maps.  Materialised :class:`~repro.core.rankedlist.RankedList`\\ s hold
+*views* into ``lists.bin`` (their cached id arrays), and numpy keeps
+the underlying mmap alive through the view's ``base`` reference, so a
+list outliving its dataset stays valid; pages unmap only when the last
+view is garbage-collected.  Nothing is ever written through a map —
+all maps are opened read-only (``mode="r"``).
+"""
+
+from __future__ import annotations
+
+import threading
+from pathlib import Path
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from ..core.dataset import DeferredBrowsingDataset
+from ..core.distribution import TrafficDistribution
+from ..core.errors import DatasetError
+from ..core.rankedlist import RankedList
+from ..core.types import Breakdown, Metric, Platform
+from ..core.vocab import SiteVocabulary
+from .format import HEADER_SIZE, MAGIC_VOCAB, read_header
+
+
+class MappedStringTable:
+    """The packed vocabulary of ``vocab.bin``, decoded name-by-name.
+
+    Index == site id.  Names decode lazily into a per-table cache, so a
+    query touching one 10K-site list decodes 10K names, not the whole
+    vocabulary.
+    """
+
+    __slots__ = ("path", "_offsets", "_blob", "_names")
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        try:
+            with open(self.path, "rb") as handle:
+                count = read_header(
+                    handle.read(HEADER_SIZE), MAGIC_VOCAB, self.path
+                )
+        except FileNotFoundError:
+            raise DatasetError(
+                f"columnar dataset is missing its vocabulary file {self.path}"
+            ) from None
+        offsets_end = HEADER_SIZE + 8 * (count + 1)
+        size = self.path.stat().st_size
+        if size < offsets_end:
+            raise DatasetError(
+                f"{self.path}: short vocabulary file ({size} bytes, "
+                f"offsets need {offsets_end})"
+            )
+        self._offsets = np.memmap(
+            self.path, dtype=np.int64, mode="r",
+            offset=HEADER_SIZE, shape=(count + 1,),
+        )
+        blob_len = size - offsets_end
+        self._blob = (
+            np.memmap(self.path, dtype=np.uint8, mode="r",
+                      offset=offsets_end, shape=(blob_len,))
+            if blob_len else np.empty(0, dtype=np.uint8)
+        )
+        if count and int(self._offsets[-1]) > blob_len:
+            raise DatasetError(
+                f"{self.path}: short vocabulary blob "
+                f"({blob_len} bytes, offsets promise {int(self._offsets[-1])})"
+            )
+        self._names: list[str | None] = [None] * count
+
+    def __len__(self) -> int:
+        return len(self._names)
+
+    def name(self, sid: int) -> str:
+        """The site name behind ``sid`` (decoded once, then cached)."""
+        cached = self._names[sid]
+        if cached is None:
+            offsets = self._offsets
+            cached = (
+                self._blob[int(offsets[sid]):int(offsets[sid + 1])]
+                .tobytes().decode("utf-8")
+            )
+            self._names[sid] = cached
+        return cached
+
+    def decode_all(self) -> tuple[str, ...]:
+        """Every name in id order, bulk-decoded in one blob pass."""
+        if None in self._names:
+            blob = self._blob.tobytes()
+            offsets = self._offsets
+            self._names = [
+                blob[int(offsets[i]):int(offsets[i + 1])].decode("utf-8")
+                for i in range(len(self._names))
+            ]
+        return tuple(self._names)
+
+
+class MappedBrowsingDataset(DeferredBrowsingDataset):
+    """A :class:`BrowsingDataset` over memory-mapped columnar files.
+
+    Lists materialise lazily: reading a breakdown decodes that list's
+    id window through the shared string table and wraps it in a
+    :class:`RankedList`.  When the dataset-wide vocabulary has been
+    built (:meth:`vocabulary`), materialised lists are pre-seeded with
+    their mapped id window, so kernels consume ``lists.bin`` pages
+    directly — zero copies, zero re-interning.
+    """
+
+    storage = "columnar-mmap"
+
+    def __init__(
+        self,
+        root: str | Path,
+        *,
+        windows: Mapping[Breakdown, tuple[int, int]],
+        ids: np.ndarray,
+        table: MappedStringTable,
+        distributions: Mapping[tuple[Platform, Metric], TrafficDistribution],
+        metadata: Mapping[str, object],
+        content_fingerprint: str | None = None,
+    ) -> None:
+        self.root = Path(root)
+        self._windows = dict(windows)
+        self._ids = ids
+        self._table = table
+        #: The manifest-recorded dataset fingerprint, honoured by
+        #: :func:`repro.export.io.dataset_fingerprint` so addressing an
+        #: artifact store never has to hash the mapped lists.
+        self.content_fingerprint = content_fingerprint
+        super().__init__(self._windows, distributions, metadata)
+
+    # -- production ----------------------------------------------------------------
+
+    def _produce(
+        self, breakdowns: set[Breakdown]
+    ) -> Mapping[Breakdown, RankedList]:
+        out: dict[Breakdown, RankedList] = {}
+        vocab = self._vocab  # pre-seed only if already built
+        for breakdown in breakdowns:
+            offset, length = self._windows[breakdown]
+            window = self._ids[offset:offset + length]
+            if length and (int(window.min()) < 0
+                           or int(window.max()) >= len(self._table)):
+                raise DatasetError(
+                    f"{self.root}: list for {breakdown} references site ids "
+                    f"outside the {len(self._table)}-entry vocabulary"
+                )
+            name = self._table.name
+            ranked = RankedList(name(sid) for sid in window.tolist())
+            if vocab is not None:
+                ranked._ids_cache = (vocab, window)
+            out[breakdown] = ranked
+        return out
+
+    # -- vocabulary ----------------------------------------------------------------
+
+    def vocabulary(self) -> SiteVocabulary:
+        """The shared vocabulary, rebuilt from the mapped string table.
+
+        Interning the table in id order reproduces the stored id space
+        exactly, so every list's mapped id window is already expressed
+        in this vocabulary — :meth:`RankedList.ids` on a materialised
+        list returns the ``lists.bin`` view without copying.
+        """
+        vocab = self._vocab
+        if vocab is None:
+            with self._vocab_lock:
+                if self._vocab is None:
+                    self._vocab = SiteVocabulary(self._table.decode_all())
+                vocab = self._vocab
+        return vocab
+
+    def all_sites(self) -> frozenset[str]:
+        """Every site in the dataset, straight from the string table.
+
+        The union over breakdowns that :meth:`TaskContext.sites` would
+        otherwise compute list-by-list — here it is one bulk decode.
+        """
+        return frozenset(self._table.decode_all())

@@ -1,0 +1,38 @@
+"""Per-slice binary files: the slice cache's columnar-backed path.
+
+One cached slice is one ranked list; its columnar form is simply the
+packed string table of :mod:`repro.store.format` under the
+``RPROSLC1`` magic — names in rank order, so position == rank - 1.
+Compared to the text files the cache historically wrote, the binary
+form skips line splitting on read and carries an explicit count, so a
+truncated file is detected instead of silently yielding a short list.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from ..core.rankedlist import RankedList
+from .format import MAGIC_SLICE, atomic_write_bytes, pack_string_table, unpack_string_table
+
+#: Extension of binary slice files (text slices keep ``.txt``).
+SLICE_SUFFIX = ".slc"
+
+
+def write_slice(path: str | Path, ranked: RankedList) -> Path:
+    """Write one ranked list as a binary slice file (atomic replace)."""
+    return atomic_write_bytes(
+        Path(path), pack_string_table(ranked.sites, MAGIC_SLICE)
+    )
+
+
+def read_slice(path: str | Path) -> RankedList:
+    """Read a binary slice file back into a :class:`RankedList`.
+
+    Raises ``OSError`` when the file is absent (a cache miss for the
+    caller) and :class:`~repro.core.errors.DatasetError` when present
+    but malformed — corruption should surface, not regenerate silently.
+    """
+    path = Path(path)
+    data = path.read_bytes()
+    return RankedList(unpack_string_table(data, path, MAGIC_SLICE))

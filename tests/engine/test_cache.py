@@ -1,6 +1,9 @@
 """Tests for the content-addressed slice cache."""
 
+import pytest
+
 from repro.core import Breakdown, Metric, Platform, REFERENCE_MONTH
+from repro.core.errors import DatasetError
 from repro.core.rankedlist import RankedList
 from repro.engine import SliceCache
 
@@ -54,3 +57,52 @@ class TestSliceCache:
         restored = cache.get(FP, B)
         assert restored is not None
         assert len(restored) == 0
+
+
+class TestColumnarCodec:
+    def test_round_trip_identity(self, tmp_path):
+        cache = SliceCache(tmp_path, codec="columnar")
+        ranked = RankedList(["google.com", "youtube.com", "naver.com"])
+        cache.put(FP, B, ranked)
+        restored = cache.get(FP, B)
+        assert restored is not None
+        assert restored.sites == ranked.sites
+
+    def test_writes_binary_slice_files(self, tmp_path):
+        cache = SliceCache(tmp_path, codec="columnar")
+        cache.put(FP, B, RankedList(["a.com"]))
+        path = cache.path_for(FP, B)
+        assert path.suffix == ".slc"
+        assert path.read_bytes()[:8] == b"RPROSLC1"
+        assert sorted(p.name for p in path.parent.iterdir()) == [path.name]
+
+    def test_codecs_share_one_directory(self, tmp_path):
+        # A text-configured engine reads slices a columnar one wrote,
+        # and vice versa — a shared cache dir never goes cold.
+        text = SliceCache(tmp_path)
+        columnar = SliceCache(tmp_path, codec="columnar")
+        columnar.put(FP, B, RankedList(["binary.example"]))
+        other = B.with_country("KR")
+        text.put(FP, other, RankedList(["plain.example"]))
+        assert text.get(FP, B).sites == ("binary.example",)
+        assert columnar.get(FP, other).sites == ("plain.example",)
+        assert (FP, B) in text and (FP, other) in columnar
+
+    def test_empty_list_round_trips(self, tmp_path):
+        cache = SliceCache(tmp_path, codec="columnar")
+        cache.put(FP, B, RankedList([]))
+        restored = cache.get(FP, B)
+        assert restored is not None
+        assert len(restored) == 0
+
+    def test_truncated_slice_raises_instead_of_short_list(self, tmp_path):
+        cache = SliceCache(tmp_path, codec="columnar")
+        cache.put(FP, B, RankedList(["a.com", "b.org", "c.net"]))
+        path = cache.path_for(FP, B)
+        path.write_bytes(path.read_bytes()[:-6])
+        with pytest.raises(DatasetError):
+            cache.get(FP, B)
+
+    def test_unknown_codec_rejected(self, tmp_path):
+        with pytest.raises(DatasetError, match="unknown slice-cache codec"):
+            SliceCache(tmp_path, codec="parquet")

@@ -100,6 +100,74 @@ class TestGenerateEngineFlags:
             (second / "lists" / name).read_bytes()
 
 
+class TestConvert:
+    def test_round_trip_is_byte_identical(self, dataset_dir, tmp_path, capsys):
+        col = tmp_path / "col"
+        back = tmp_path / "back"
+        assert main(["convert", str(dataset_dir), str(col)]) == 0
+        out = capsys.readouterr().out
+        assert f"converted {dataset_dir} (text) -> {col} (columnar)" in out
+        assert (col / "manifest.bin").is_file()
+        assert main(["convert", str(col), str(back), "--format", "text"]) == 0
+        for original in sorted((dataset_dir / "lists").glob("*.txt")):
+            assert (back / "lists" / original.name).read_bytes() == \
+                original.read_bytes()
+        assert (back / "manifest.json").read_bytes() == \
+            (dataset_dir / "manifest.json").read_bytes()
+
+    def test_missing_source_exits_2(self, tmp_path, capsys):
+        assert main(["convert", str(tmp_path / "nope"),
+                     str(tmp_path / "dst")]) == 2
+        assert "no dataset under" in capsys.readouterr().err
+
+    def test_convert_onto_itself_exits_2(self, dataset_dir, capsys):
+        assert main(["convert", str(dataset_dir), str(dataset_dir)]) == 2
+        assert "different from the source" in capsys.readouterr().err
+
+    def test_inspect_works_on_converted_dataset(
+        self, dataset_dir, tmp_path, capsys
+    ):
+        col = tmp_path / "col"
+        assert main(["convert", str(dataset_dir), str(col)]) == 0
+        capsys.readouterr()
+        assert main(["inspect", "--data", str(col),
+                     "--country", "KR", "--top", "3"]) == 0
+        assert "naver.com" in capsys.readouterr().out
+
+
+class TestGenerateFormat:
+    def test_generate_columnar_writes_binary_layout(self, tmp_path, capsys):
+        out = tmp_path / "ds"
+        code = main([
+            "generate", "--small", "--out", str(out), "--countries", "US",
+            "--platforms", "windows", "--metrics", "page_loads",
+            "--format", "columnar",
+        ])
+        assert code == 0
+        assert "(columnar)" in capsys.readouterr().out
+        assert (out / "manifest.bin").is_file()
+        assert not (out / "manifest.json").exists()
+
+    def test_generated_codecs_agree(self, tmp_path):
+        from repro.api import load
+
+        text_dir, col_dir = tmp_path / "text", tmp_path / "col"
+        for out, format in ((text_dir, "text"), (col_dir, "columnar")):
+            assert main([
+                "generate", "--small", "--out", str(out), "--countries", "US",
+                "--platforms", "windows", "--metrics", "page_loads",
+                "--format", format,
+            ]) == 0
+        text_ds, col_ds = load(text_dir), load(col_dir)
+        for breakdown in text_ds.breakdowns():
+            assert col_ds[breakdown] == text_ds[breakdown]
+
+    def test_bad_format_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["generate", "--out", str(tmp_path / "x"),
+                  "--format", "parquet"])
+
+
 class TestInspectAnalyze:
     def test_inspect_prints_table(self, dataset_dir, capsys):
         assert main(["inspect", "--data", str(dataset_dir),

@@ -281,3 +281,29 @@ class TestFromEngine:
         assert service.dataset.pending == 1
         health = body(service.healthz())
         assert health["pending_slices"] == 1
+
+
+class TestStorageBackends:
+    def test_healthz_reports_storage(self, service):
+        assert body(service.healthz())["storage"] == "memory"
+
+    def test_serves_a_mapped_columnar_dataset(
+        self, service_dataset, generator, tmp_path
+    ):
+        from repro.export.io import save_dataset
+        from repro.api import load
+
+        save_dataset(service_dataset, tmp_path / "col", format="columnar")
+        mapped = load(tmp_path / "col")
+        service = QueryService(
+            mapped, store=tmp_path / "artifacts", config=generator.config
+        )
+        health = body(service.healthz())
+        assert health["storage"] == "columnar-mmap"
+        assert health["pending_slices"] == len(service_dataset)
+        payload = body(service.rankings("US", top=5))
+        expected = service_dataset.get(
+            "US", Platform.WINDOWS, Metric.PAGE_LOADS,
+            service_dataset.months[-1],
+        )
+        assert tuple(payload["sites"]) == expected.top(5).sites

@@ -1,0 +1,45 @@
+"""Shared fixtures for the columnar-store tests: a hand-built tiny dataset."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    Breakdown,
+    BrowsingDataset,
+    Metric,
+    Month,
+    Platform,
+    RankedList,
+    TrafficDistribution,
+)
+
+US_PAGE_LOADS = Breakdown(
+    "US", Platform.WINDOWS, Metric.PAGE_LOADS, Month(2022, 2)
+)
+KR_TIME = Breakdown(
+    "KR", Platform.ANDROID, Metric.TIME_ON_PAGE, Month(2022, 2)
+)
+
+
+def make_tiny_dataset(metadata=None) -> BrowsingDataset:
+    """Two breakdowns, one shared site, one non-ASCII name."""
+    dist = TrafficDistribution(
+        [(1, 0.17), (10, 0.4), (100, 0.7), (10_000, 0.95)]
+    )
+    return BrowsingDataset(
+        {
+            US_PAGE_LOADS: RankedList(["google", "youtube.com", "café.example"]),
+            KR_TIME: RankedList(["naver.com", "google", "daum.net"]),
+        },
+        {
+            (Platform.WINDOWS, Metric.PAGE_LOADS): dist,
+            (Platform.ANDROID, Metric.TIME_ON_PAGE): dist,
+        },
+        metadata if metadata is not None else {"seed": 7, "note": "tiny"},
+    )
+
+
+@pytest.fixture()
+def tiny_dataset() -> BrowsingDataset:
+    return make_tiny_dataset()
