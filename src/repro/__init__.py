@@ -49,7 +49,7 @@ from .core import (
 # ``from repro.report import render_table`` keeps working everywhere
 # while the attribute ``repro.report`` is the facade function below.
 from . import report as _report_module  # noqa: F401
-from .api import analyze, convert, generate, load, report, serve
+from .api import analyze, convert, generate, load, loadtest, report, serve
 
 __version__ = "1.1.0"
 
@@ -68,6 +68,7 @@ __all__ = [
     "convert",
     "generate",
     "load",
+    "loadtest",
     "report",
     "serve",
 ]

@@ -256,14 +256,53 @@ def report(
     return run
 
 
+def _build_service(
+    data: "DatasetLike",
+    *,
+    store: "ArtifactStore | str | Path | None" = None,
+    no_store: bool = False,
+    cache_size: int = 256,
+    cache_bytes: int | None = None,
+    jobs: int = 1,
+    config: "GeneratorConfig | None" = None,
+    month: "Month | str | None" = None,
+    small: bool = False,
+    seed: int | None = None,
+):
+    """The :class:`~repro.service.QueryService` behind :func:`serve`.
+
+    Shared by the single-process server and every fleet worker (which
+    calls this *after* forking, so a columnar dataset mmaps in the
+    worker and the page cache is the one shared copy).
+    """
+    from .service.query import QueryService
+
+    dataset = load(data)
+    if no_store:
+        store = None
+    elif store is None and isinstance(data, (str, Path)):
+        store = Path(data) / ".artifacts"
+    return QueryService(
+        dataset,
+        store=store,
+        config=_context_config(dataset, config, small, seed),
+        month=Month.parse(month) if isinstance(month, str) else month,
+        cache=cache_size,
+        cache_bytes=cache_bytes,
+        jobs=jobs,
+    )
+
+
 def serve(
     data: "DatasetLike",
     *,
     host: str = "127.0.0.1",
     port: int = 8000,
+    workers: int = 1,
     store: "ArtifactStore | str | Path | None" = None,
     no_store: bool = False,
     cache_size: int = 256,
+    cache_bytes: int | None = None,
     jobs: int = 1,
     config: "GeneratorConfig | None" = None,
     month: "Month | str | None" = None,
@@ -271,7 +310,7 @@ def serve(
     seed: int | None = None,
     block: bool = True,
     trace: str | Path | None = None,
-) -> "ReproHTTPServer | None":
+):
     """Serve a dataset over the JSON HTTP API (see :mod:`repro.service`).
 
     With ``block=True`` (the default) this serves until interrupted and
@@ -279,6 +318,15 @@ def serve(
     :class:`~repro.service.ReproHTTPServer` — call ``serve_forever()``
     (e.g. on a thread) and ``shutdown()`` yourself; ``port=0`` picks a
     free port, recorded in ``server.server_address``.
+
+    ``workers > 1`` switches to the pre-forked fleet (see
+    :mod:`repro.fleet`): N processes share the listening socket and one
+    mmap'd dataset, cacheable payloads are consistent-hash-routed so
+    each renders once fleet-wide, and ``/v1/metrics`` reports the
+    merged view.  ``block=False`` then returns the started
+    :class:`~repro.fleet.FleetSupervisor` (``.url``, ``.stop()``).
+    ``trace`` is single-process only — fleet workers would race on one
+    trace file.
 
     Like :func:`report`, the artifact store defaults to
     ``<data>/.artifacts`` for saved-dataset paths, so analyses whose
@@ -289,25 +337,56 @@ def serve(
     ``server.serve_forever()`` directly should close
     ``server.trace_scope`` themselves.
     """
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    if workers > 1:
+        if trace is not None:
+            raise ValueError(
+                "trace= cannot be combined with workers > 1 "
+                "(fleet workers would race on one trace file)"
+            )
+        if not isinstance(data, (str, Path)):
+            raise ValueError(
+                "fleet serving needs a saved-dataset path — each worker "
+                "opens (mmaps) the dataset itself after forking"
+            )
+        from .fleet import FleetSupervisor
+
+        supervisor = FleetSupervisor(
+            data,
+            host=host,
+            port=port,
+            workers=workers,
+            store=store,
+            no_store=no_store,
+            cache_size=cache_size,
+            cache_bytes=cache_bytes,
+            jobs=jobs,
+            month=month,
+            small=small,
+            seed=seed,
+        )
+        if not block:
+            return supervisor.start()
+        supervisor.run()
+        return None
     from .obs import tracing
     from .service.http import create_server, serve_forever
-    from .service.query import QueryService
 
     scope = tracing(trace)
     scope.__enter__()
     try:
-        dataset = load(data)
-        if no_store:
-            store = None
-        elif store is None and isinstance(data, (str, Path)):
-            store = Path(data) / ".artifacts"
-        service = QueryService(
-            dataset,
+        service = _build_service(
+            data,
             store=store,
-            config=_context_config(dataset, config, small, seed),
-            month=Month.parse(month) if isinstance(month, str) else month,
-            cache=cache_size,
+            no_store=no_store,
+            cache_size=cache_size,
+            cache_bytes=cache_bytes,
             jobs=jobs,
+            config=config,
+            month=month,
+            small=small,
+            seed=seed,
         )
         server = create_server(service, host=host, port=port)
     except BaseException:
@@ -320,4 +399,52 @@ def serve(
     return None
 
 
-__all__ = ["analyze", "convert", "generate", "load", "report", "serve"]
+def loadtest(
+    url: str,
+    *,
+    duration: float | None = None,
+    requests: int | None = None,
+    concurrency: int = 8,
+    client_procs: int = 1,
+    seed: int = 2022,
+    top_sites: int = 100,
+    slo: "object | None" = None,
+    timeout: float = 10.0,
+    baseline: "dict | None" = None,
+    min_speedup: float | None = None,
+    bench_out: str | Path | None = None,
+):
+    """Replay a Zipf-shaped query mix against a running server.
+
+    A thin facade over :func:`repro.fleet.loadtest.run_loadtest`: the
+    mix is discovered from the server itself (countries from the
+    rankings choices, the Zipf exponent fit to ``/v1/distributions``),
+    replayed from ``concurrency`` keep-alive connections, and measured
+    as per-endpoint p50/p95/p99 plus overall throughput.  Returns the
+    :class:`~repro.fleet.loadtest.LoadTestReport`; check ``report.ok``
+    / ``report.violations()`` against the given ``slo``.  ``bench_out``
+    additionally writes the payload as ``BENCH_service.json``.
+    """
+    from .fleet.loadtest import run_loadtest
+
+    report = run_loadtest(
+        url,
+        duration=duration,
+        requests=requests,
+        concurrency=concurrency,
+        client_procs=client_procs,
+        seed=seed,
+        top_sites=top_sites,
+        slo=slo,
+        timeout=timeout,
+        baseline=baseline,
+        min_speedup=min_speedup,
+    )
+    if bench_out is not None:
+        report.write_bench_json(bench_out)
+    return report
+
+
+__all__ = [
+    "analyze", "convert", "generate", "load", "loadtest", "report", "serve",
+]

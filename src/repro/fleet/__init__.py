@@ -1,0 +1,52 @@
+"""repro.fleet — pre-forked multi-process serving over one mmap'd dataset.
+
+The single-process server (:mod:`repro.service`) is thread-per-request
+over Python code that holds the GIL while rendering payloads; one
+process is one core.  The fleet layer scales the same API across cores
+the way production front ends do:
+
+* a :class:`FleetSupervisor` binds the listening socket once and forks
+  N workers that all ``accept()`` on it (kernel load-balancing), each
+  worker opening the columnar dataset itself post-fork so the mmap'd
+  pages are physically shared — N workers, one dataset of RAM;
+* a :class:`HashRing` gives every cacheable payload exactly one owner
+  worker; non-owners proxy to the owner's internal port, so each
+  payload is rendered and cached once fleet-wide;
+* the supervisor health-checks workers through their process
+  sentinels, restarting crashed ones onto the same sockets, and drains
+  gracefully on SIGTERM;
+* a public ``/v1/metrics`` answers with the merged fleet-wide counters
+  (:func:`merge_snapshots`) plus a ``fleet`` block.
+
+:mod:`repro.fleet.loadtest` is the measuring stick: it replays a
+Zipf-shaped query mix (fit from the server's own distribution curves)
+and asserts SLOs, which is how CI holds the multi-worker speedup.
+"""
+
+from .loadtest import (
+    SLO,
+    LoadTestError,
+    LoadTestReport,
+    QueryMix,
+    discover_mix,
+    run_loadtest,
+)
+from .metrics import merge_snapshots
+from .ring import HashRing
+from .supervisor import FleetSupervisor
+from .worker import FleetSpec, payload_route_key, worker_main
+
+__all__ = [
+    "SLO",
+    "FleetSpec",
+    "FleetSupervisor",
+    "HashRing",
+    "LoadTestError",
+    "LoadTestReport",
+    "QueryMix",
+    "discover_mix",
+    "merge_snapshots",
+    "payload_route_key",
+    "run_loadtest",
+    "worker_main",
+]

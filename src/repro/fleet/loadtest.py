@@ -1,0 +1,612 @@
+"""``repro loadtest`` — replay a Zipf-shaped query mix against a server.
+
+The paper's central empirical fact is that browsing attention is
+heavy-tailed: a handful of sites (and a handful of large countries)
+absorb most traffic.  A load test that hits every query uniformly
+therefore exercises a cache pattern no real deployment would see.  This
+driver shapes its replay the way the dataset itself says traffic is
+shaped:
+
+1. **discover** the grid from the running server — countries from the
+   ``choices`` of a parameterless ``/v1/rankings`` 404, platforms /
+   metrics / months from ``/v1/healthz``, the head of the top country's
+   rank list for site queries;
+2. **fit** a Zipf exponent to the server's own ``/v1/distributions``
+   cumulative curve (finite-difference densities at geometric-mid
+   ranks, least squares in log–log space — the same construction as
+   :func:`repro.synth.zipf.fit_zipf_exponent`);
+3. **sample** a deterministic request schedule: countries and sites are
+   drawn with weight ``1/rank^s``, endpoints by a configurable mix, so
+   the head of the popularity curve dominates exactly as it does in
+   Figure 1.
+
+The driver hammers the server from ``concurrency`` threads over
+keep-alive connections, measures per-endpoint p50/p95/p99 and overall
+throughput, asserts the given :class:`SLO` (the CLI exits 2 on a
+violation), and can persist a ``BENCH_service.json`` so CI tracks the
+serving-throughput trajectory the way ``BENCH_kernels.json`` tracks
+kernel speed.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import math
+import os
+import random
+import threading
+import time
+import urllib.error
+import urllib.request
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Mapping, Sequence
+from urllib.parse import quote, urlsplit
+
+from ..core.errors import ReproError
+from ..obs import get_tracer
+
+#: Endpoint shares of the default query mix.  Rankings dominate (they
+#: are the product surface), site lookups second — mirroring a serving
+#: deployment where per-country pages are the hot path.  Analysis
+#: artifacts are excluded by default: one cold pipeline task can cost
+#: seconds and would swamp the latency picture.
+DEFAULT_MIX: Mapping[str, float] = {
+    "rankings": 0.55,
+    "site": 0.25,
+    "distribution": 0.08,
+    "analyses": 0.07,
+    "healthz": 0.05,
+}
+
+#: Fallback Zipf exponent when the curve cannot be fit (degenerate
+#: anchors); ~1.0 is the canonical web-traffic value.
+_DEFAULT_ZIPF_S = 1.0
+
+
+class LoadTestError(ReproError):
+    """The target server could not be reached or probed."""
+
+
+@dataclass(frozen=True)
+class SLO:
+    """Service-level objectives; ``None`` fields are not asserted."""
+
+    p50_ms: float | None = None
+    p95_ms: float | None = None
+    p99_ms: float | None = None
+    error_rate: float | None = None
+    min_rps: float | None = None
+
+    def to_payload(self) -> dict[str, float | None]:
+        return {
+            "p50_ms": self.p50_ms,
+            "p95_ms": self.p95_ms,
+            "p99_ms": self.p99_ms,
+            "error_rate": self.error_rate,
+            "min_rps": self.min_rps,
+        }
+
+
+@dataclass(frozen=True)
+class QueryMix:
+    """A deterministic population of (endpoint, path) with weights."""
+
+    entries: tuple[tuple[str, str], ...]
+    weights: tuple[float, ...]
+    zipf_s: float
+    countries: tuple[str, ...]
+    sites: tuple[str, ...]
+
+
+def _get_json(base_url: str, path: str, *, timeout: float) -> dict:
+    try:
+        with urllib.request.urlopen(base_url + path, timeout=timeout) as resp:
+            return json.loads(resp.read())
+    except urllib.error.HTTPError as err:
+        # Structured 4xx payloads are data here (choices discovery).
+        try:
+            return json.loads(err.read())
+        except ValueError:
+            raise LoadTestError(
+                f"{base_url + path} answered {err.code} without JSON"
+            ) from None
+    except (OSError, urllib.error.URLError) as err:
+        raise LoadTestError(f"cannot reach {base_url + path}: {err}") from None
+
+
+def fit_zipf_from_anchors(anchors: Sequence[Sequence[float]]) -> float:
+    """The Zipf exponent implied by cumulative (rank, share) anchors.
+
+    Consecutive anchors give a mean density ``Δshare/Δrank`` over the
+    span, attributed to the geometric mid rank; the exponent is the
+    negated least-squares slope of log(density) on log(rank), clamped
+    to a sane [0.3, 2.5] band.
+    """
+    points: list[tuple[float, float]] = []
+    for (r1, s1), (r2, s2) in zip(anchors, anchors[1:]):
+        if r2 <= r1 or s2 <= s1:
+            continue
+        density = (s2 - s1) / (r2 - r1)
+        points.append((math.log(math.sqrt(r1 * r2)), math.log(density)))
+    if len(points) < 2:
+        return _DEFAULT_ZIPF_S
+    n = len(points)
+    mean_x = sum(x for x, _ in points) / n
+    mean_y = sum(y for _, y in points) / n
+    var = sum((x - mean_x) ** 2 for x, _ in points)
+    if var == 0:
+        return _DEFAULT_ZIPF_S
+    cov = sum((x - mean_x) * (y - mean_y) for x, y, in points)
+    return min(2.5, max(0.3, -(cov / var)))
+
+
+def discover_mix(
+    base_url: str,
+    *,
+    mix: Mapping[str, float] | None = None,
+    top_sites: int = 100,
+    timeout: float = 10.0,
+) -> QueryMix:
+    """Probe a running server and build its Zipf-shaped query population."""
+    base_url = base_url.rstrip("/")
+    shares = dict(DEFAULT_MIX if mix is None else mix)
+    health = _get_json(base_url, "/v1/healthz", timeout=timeout)
+    if health.get("status") != "ok":
+        raise LoadTestError(f"{base_url}/v1/healthz is not ok: {health}")
+    platforms = [str(p) for p in health.get("platforms", [])]
+    metrics = [str(m) for m in health.get("metrics", [])]
+    # A parameterless rankings query 404s with the country list as
+    # its structured choices — discovery needs no dataset on disk.
+    probe = _get_json(base_url, "/v1/rankings", timeout=timeout)
+    countries = [str(c) for c in probe.get("choices", [])]
+    if not countries:
+        raise LoadTestError(
+            f"{base_url}/v1/rankings did not reveal the country list: {probe}"
+        )
+    dist = _get_json(base_url, "/v1/distributions", timeout=timeout)
+    zipf_s = fit_zipf_from_anchors(dist.get("anchors", []))
+    head = _get_json(
+        base_url,
+        f"/v1/rankings?country={countries[0]}&top={top_sites}",
+        timeout=timeout,
+    )
+    sites = [str(s) for s in head.get("sites", [])]
+
+    def zipf_weight(rank: int) -> float:
+        return 1.0 / float(rank) ** zipf_s
+
+    entries: list[tuple[str, str]] = []
+    weights: list[float] = []
+
+    def add(endpoint: str, path: str, weight: float) -> None:
+        entries.append((endpoint, path))
+        weights.append(weight)
+
+    if shares.get("rankings", 0) > 0 and countries:
+        total = sum(zipf_weight(i + 1) for i in range(len(countries)))
+        for i, country in enumerate(countries):
+            # The head country additionally fans out across platforms
+            # and metrics so the slice grid is exercised, not just the
+            # default slice.
+            variants = [""]
+            if i < 3:
+                variants += [
+                    f"&platform={p}&metric={m}"
+                    for p in platforms for m in metrics
+                ]
+            for variant in variants:
+                add(
+                    "rankings",
+                    f"/v1/rankings?country={country}&top=50{variant}",
+                    shares["rankings"] * zipf_weight(i + 1)
+                    / (total * len(variants)),
+                )
+    if shares.get("site", 0) > 0 and sites:
+        total = sum(zipf_weight(i + 1) for i in range(len(sites)))
+        for i, site in enumerate(sites):
+            add(
+                "site",
+                f"/v1/sites/{quote(site, safe='')}",
+                shares["site"] * zipf_weight(i + 1) / total,
+            )
+    if shares.get("distribution", 0) > 0:
+        pairs = [(p, m) for p in platforms for m in metrics] or [(None, None)]
+        for platform, metric in pairs:
+            query = (
+                f"?platform={platform}&metric={metric}"
+                if platform is not None else ""
+            )
+            add(
+                "distribution",
+                f"/v1/distributions{query}",
+                shares["distribution"] / len(pairs),
+            )
+    if shares.get("analyses", 0) > 0:
+        add("analyses", "/v1/analyses", shares["analyses"])
+    if shares.get("healthz", 0) > 0:
+        add("healthz", "/v1/healthz", shares["healthz"])
+    if not entries:
+        raise LoadTestError("the query mix is empty — every share is zero")
+    return QueryMix(
+        entries=tuple(entries),
+        weights=tuple(weights),
+        zipf_s=zipf_s,
+        countries=tuple(countries),
+        sites=tuple(sites),
+    )
+
+
+def _percentile(sorted_ms: Sequence[float], pct: float) -> float:
+    """Nearest-rank percentile of an already-sorted sample."""
+    if not sorted_ms:
+        return 0.0
+    at = max(0, math.ceil(pct / 100.0 * len(sorted_ms)) - 1)
+    return sorted_ms[at]
+
+
+@dataclass
+class EndpointResult:
+    """Latency/error aggregate for one endpoint of the mix."""
+
+    requests: int = 0
+    errors: int = 0
+    latencies_ms: list[float] = field(default_factory=list)
+
+    def to_payload(self) -> dict[str, object]:
+        ordered = sorted(self.latencies_ms)
+        return {
+            "requests": self.requests,
+            "errors": self.errors,
+            "p50_ms": round(_percentile(ordered, 50), 3),
+            "p95_ms": round(_percentile(ordered, 95), 3),
+            "p99_ms": round(_percentile(ordered, 99), 3),
+            "mean_ms": round(
+                sum(ordered) / len(ordered) if ordered else 0.0, 3
+            ),
+            "max_ms": round(ordered[-1] if ordered else 0.0, 3),
+        }
+
+
+@dataclass
+class LoadTestReport:
+    """Everything one run measured, plus its SLO verdict."""
+
+    base_url: str
+    duration_s: float
+    requests: int
+    errors: int
+    concurrency: int
+    client_procs: int
+    zipf_s: float
+    endpoints: dict[str, EndpointResult]
+    slo: SLO
+    fleet: dict | None = None
+    baseline: dict | None = None
+
+    @property
+    def error_rate(self) -> float:
+        return self.errors / self.requests if self.requests else 0.0
+
+    @property
+    def throughput_rps(self) -> float:
+        return self.requests / self.duration_s if self.duration_s > 0 else 0.0
+
+    def _overall(self) -> dict[str, object]:
+        ordered = sorted(
+            ms for ep in self.endpoints.values() for ms in ep.latencies_ms
+        )
+        return {
+            "p50_ms": round(_percentile(ordered, 50), 3),
+            "p95_ms": round(_percentile(ordered, 95), 3),
+            "p99_ms": round(_percentile(ordered, 99), 3),
+        }
+
+    def violations(self) -> list[str]:
+        """Human-readable SLO violations (empty == pass)."""
+        out: list[str] = []
+        overall = self._overall()
+        for name in ("p50_ms", "p95_ms", "p99_ms"):
+            bound = getattr(self.slo, name)
+            if bound is not None and overall[name] > bound:
+                out.append(
+                    f"overall {name} {overall[name]:.3f} > SLO {bound:g}"
+                )
+        if self.slo.error_rate is not None and (
+            self.error_rate > self.slo.error_rate
+        ):
+            out.append(
+                f"error rate {self.error_rate:.4f} > SLO "
+                f"{self.slo.error_rate:g}"
+            )
+        if self.slo.min_rps is not None and (
+            self.throughput_rps < self.slo.min_rps
+        ):
+            out.append(
+                f"throughput {self.throughput_rps:.1f} req/s < SLO "
+                f"{self.slo.min_rps:g}"
+            )
+        if self.baseline is not None:
+            speedup = self.baseline.get("speedup")
+            floor = self.baseline.get("min_speedup")
+            if floor is not None and speedup is not None and speedup < floor:
+                out.append(
+                    f"throughput speedup {speedup:.2f}x over baseline "
+                    f"< required {floor:g}x"
+                )
+        return out
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations()
+
+    def to_payload(self) -> dict[str, object]:
+        """The machine-readable (BENCH_service.json) body."""
+        payload: dict[str, object] = {
+            "base_url": self.base_url,
+            "duration_s": round(self.duration_s, 3),
+            "requests": self.requests,
+            "errors": self.errors,
+            "error_rate": round(self.error_rate, 6),
+            "throughput_rps": round(self.throughput_rps, 1),
+            "concurrency": self.concurrency,
+            "client_procs": self.client_procs,
+            "zipf_s": round(self.zipf_s, 4),
+            "overall": self._overall(),
+            "endpoints": {
+                name: self.endpoints[name].to_payload()
+                for name in sorted(self.endpoints)
+            },
+            "slo": self.slo.to_payload(),
+            "violations": self.violations(),
+            "ok": self.ok,
+        }
+        if self.fleet is not None:
+            payload["fleet"] = self.fleet
+        if self.baseline is not None:
+            payload["baseline"] = self.baseline
+        return payload
+
+    def write_bench_json(self, path: "str | Path") -> Path:
+        """Persist the payload in the ``BENCH_*.json`` house format."""
+        out = Path(path)
+        out.write_text(
+            json.dumps(self.to_payload(), indent=2, sort_keys=True) + "\n"
+        )
+        return out
+
+
+def _worker_loop(
+    base_url: str,
+    schedule: Sequence[tuple[str, str]],
+    offset: int,
+    stride: int,
+    deadline: float | None,
+    quota: int | None,
+    timeout: float,
+    results: dict[str, EndpointResult],
+    lock: threading.Lock,
+) -> None:
+    """One client thread: keep-alive connection, its slice of the schedule."""
+    split = urlsplit(base_url)
+    local: dict[str, EndpointResult] = {}
+    conn = http.client.HTTPConnection(split.hostname, split.port, timeout=timeout)
+    sent = 0
+    at = offset
+    try:
+        while True:
+            if deadline is not None and time.perf_counter() >= deadline:
+                break
+            if quota is not None and sent >= quota:
+                break
+            endpoint, path = schedule[at % len(schedule)]
+            at += stride
+            sent += 1
+            result = local.setdefault(endpoint, EndpointResult())
+            started = time.perf_counter()
+            try:
+                conn.request("GET", path)
+                resp = conn.getresponse()
+                body = resp.read()
+                status = resp.status
+            except (OSError, http.client.HTTPException):
+                # Connection died (worker crash, timeout): count the
+                # error, reconnect, keep hammering.
+                result.requests += 1
+                result.errors += 1
+                conn.close()
+                conn = http.client.HTTPConnection(
+                    split.hostname, split.port, timeout=timeout
+                )
+                continue
+            elapsed_ms = (time.perf_counter() - started) * 1000.0
+            result.requests += 1
+            result.latencies_ms.append(elapsed_ms)
+            if status >= 400 or not body:
+                result.errors += 1
+    finally:
+        conn.close()
+        with lock:
+            for endpoint, found in local.items():
+                merged = results.setdefault(endpoint, EndpointResult())
+                merged.requests += found.requests
+                merged.errors += found.errors
+                merged.latencies_ms.extend(found.latencies_ms)
+
+
+def _drive_threads(
+    base_url: str,
+    schedule: Sequence[tuple[str, str]],
+    offsets: Sequence[int],
+    stride: int,
+    duration: float | None,
+    quota: int | None,
+    timeout: float,
+) -> dict[str, EndpointResult]:
+    """Run one thread per offset to completion; merged endpoint results."""
+    results: dict[str, EndpointResult] = {}
+    lock = threading.Lock()
+    deadline = (
+        time.perf_counter() + duration if duration is not None else None
+    )
+    threads = [
+        threading.Thread(
+            target=_worker_loop,
+            args=(
+                base_url, schedule, offset, stride, deadline,
+                quota, timeout, results, lock,
+            ),
+            name=f"loadtest-{offset}",
+            daemon=True,
+        )
+        for offset in offsets
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    return results
+
+
+def _drive_process(
+    queue, base_url, schedule, offsets, stride, duration, quota, timeout
+) -> None:
+    """Child-process entry: drive a slice of the threads, ship results."""
+    results = _drive_threads(
+        base_url, schedule, offsets, stride, duration, quota, timeout
+    )
+    queue.put({
+        name: (ep.requests, ep.errors, ep.latencies_ms)
+        for name, ep in results.items()
+    })
+
+
+def run_loadtest(
+    base_url: str,
+    *,
+    duration: float | None = None,
+    requests: int | None = None,
+    concurrency: int = 8,
+    client_procs: int = 1,
+    seed: int = 2022,
+    mix: Mapping[str, float] | None = None,
+    top_sites: int = 100,
+    slo: SLO | None = None,
+    timeout: float = 10.0,
+    baseline: Mapping[str, object] | None = None,
+    min_speedup: float | None = None,
+) -> LoadTestReport:
+    """Discover, replay, measure; see the module docstring.
+
+    Exactly one of ``duration`` (seconds) / ``requests`` (total count)
+    bounds the run; with neither given, 200 requests are sent.  The
+    schedule is deterministic in ``seed``; ``baseline`` (a previous
+    report payload) plus ``min_speedup`` turns the run into a
+    throughput-regression gate.
+
+    ``client_procs`` forks the client itself across processes (the
+    ``concurrency`` threads are divided among them).  A single Python
+    client process saturates near one server process's throughput — its
+    GIL costs roughly what the server's does per request — so measuring
+    a multi-worker fleet honestly needs a multi-process client.
+    """
+    if concurrency < 1:
+        raise ValueError(f"concurrency must be >= 1, got {concurrency}")
+    if client_procs < 1:
+        raise ValueError(f"client_procs must be >= 1, got {client_procs}")
+    client_procs = min(client_procs, concurrency)
+    if client_procs > 1 and not hasattr(os, "fork"):
+        raise LoadTestError(
+            "client_procs > 1 forks the load generator and needs POSIX "
+            "fork(); use client_procs=1 on this platform"
+        )
+    if duration is None and requests is None:
+        requests = 200
+    base_url = base_url.rstrip("/")
+    with get_tracer().span("fleet.loadtest", url=base_url) as span:
+        population = discover_mix(
+            base_url, mix=mix, top_sites=top_sites, timeout=timeout
+        )
+        rng = random.Random(seed)
+        schedule_len = max(4096, concurrency * 64)
+        schedule = rng.choices(
+            population.entries, weights=population.weights, k=schedule_len
+        )
+        quota = (
+            None if requests is None
+            else max(1, requests // concurrency)
+        )
+        started = time.perf_counter()
+        if client_procs == 1:
+            results = _drive_threads(
+                base_url, schedule, range(concurrency), concurrency,
+                duration, quota, timeout,
+            )
+        else:
+            import multiprocessing
+
+            ctx = multiprocessing.get_context("fork")
+            queue = ctx.Queue()
+            procs = [
+                ctx.Process(
+                    target=_drive_process,
+                    args=(
+                        queue, base_url, schedule,
+                        range(index, concurrency, client_procs),
+                        concurrency, duration, quota, timeout,
+                    ),
+                    daemon=True,
+                )
+                for index in range(client_procs)
+            ]
+            for proc in procs:
+                proc.start()
+            results = {}
+            for _ in procs:
+                for name, (count, errs, lats) in queue.get().items():
+                    merged = results.setdefault(name, EndpointResult())
+                    merged.requests += count
+                    merged.errors += errs
+                    merged.latencies_ms.extend(lats)
+            for proc in procs:
+                proc.join()
+        elapsed = time.perf_counter() - started
+        total = sum(ep.requests for ep in results.values())
+        errors = sum(ep.errors for ep in results.values())
+        span.set("requests", total)
+        span.set("errors", errors)
+        fleet = None
+        try:
+            metrics = _get_json(base_url, "/v1/metrics", timeout=timeout)
+            block = metrics.get("fleet")
+            if isinstance(block, dict):
+                fleet = {
+                    "size": block.get("size"),
+                    "restarts_total": block.get("restarts_total"),
+                    "unreachable": block.get("unreachable"),
+                }
+        except LoadTestError:
+            pass
+        baseline_block = None
+        if baseline is not None:
+            base_rps = float(baseline.get("throughput_rps", 0.0) or 0.0)
+            rps = total / elapsed if elapsed > 0 else 0.0
+            baseline_block = {
+                "throughput_rps": base_rps,
+                "speedup": round(rps / base_rps, 3) if base_rps else None,
+                "min_speedup": min_speedup,
+            }
+        return LoadTestReport(
+            base_url=base_url,
+            duration_s=elapsed,
+            requests=total,
+            errors=errors,
+            concurrency=concurrency,
+            client_procs=client_procs,
+            zipf_s=population.zipf_s,
+            endpoints=results,
+            slo=slo if slo is not None else SLO(),
+            fleet=fleet,
+            baseline=baseline_block,
+        )

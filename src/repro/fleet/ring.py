@@ -1,0 +1,68 @@
+"""Consistent-hash ownership of payload keys across fleet workers.
+
+Every cacheable query has one *owner* worker, and only the owner
+renders and caches its payload — the point of the ring is that a
+payload is rendered once fleet-wide instead of once per worker that
+happens to ``accept()`` it.  Ownership must therefore be a pure
+function of (key, fleet size): every worker computes the same answer
+with no coordination, including a worker that was just restarted.
+
+The ring is the classic construction: each worker index contributes
+``replicas`` virtual points at ``sha1("worker:<i>#<r>")``, keys hash
+onto the same circle, and the owner is the first point clockwise.
+Virtual points smooth the load (with 64 replicas per worker the
+per-worker share of a uniform key space stays within a few tens of
+percent of 1/N), and because points depend only on the worker *index*
+— not pid or start time — the mapping is stable across crashes,
+restarts and supervisor reboots.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+
+
+def _point(label: str) -> int:
+    """A stable 64-bit position on the hash circle."""
+    return int.from_bytes(
+        hashlib.sha1(label.encode("utf-8")).digest()[:8], "big"
+    )
+
+
+class HashRing:
+    """Maps string keys to one of ``size`` worker indices, consistently."""
+
+    def __init__(self, size: int, *, replicas: int = 64) -> None:
+        if size < 1:
+            raise ValueError(f"ring size must be >= 1, got {size}")
+        if replicas < 1:
+            raise ValueError(f"replicas must be >= 1, got {replicas}")
+        self.size = size
+        self.replicas = replicas
+        points: list[tuple[int, int]] = []
+        for index in range(size):
+            for replica in range(replicas):
+                points.append((_point(f"worker:{index}#{replica}"), index))
+        points.sort()
+        self._points = [p for p, _ in points]
+        self._owners = [o for _, o in points]
+
+    def owner(self, key: str) -> int:
+        """The worker index owning ``key`` (first ring point clockwise)."""
+        if self.size == 1:
+            return 0
+        at = bisect.bisect_right(self._points, _point(key))
+        if at == len(self._points):
+            at = 0
+        return self._owners[at]
+
+    def spread(self, keys: list[str]) -> dict[int, int]:
+        """How many of ``keys`` each worker owns (diagnostics/tests)."""
+        out = {index: 0 for index in range(self.size)}
+        for key in keys:
+            out[self.owner(key)] += 1
+        return out
+
+    def __repr__(self) -> str:
+        return f"HashRing(size={self.size}, replicas={self.replicas})"

@@ -62,9 +62,26 @@ class ReproHTTPServer(ThreadingHTTPServer):
     """A threading HTTP server bound to one :class:`QueryService`."""
 
     daemon_threads = True
+    # Explicit (HTTPServer already opts in, but the guarantee matters
+    # here): the listening socket always carries SO_REUSEADDR, so rapid
+    # restart loops — tests, `repro loadtest` runs, fleet supervisors
+    # respawning a worker — never trip over EADDRINUSE while the old
+    # socket lingers in TIME_WAIT.
+    allow_reuse_address = True
 
-    def __init__(self, address: tuple[str, int], service: QueryService) -> None:
-        super().__init__(address, ReproRequestHandler)
+    def __init__(
+        self,
+        address: tuple[str, int],
+        service: QueryService,
+        *,
+        handler: type["ReproRequestHandler"] | None = None,
+        bind_and_activate: bool = True,
+    ) -> None:
+        super().__init__(
+            address,
+            handler if handler is not None else ReproRequestHandler,
+            bind_and_activate=bind_and_activate,
+        )
         self.service = service
 
     @property
@@ -88,6 +105,11 @@ class ReproRequestHandler(BaseHTTPRequestHandler):
 
     server_version = "repro-serve/1.0"
     protocol_version = "HTTP/1.1"
+    # Headers and body go out as separate writes on an unbuffered
+    # socket; with Nagle on, the second write stalls behind the peer's
+    # delayed ACK (~40ms per response on loopback).  TCP_NODELAY makes
+    # response latency track render time instead.
+    disable_nagle_algorithm = True
 
     @property
     def service(self) -> QueryService:
@@ -168,8 +190,8 @@ class ReproRequestHandler(BaseHTTPRequestHandler):
         })
         return 405, body, False
 
-    def _route(self) -> tuple[int, bytes, bool]:
-        """Dispatch one GET; returns (status, body, observed-by-service).
+    def _split(self) -> tuple[str, tuple[str, ...], dict[str, str]]:
+        """Parse ``self.path`` into (raw path, segments, params).
 
         Percent-decoding happens per segment *after* splitting, so an
         encoded slash inside a ``<site>`` or ``<task>`` name stays part
@@ -178,7 +200,11 @@ class ReproRequestHandler(BaseHTTPRequestHandler):
         parsed = urlsplit(self.path)
         raw = parsed.path.rstrip("/")
         segments = tuple(unquote(s) for s in raw.split("/")[1:]) if raw else ()
-        params = self._params(parsed.query)
+        return parsed.path, segments, self._params(parsed.query)
+
+    def _route(self) -> tuple[int, bytes, bool]:
+        """Dispatch one GET; returns (status, body, observed-by-service)."""
+        path, segments, params = self._split()
         service = self.service
 
         if segments in ((), ("v1",)):
@@ -229,7 +255,7 @@ class ReproRequestHandler(BaseHTTPRequestHandler):
                 month=params.get("month"),
             ), True
         raise NotFound(
-            f"unknown endpoint {parsed.path!r}", choices=ENDPOINTS
+            f"unknown endpoint {path!r}", choices=ENDPOINTS
         )
 
 

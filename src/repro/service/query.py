@@ -76,6 +76,7 @@ class QueryService:
         config=None,
         month: Month | None = None,
         cache: PayloadCache | int = 256,
+        cache_bytes: int | None = None,
         jobs: int = 1,
     ) -> None:
         self.dataset = dataset
@@ -86,7 +87,10 @@ class QueryService:
         executor = ThreadedTaskExecutor(jobs) if jobs > 1 else SerialTaskExecutor()
         self.runner = PipelineRunner(self.registry, executor=executor, store=store)
         self.ctx = TaskContext(dataset, config=config, month=month)
-        self.cache = cache if isinstance(cache, PayloadCache) else PayloadCache(cache)
+        self.cache = (
+            cache if isinstance(cache, PayloadCache)
+            else PayloadCache(cache, max_bytes=cache_bytes)
+        )
         self.metrics = ServiceMetrics()
         self._flights: dict[PayloadKey, threading.Lock] = {}
         self._flights_guard = threading.Lock()
@@ -427,6 +431,16 @@ class QueryService:
         return self._instrumented("metrics", lambda: self._metrics_payload())
 
     def _metrics_payload(self) -> bytes:
+        return render_payload(self.metrics_snapshot())
+
+    def metrics_snapshot(self) -> dict[str, object]:
+        """The ``/v1/metrics`` dict, *without* observing a request.
+
+        The fleet layer merges these per-worker snapshots into one
+        fleet-wide view (see :mod:`repro.fleet.metrics`); the HTTP
+        handler that serves the merged payload observes the request
+        itself, so the split keeps the exactly-once accounting intact.
+        """
         snapshot = self.metrics.snapshot(cache=self.cache.snapshot())
         snapshot["trace"] = get_tracer().snapshot()
         if self.store is not None:
@@ -436,7 +450,7 @@ class QueryService:
                 "misses": self.store.stats.misses,
                 "writes": self.store.stats.writes,
             }
-        return render_payload(snapshot)
+        return snapshot
 
     def __repr__(self) -> str:
         return (

@@ -1,0 +1,1 @@
+"""Tests for the pre-forked fleet serving layer."""

@@ -1,0 +1,171 @@
+"""The Zipf load-test harness, driven against an in-thread server."""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import threading
+
+import pytest
+
+from repro.core import Metric, Platform, REFERENCE_MONTH
+from repro.fleet import SLO, LoadTestError, discover_mix, run_loadtest
+from repro.fleet.loadtest import _percentile, fit_zipf_from_anchors
+from repro.service import QueryService, create_server
+
+
+@pytest.fixture(scope="module")
+def server_url(generator, tmp_path_factory):
+    dataset = generator.generate(
+        countries=("US", "KR"),
+        platforms=Platform.studied(),
+        metrics=Metric.studied(),
+        months=(REFERENCE_MONTH,),
+    )
+    service = QueryService(
+        dataset,
+        store=tmp_path_factory.mktemp("lt") / "artifacts",
+        config=generator.config,
+    )
+    server = create_server(service, port=0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    yield server.url
+    server.shutdown()
+    server.server_close()
+    thread.join(timeout=5)
+
+
+class TestZipfFit:
+    def test_recovers_known_exponent(self):
+        """Cumulative anchors generated from an exact Zipf(1.0) curve
+        fit back to an exponent near 1.0."""
+        n = 100_000
+        s = 1.0
+        harmonic = sum(1.0 / r ** s for r in range(1, n + 1))
+        cumulative = 0.0
+        anchors = []
+        checkpoints = {1, 10, 100, 1_000, 10_000, 100_000}
+        for rank in range(1, n + 1):
+            cumulative += (1.0 / rank ** s) / harmonic
+            if rank in checkpoints:
+                anchors.append([rank, cumulative])
+        fitted = fit_zipf_from_anchors(anchors)
+        assert math.isclose(fitted, s, abs_tol=0.15), fitted
+
+    def test_degenerate_anchors_fall_back(self):
+        assert fit_zipf_from_anchors([]) == 1.0
+        assert fit_zipf_from_anchors([[1, 0.5]]) == 1.0
+        assert fit_zipf_from_anchors([[1, 0.5], [1, 0.5]]) == 1.0
+
+
+class TestPercentile:
+    def test_nearest_rank(self):
+        sample = sorted(float(v) for v in range(1, 101))
+        assert _percentile(sample, 50) == 50.0
+        assert _percentile(sample, 95) == 95.0
+        assert _percentile(sample, 99) == 99.0
+        assert _percentile(sample, 100) == 100.0
+
+    def test_empty_is_zero(self):
+        assert _percentile([], 99) == 0.0
+
+
+class TestDiscovery:
+    def test_mix_reflects_the_dataset(self, server_url):
+        mix = discover_mix(server_url, top_sites=20)
+        assert set(mix.countries) == {"US", "KR"}
+        assert len(mix.sites) == 20
+        assert 0.3 <= mix.zipf_s <= 2.5
+        assert len(mix.entries) == len(mix.weights)
+        # Shares are normalised per endpoint, so total weight is ~1.
+        assert math.isclose(sum(mix.weights), 1.0, rel_tol=0.05)
+
+    def test_unreachable_server(self):
+        with pytest.raises(LoadTestError, match="cannot reach"):
+            discover_mix("http://127.0.0.1:1", timeout=0.5)
+
+
+class TestRun:
+    def test_report_shape_and_bench_json(self, server_url, tmp_path):
+        report = run_loadtest(
+            server_url, requests=60, concurrency=4, seed=11,
+            slo=SLO(error_rate=0.0, p99_ms=60_000),
+        )
+        assert report.requests == 60
+        assert report.errors == 0
+        assert report.ok, report.violations()
+        assert report.throughput_rps > 0
+        assert set(report.endpoints) <= {
+            "rankings", "site", "distribution", "analyses", "healthz",
+        }
+        assert "rankings" in report.endpoints
+
+        out = report.write_bench_json(tmp_path / "BENCH_service.json")
+        payload = json.loads(out.read_text())
+        assert payload["requests"] == 60
+        assert payload["ok"] is True
+        assert payload["slo"]["error_rate"] == 0.0
+        for endpoint in payload["endpoints"].values():
+            assert {"p50_ms", "p95_ms", "p99_ms", "requests"} <= set(endpoint)
+        assert out.read_text().endswith("\n")
+
+    def test_deterministic_schedule(self, server_url):
+        """Same seed, same mix of endpoint counts."""
+        a = run_loadtest(server_url, requests=40, concurrency=2, seed=5)
+        b = run_loadtest(server_url, requests=40, concurrency=2, seed=5)
+        assert (
+            {k: v.requests for k, v in a.endpoints.items()}
+            == {k: v.requests for k, v in b.endpoints.items()}
+        )
+
+    def test_slo_violation_detected(self, server_url):
+        report = run_loadtest(
+            server_url, requests=20, concurrency=2, seed=3,
+            slo=SLO(min_rps=1e9),
+        )
+        assert not report.ok
+        assert any("throughput" in v for v in report.violations())
+
+    def test_baseline_speedup_gate(self, server_url):
+        report = run_loadtest(
+            server_url, requests=20, concurrency=2, seed=3,
+            baseline={"throughput_rps": 1e9}, min_speedup=2.0,
+        )
+        assert report.baseline["speedup"] < 1
+        assert any("speedup" in v for v in report.violations())
+        # Against a trivially slow baseline the same gate passes.
+        report = run_loadtest(
+            server_url, requests=20, concurrency=2, seed=3,
+            baseline={"throughput_rps": 0.001}, min_speedup=2.0,
+        )
+        assert report.ok, report.violations()
+
+    def test_concurrency_validated(self, server_url):
+        with pytest.raises(ValueError, match="concurrency"):
+            run_loadtest(server_url, requests=1, concurrency=0)
+
+    def test_client_procs_validated(self, server_url):
+        with pytest.raises(ValueError, match="client_procs"):
+            run_loadtest(server_url, requests=1, client_procs=0)
+
+    @pytest.mark.skipif(not hasattr(os, "fork"), reason="needs fork()")
+    def test_multiprocess_client(self, server_url):
+        """Forked load generators split the same seeded schedule."""
+        report = run_loadtest(
+            server_url, requests=40, concurrency=4, client_procs=2,
+            seed=7, slo=SLO(error_rate=0.0),
+        )
+        assert report.requests == 40
+        assert report.errors == 0
+        assert report.ok, report.violations()
+        assert report.client_procs == 2
+        assert report.to_payload()["client_procs"] == 2
+        # The endpoint mix matches a single-process client with the
+        # same seed: the schedule is split, never resampled.
+        inline = run_loadtest(server_url, requests=40, concurrency=4, seed=7)
+        assert (
+            {k: v.requests for k, v in report.endpoints.items()}
+            == {k: v.requests for k, v in inline.endpoints.items()}
+        )

@@ -1,0 +1,67 @@
+"""Consistent-hash ring: determinism, stability, balance."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fleet import HashRing
+
+
+class TestValidation:
+    def test_size_must_be_positive(self):
+        with pytest.raises(ValueError, match="ring size"):
+            HashRing(0)
+
+    def test_replicas_must_be_positive(self):
+        with pytest.raises(ValueError, match="replicas"):
+            HashRing(2, replicas=0)
+
+
+class TestOwnership:
+    def test_deterministic_across_instances(self):
+        """Two rings built independently agree on every key — the
+        property worker processes rely on (no coordination)."""
+        keys = [f"v1/rankings?country=C{i}&top=50" for i in range(500)]
+        a, b = HashRing(4), HashRing(4)
+        assert [a.owner(k) for k in keys] == [b.owner(k) for k in keys]
+
+    def test_owner_in_range(self):
+        ring = HashRing(3)
+        for i in range(200):
+            assert 0 <= ring.owner(f"key-{i}") < 3
+
+    def test_single_worker_owns_everything(self):
+        ring = HashRing(1)
+        assert {ring.owner(f"key-{i}") for i in range(100)} == {0}
+
+    def test_stable_under_growth(self):
+        """Adding a worker only moves keys *to* the new worker — keys
+        that stay on an old worker keep their old owner."""
+        keys = [f"key-{i}" for i in range(1000)]
+        small, big = HashRing(3), HashRing(4)
+        moved = 0
+        for key in keys:
+            before, after = small.owner(key), big.owner(key)
+            if after != before:
+                assert after == 3, (key, before, after)
+                moved += 1
+        # ~1/4 of the key space should move, never the majority.
+        assert 0 < moved < len(keys) // 2
+
+
+class TestBalance:
+    def test_spread_sums_to_key_count(self):
+        ring = HashRing(4)
+        keys = [f"key-{i}" for i in range(1000)]
+        spread = ring.spread(keys)
+        assert sum(spread.values()) == len(keys)
+        assert set(spread) == {0, 1, 2, 3}
+
+    def test_no_worker_starved_or_overloaded(self):
+        """With 64 virtual points per worker, each worker's share of a
+        uniform key space stays within 2x of fair."""
+        ring = HashRing(4)
+        spread = ring.spread([f"site:{i}.example" for i in range(4000)])
+        fair = 1000
+        for index, count in spread.items():
+            assert fair / 2 < count < fair * 2, spread

@@ -52,6 +52,51 @@ class TestEviction:
         assert len(cache) == 0
 
 
+class TestByteBudget:
+    def test_evicts_until_under_budget(self):
+        cache = PayloadCache(capacity=100, max_bytes=10)
+        cache.put(("a",), b"xxxx")       # 4 bytes
+        cache.put(("b",), b"yyyy")       # 8 bytes
+        assert cache.cache_bytes == 8
+        cache.put(("c",), b"zzzzzz")     # 14 -> evict LRU ("a",) -> 10
+        assert ("a",) not in cache
+        assert ("b",) in cache and ("c",) in cache
+        assert cache.cache_bytes == 10
+        assert cache.evictions == 1
+
+    def test_recency_protects_entries_from_byte_eviction(self):
+        cache = PayloadCache(capacity=100, max_bytes=8)
+        cache.put(("a",), b"aaaa")
+        cache.put(("b",), b"bbbb")
+        cache.get(("a",))                # "b" is now LRU
+        cache.put(("c",), b"cc")
+        assert ("a",) in cache
+        assert ("b",) not in cache
+
+    def test_oversized_payload_served_but_never_stored(self):
+        cache = PayloadCache(capacity=100, max_bytes=4)
+        cache.put(("small",), b"ok")
+        assert cache.put(("big",), b"x" * 64) == b"x" * 64
+        assert ("big",) not in cache
+        # The small entry survives: the oversized payload evicted nothing.
+        assert ("small",) in cache
+        assert cache.oversized == 1
+        assert cache.evictions == 0
+
+    def test_bytes_tracked_through_eviction_churn(self):
+        cache = PayloadCache(capacity=3, max_bytes=1000)
+        for i in range(50):
+            cache.put((f"k{i}",), bytes(10 + i % 7))
+        assert len(cache) == 3
+        assert cache.cache_bytes == sum(
+            len(v) for v in [cache.get((f"k{i}",)) for i in (47, 48, 49)]
+        )
+
+    def test_negative_max_bytes_rejected(self):
+        with pytest.raises(ValueError, match="max_bytes"):
+            PayloadCache(capacity=4, max_bytes=-1)
+
+
 class TestSnapshot:
     def test_snapshot_shape(self):
         cache = PayloadCache(capacity=8)
@@ -61,9 +106,12 @@ class TestSnapshot:
         assert cache.snapshot() == {
             "capacity": 8,
             "size": 1,
+            "cache_bytes": 1,
+            "max_bytes": None,
             "hits": 1,
             "misses": 1,
             "evictions": 0,
+            "oversized": 0,
         }
 
 
