@@ -49,7 +49,9 @@ from .core import (
 # ``from repro.report import render_table`` keeps working everywhere
 # while the attribute ``repro.report`` is the facade function below.
 from . import report as _report_module  # noqa: F401
-from .api import analyze, convert, generate, load, loadtest, report, serve
+from .api import (
+    analyze, convert, generate, ingest, load, loadtest, report, serve,
+)
 
 __version__ = "1.1.0"
 
@@ -67,6 +69,7 @@ __all__ = [
     "analyze",
     "convert",
     "generate",
+    "ingest",
     "load",
     "loadtest",
     "report",

@@ -1,17 +1,26 @@
 """repro.api — the stable top-level facade.
 
-Six verbs cover the library's lifecycle, re-exported from
+Seven verbs cover the library's lifecycle, re-exported from
 ``repro/__init__.py`` so no consumer needs a deep import:
 
 * :func:`generate` — build a dataset (optionally parallel, cached,
   lazy, and/or saved to disk in either storage format);
 * :func:`load` — read a saved dataset back (codec auto-detected; a
-  columnar directory opens memory-mapped in O(open));
+  columnar directory opens memory-mapped in O(open)); ``as_of=``
+  opens an earlier dataset version through its archived manifest;
+* :func:`ingest` — append new months to a saved dataset in place,
+  bumping its dataset version and archiving the previous manifest;
 * :func:`convert` — re-encode a saved dataset between the text and
   columnar codecs, byte-identically;
 * :func:`analyze` — run one pipeline task and return its result;
 * :func:`report` — run the full analysis DAG into a run directory;
 * :func:`serve` — stand up the HTTP serving layer over a dataset.
+
+Dataset-versioned verbs (:func:`load`, :func:`analyze`, :func:`report`,
+:func:`serve`) take a keyword-only ``as_of=<version>`` selecting which
+dataset version to read (default: latest).  The handle :func:`load`
+returns exposes ``.version``, ``.months`` and ``.fingerprint``, so
+callers can record exactly what they analysed.
 
 Every function accepts plain strings where an enum or value type would
 otherwise be required (``platforms=("windows",)``,
@@ -67,21 +76,72 @@ def _metrics(values: Iterable["Metric | str"] | None) -> tuple[Metric, ...] | No
     return tuple(Metric(v) if isinstance(v, str) else v for v in values)
 
 
-def load(data: "DatasetLike", *, format: str | None = None) -> "BrowsingDataset":
+def load(
+    data: "DatasetLike",
+    *,
+    format: str | None = None,
+    as_of: int | None = None,
+) -> "BrowsingDataset":
     """A :class:`BrowsingDataset` from a saved directory (or passthrough).
 
     The storage codec is auto-detected (``format=None``): a columnar
     directory comes back as a memory-mapped
     :class:`~repro.store.MappedBrowsingDataset` whose lists materialise
-    lazily, a text directory as the eager container.
+    lazily, a text directory as the eager container.  ``as_of=<version>``
+    opens that archived dataset version instead of the latest (raising
+    :class:`~repro.export.io.UnknownVersionError` with the available
+    versions if it does not exist).  The returned handle carries
+    ``.version``, ``.months`` and ``.fingerprint``.
     """
     from .core.dataset import BrowsingDataset
 
     if isinstance(data, BrowsingDataset):
+        if as_of is not None and int(as_of) != int(data.version):
+            raise ValueError(
+                f"as_of={as_of} cannot re-open an in-memory dataset "
+                f"(its version is {data.version}); pass the saved "
+                "dataset path instead"
+            )
         return data
     from .export.io import load_dataset
 
-    return load_dataset(data, format=format)
+    return load_dataset(data, format=format, as_of=as_of)
+
+
+def ingest(
+    data: str | Path,
+    months: Iterable["Month | str"],
+    *,
+    format: str | None = None,
+    config: "GeneratorConfig | None" = None,
+    small: bool = False,
+    seed: int | None = None,
+    jobs: int | None = None,
+    cache: "SliceCache | str | Path | None" = None,
+):
+    """Append ``months`` to the saved dataset at ``data``, in place.
+
+    Generates only the missing month slices (through the same
+    :class:`~repro.engine.GenerationEngine` as :func:`generate`, so the
+    grown dataset is byte-identical to one generated with all months up
+    front), archives the previous manifest under ``versions/`` and bumps
+    the dataset version.  Months already present are skipped; if nothing
+    is missing the dataset is untouched — a byte-identical no-op.
+    Returns an :class:`~repro.store.IngestReport` (``.version_before``,
+    ``.version``, ``.months_added``, ``.changed``).
+    """
+    from .store.ingest import ingest_months
+
+    return ingest_months(
+        data,
+        months,
+        format=format,
+        config=config,
+        small=small,
+        seed=seed,
+        jobs=jobs,
+        cache=cache,
+    )
 
 
 def convert(
@@ -185,19 +245,22 @@ def analyze(
     month: "Month | str | None" = None,
     small: bool = False,
     seed: int | None = None,
+    as_of: int | None = None,
 ) -> object:
     """Run one registered pipeline task and return its (JSON-shaped) result.
 
     Dependencies are resolved and cached through the same
     :class:`~repro.pipeline.PipelineRunner` the full report uses.
-    Raises :class:`~repro.core.errors.PipelineError` if the task body
+    ``as_of=<version>`` analyses that archived dataset version instead
+    of the latest.  Raises
+    :class:`~repro.core.errors.PipelineError` if the task body
     failed and :class:`~repro.core.errors.TaskUnavailable` if this
     dataset cannot support it.
     """
     from .core.errors import PipelineError, TaskUnavailable
     from .pipeline import TaskStatus, run_pipeline
 
-    dataset = load(data)
+    dataset = load(data, as_of=as_of)
     report = run_pipeline(
         dataset,
         [task],
@@ -225,21 +288,23 @@ def report(
     month: "Month | str | None" = None,
     small: bool = False,
     seed: int | None = None,
+    as_of: int | None = None,
     trace: str | Path | None = None,
 ) -> "RunReport":
     """Run the analysis DAG into a run directory; returns the run report.
 
     The artifact store defaults to ``<data>/.artifacts`` when ``data``
     is a saved-dataset path (so identical reruns execute zero tasks);
-    pass ``no_store=True`` to recompute everything.  ``trace`` writes a
-    JSONL span trace covering dataset load (incl. any engine work a
-    lazy dataset triggers) and every pipeline task.
+    pass ``no_store=True`` to recompute everything.  ``as_of=<version>``
+    reports over that archived dataset version instead of the latest.
+    ``trace`` writes a JSONL span trace covering dataset load (incl.
+    any engine work a lazy dataset triggers) and every pipeline task.
     """
     from .obs import tracing
     from .pipeline import default_registry, run_pipeline, write_run_dir
 
     with tracing(trace):
-        dataset = load(data)
+        dataset = load(data, as_of=as_of)
         if no_store:
             store = None
         elif store is None and isinstance(data, (str, Path)):
@@ -268,20 +333,26 @@ def _build_service(
     month: "Month | str | None" = None,
     small: bool = False,
     seed: int | None = None,
+    as_of: int | None = None,
 ):
     """The :class:`~repro.service.QueryService` behind :func:`serve`.
 
     Shared by the single-process server and every fleet worker (which
     calls this *after* forking, so a columnar dataset mmaps in the
-    worker and the page cache is the one shared copy).
+    worker and the page cache is the one shared copy).  ``as_of`` pins
+    the service to one dataset version; the default (latest) service
+    follows the live manifest and picks up ingests without a restart.
     """
     from .service.query import QueryService
 
-    dataset = load(data)
+    dataset = load(data, as_of=as_of)
     if no_store:
         store = None
     elif store is None and isinstance(data, (str, Path)):
         store = Path(data) / ".artifacts"
+    root = data if isinstance(data, (str, Path)) else getattr(
+        dataset, "root", None
+    )
     return QueryService(
         dataset,
         store=store,
@@ -290,6 +361,8 @@ def _build_service(
         cache=cache_size,
         cache_bytes=cache_bytes,
         jobs=jobs,
+        root=root,
+        version=int(as_of) if as_of is not None else None,
     )
 
 
@@ -308,10 +381,17 @@ def serve(
     month: "Month | str | None" = None,
     small: bool = False,
     seed: int | None = None,
+    as_of: int | None = None,
     block: bool = True,
     trace: str | Path | None = None,
 ):
     """Serve a dataset over the JSON HTTP API (see :mod:`repro.service`).
+
+    ``as_of=<version>`` pins the whole server to one archived dataset
+    version; by default it serves the latest version and follows the
+    live manifest (an ``ingest`` into the same directory is picked up
+    on the next request, and clients can still query older versions per
+    request with ``?as_of=``).
 
     With ``block=True`` (the default) this serves until interrupted and
     returns ``None``.  With ``block=False`` it returns the bound
@@ -365,6 +445,7 @@ def serve(
             month=month,
             small=small,
             seed=seed,
+            as_of=as_of,
         )
         if not block:
             return supervisor.start()
@@ -387,6 +468,7 @@ def serve(
             month=month,
             small=small,
             seed=seed,
+            as_of=as_of,
         )
         server = create_server(service, host=host, port=port)
     except BaseException:
@@ -446,5 +528,6 @@ def loadtest(
 
 
 __all__ = [
-    "analyze", "convert", "generate", "load", "loadtest", "report", "serve",
+    "analyze", "convert", "generate", "ingest", "load", "loadtest",
+    "report", "serve",
 ]

@@ -3,6 +3,7 @@
 Commands
 --------
 generate   Build a synthetic telemetry dataset and save it to disk.
+ingest     Append new months to a saved dataset, bumping its version.
 convert    Re-encode a saved dataset (text <-> columnar), losslessly.
 inspect    Print the head of rank lists from a saved dataset.
 analyze    Run one pipeline task over a saved dataset and print it.
@@ -66,7 +67,9 @@ def _build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     gen = sub.add_parser("generate", help="generate and save a dataset")
-    gen.add_argument("--out", required=True, help="output directory")
+    gen.add_argument("--out", "--data", dest="out", required=True,
+                     help="output directory (--data is accepted too, "
+                          "matching ingest/analyze/serve)")
     gen.add_argument("--small", action="store_true",
                      help="use the small test-scale universe")
     gen.add_argument("--seed", type=int, default=2022)
@@ -101,14 +104,45 @@ def _build_parser() -> argparse.ArgumentParser:
         "convert",
         help="re-encode a saved dataset between storage codecs",
     )
-    conv.add_argument("src", help="source dataset directory (codec "
-                                  "auto-detected)")
-    conv.add_argument("dst", help="destination directory to write")
+    conv.add_argument("src", nargs="?", default=None,
+                      help="source dataset directory (codec "
+                           "auto-detected); --data works too")
+    conv.add_argument("dst", nargs="?", default=None,
+                      help="destination directory to write; --out works too")
+    conv.add_argument("--data", dest="data", default=None,
+                      help="source dataset directory (same flag as "
+                           "ingest/analyze/serve)")
+    conv.add_argument("--out", dest="out", default=None,
+                      help="destination directory (same flag as generate)")
     conv.add_argument("--format", default="columnar",
                       choices=("text", "columnar"),
                       help="destination codec (default: columnar); "
                            "round-trips are byte-identical and keep "
                            "the dataset fingerprint")
+
+    ing = sub.add_parser(
+        "ingest",
+        help="append new months to a saved dataset, in place",
+    )
+    ing.add_argument("--data", required=True,
+                     help="saved dataset directory to grow")
+    ing.add_argument("--months", "--month", dest="months", nargs="+",
+                     type=_parse_month, required=True,
+                     help="months to append, e.g. 2022-03 (already-present "
+                          "months are skipped; a fully-present set is a "
+                          "byte-identical no-op)")
+    ing.add_argument("--format", default=None,
+                     choices=("text", "columnar"),
+                     help="storage codec (default: auto-detected)")
+    ing.add_argument("--jobs", type=int, default=1,
+                     help="parallel worker processes for the new slices "
+                          "(default: 1 = serial; byte-identical either way)")
+    ing.add_argument("--cache-dir", default=None,
+                     help="content-addressed slice cache directory")
+    ing.add_argument("--small", action="store_true",
+                     help="dataset was generated with --small")
+    ing.add_argument("--seed", type=int, default=None,
+                     help="generator seed (default: the dataset's own)")
 
     ins = sub.add_parser("inspect", help="print rank-list heads")
     ins.add_argument("--data", required=True)
@@ -127,6 +161,9 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="dataset was generated with --small (labels)")
     ana.add_argument("--seed", type=int, default=None,
                      help="generator seed (default: the dataset's own)")
+    ana.add_argument("--as-of", type=int, default=None, metavar="VERSION",
+                     help="analyse this archived dataset version "
+                          "(default: latest)")
 
     rep = sub.add_parser(
         "report", help="run the full analysis DAG into a run directory"
@@ -139,10 +176,13 @@ def _build_parser() -> argparse.ArgumentParser:
     rep.add_argument("--tasks", nargs="*", default=None,
                      help="task subset (dependencies are pulled in; "
                           "default: the whole registry)")
-    rep.add_argument("--artifacts", default=None,
+    rep.add_argument("--store", default=None,
                      help="artifact store directory "
                           "(default: <data>/.artifacts)")
-    rep.add_argument("--no-artifacts", action="store_true",
+    rep.add_argument("--artifacts", default=None,
+                     help="deprecated alias for --store")
+    rep.add_argument("--no-store", "--no-artifacts", dest="no_store",
+                     action="store_true",
                      help="recompute everything; do not read or write "
                           "the artifact store")
     rep.add_argument("--month", type=_parse_month, default=None,
@@ -151,6 +191,9 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="dataset was generated with --small (labels)")
     rep.add_argument("--seed", type=int, default=None,
                      help="generator seed (default: the dataset's own)")
+    rep.add_argument("--as-of", type=int, default=None, metavar="VERSION",
+                     help="report over this archived dataset version "
+                          "(default: latest)")
     rep.add_argument("--trace", default=None, metavar="PATH",
                      help="write a JSONL span trace of the run "
                           "(every pipeline task with status + timing)")
@@ -162,10 +205,13 @@ def _build_parser() -> argparse.ArgumentParser:
     srv.add_argument("--host", default="127.0.0.1")
     srv.add_argument("--port", type=int, default=8000,
                      help="listen port (0 picks a free one; default: 8000)")
-    srv.add_argument("--artifacts", default=None,
+    srv.add_argument("--store", default=None,
                      help="artifact store directory "
                           "(default: <data>/.artifacts)")
-    srv.add_argument("--no-artifacts", action="store_true",
+    srv.add_argument("--artifacts", default=None,
+                     help="deprecated alias for --store")
+    srv.add_argument("--no-store", "--no-artifacts", dest="no_store",
+                     action="store_true",
                      help="serve analyses without reading or writing "
                           "the artifact store")
     srv.add_argument("--workers", type=int, default=1,
@@ -187,6 +233,9 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="dataset was generated with --small (labels)")
     srv.add_argument("--seed", type=int, default=None,
                      help="generator seed (default: the dataset's own)")
+    srv.add_argument("--as-of", type=int, default=None, metavar="VERSION",
+                     help="pin the server to this archived dataset version "
+                          "(default: serve the latest and follow ingests)")
     srv.add_argument("--trace", default=None, metavar="PATH",
                      help="write a JSONL span trace on shutdown "
                           "(one http.request span per request)")
@@ -296,17 +345,58 @@ def _cmd_convert(args: argparse.Namespace) -> int:
     from .core.errors import DatasetError
     from .export.io import detect_format
 
-    source_format = detect_format(args.src)
+    src = args.data if args.data is not None else args.src
+    dst = args.out if args.out is not None else args.dst
+    if src is None or dst is None:
+        print("convert needs a source and a destination: either "
+              "positionally (`repro convert SRC DST`) or as "
+              "`--data SRC --out DST`", file=sys.stderr)
+        return 2
+    source_format = detect_format(src)
     if source_format is None:
-        print(f"no dataset under {args.src} (neither manifest.bin nor "
+        print(f"no dataset under {src} (neither manifest.bin nor "
               "manifest.json)", file=sys.stderr)
         return 2
     try:
-        dst = api.convert(args.src, args.dst, format=args.format)
+        dst = api.convert(src, dst, format=args.format)
     except DatasetError as exc:
         print(exc, file=sys.stderr)
         return 2
-    print(f"converted {args.src} ({source_format}) -> {dst} ({args.format})")
+    print(f"converted {src} ({source_format}) -> {dst} ({args.format})")
+    return 0
+
+
+def _cmd_ingest(args: argparse.Namespace) -> int:
+    from . import api
+    from .core.errors import DatasetError
+    from .engine import SliceCache
+
+    cache = SliceCache(args.cache_dir) if args.cache_dir else None
+    try:
+        result = api.ingest(
+            args.data,
+            tuple(args.months),
+            format=args.format,
+            small=args.small,
+            seed=args.seed,
+            jobs=args.jobs,
+            cache=cache,
+        )
+    except DatasetError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    if not result.changed:
+        print(f"{args.data} already has "
+              f"{' '.join(str(m) for m in result.months_present)}; "
+              f"nothing to ingest (still version {result.version})")
+        return 0
+    print(f"ingested {' '.join(str(m) for m in result.months_added)} "
+          f"into {args.data} ({result.format}): "
+          f"{result.slices_added} new slices in {result.seconds:.2f}s")
+    print(f"dataset version {result.version_before} -> {result.version} "
+          f"({len(result.months_present)} months)")
+    if cache is not None:
+        print(f"slice cache {cache.root}: {cache.stats}")
     return 0
 
 
@@ -344,13 +434,19 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
 
 def _cmd_analyze(args: argparse.Namespace) -> int:
     from . import api
-    from .core.errors import PipelineError, TaskUnavailable
+    from .core.errors import DatasetError, PipelineError, TaskUnavailable
     from .pipeline import canonical_json, default_registry
 
     try:
         result = api.analyze(
-            args.data, args.analysis, small=args.small, seed=args.seed
+            args.data, args.analysis, small=args.small, seed=args.seed,
+            as_of=args.as_of,
         )
+    except DatasetError as exc:
+        # Covers an unknown --as-of too: the message lists the
+        # available versions, mirroring unknown-country/unknown-task.
+        print(exc, file=sys.stderr)
+        return 2
     except TaskUnavailable as exc:
         print(exc, file=sys.stderr)
         return 2
@@ -362,26 +458,43 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     return 0
 
 
+def _store_path(args: argparse.Namespace, command: str):
+    from ._compat import deprecated_alias
+
+    return deprecated_alias(
+        args.store, args.artifacts,
+        owner=f"repro {command}", old="--artifacts", new="--store",
+    )
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     from . import api
+    from .core.errors import DatasetError
     from .pipeline import ArtifactStore
 
-    if args.no_artifacts:
+    if args.no_store:
         store = None
     else:
-        store = ArtifactStore(args.artifacts or Path(args.data) / ".artifacts")
-    report = api.report(
-        args.data,
-        args.out,
-        tasks=args.tasks,
-        jobs=args.jobs,
-        store=store,
-        no_store=args.no_artifacts,
-        month=args.month,
-        small=args.small,
-        seed=args.seed,
-        trace=args.trace,
-    )
+        store = ArtifactStore(
+            _store_path(args, "report") or Path(args.data) / ".artifacts"
+        )
+    try:
+        report = api.report(
+            args.data,
+            args.out,
+            tasks=args.tasks,
+            jobs=args.jobs,
+            store=store,
+            no_store=args.no_store,
+            month=args.month,
+            small=args.small,
+            seed=args.seed,
+            as_of=args.as_of,
+            trace=args.trace,
+        )
+    except DatasetError as exc:
+        print(exc, file=sys.stderr)
+        return 2
     for name in report.order:
         record = report.records[name]
         note = f"  ({record.error})" if record.error else ""
@@ -398,6 +511,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
 
 def _cmd_serve(args: argparse.Namespace) -> int:
     from . import api
+    from .core.errors import DatasetError
     from .service import ENDPOINTS, serve_forever
 
     if args.workers > 1 and args.trace:
@@ -405,48 +519,68 @@ def _cmd_serve(args: argparse.Namespace) -> int:
               "(fleet workers would race on one trace file)",
               file=sys.stderr)
         return 2
+    store = _store_path(args, "serve")
     # Either branch prints `serving {data} on {url}` first — the URL is
     # the *resolved* bound address (also for --port 0), and CI smoke
-    # greps exactly this line.
+    # greps exactly this line.  The served dataset version goes on its
+    # own line right after, so the grep target never changes shape.
     if args.workers > 1:
-        supervisor = api.serve(
+        from .export.io import latest_version
+
+        try:
+            version = (args.as_of if args.as_of is not None
+                       else latest_version(args.data))
+            supervisor = api.serve(
+                args.data,
+                host=args.host,
+                port=args.port,
+                workers=args.workers,
+                store=store,
+                no_store=args.no_store,
+                cache_size=args.cache_size,
+                cache_bytes=args.cache_bytes,
+                jobs=args.jobs,
+                month=args.month,
+                small=args.small,
+                seed=args.seed,
+                as_of=args.as_of,
+                block=False,
+            )
+        except DatasetError as exc:
+            print(exc, file=sys.stderr)
+            return 2
+        print(f"serving {args.data} on {supervisor.url}", flush=True)
+        print(f"dataset version {version}"
+              + (" (pinned)" if args.as_of is not None else ""), flush=True)
+        pids = " ".join(str(pid) for pid in supervisor.worker_pids())
+        print(f"fleet: {args.workers} workers (pids {pids})", flush=True)
+        print("endpoints: " + " ".join(ENDPOINTS), flush=True)
+        return supervisor.wait()
+    try:
+        server = api.serve(
             args.data,
             host=args.host,
             port=args.port,
-            workers=args.workers,
-            store=args.artifacts,
-            no_store=args.no_artifacts,
+            store=store,
+            no_store=args.no_store,
             cache_size=args.cache_size,
             cache_bytes=args.cache_bytes,
             jobs=args.jobs,
             month=args.month,
             small=args.small,
             seed=args.seed,
+            as_of=args.as_of,
             block=False,
+            trace=args.trace,
         )
-        print(f"serving {args.data} on {supervisor.url}", flush=True)
-        pids = " ".join(str(pid) for pid in supervisor.worker_pids())
-        print(f"fleet: {args.workers} workers (pids {pids})", flush=True)
-        print("endpoints: " + " ".join(ENDPOINTS), flush=True)
-        return supervisor.wait()
-    server = api.serve(
-        args.data,
-        host=args.host,
-        port=args.port,
-        store=args.artifacts,
-        no_store=args.no_artifacts,
-        cache_size=args.cache_size,
-        cache_bytes=args.cache_bytes,
-        jobs=args.jobs,
-        month=args.month,
-        small=args.small,
-        seed=args.seed,
-        block=False,
-        trace=args.trace,
-    )
+    except DatasetError as exc:
+        print(exc, file=sys.stderr)
+        return 2
     # server.url substitutes loopback for a wildcard bind, so the
     # printed address is always connectable (and greppable by CI).
     print(f"serving {args.data} on {server.url}", flush=True)
+    print(f"dataset version {server.service.current_version()}"
+          + (" (pinned)" if args.as_of is not None else ""), flush=True)
     print("endpoints: " + " ".join(ENDPOINTS), flush=True)
     if args.trace:
         print(f"tracing to {args.trace} (written on shutdown)", flush=True)
@@ -599,6 +733,7 @@ def _cmd_world(_: argparse.Namespace) -> int:
 
 _COMMANDS = {
     "generate": _cmd_generate,
+    "ingest": _cmd_ingest,
     "convert": _cmd_convert,
     "inspect": _cmd_inspect,
     "analyze": _cmd_analyze,

@@ -32,6 +32,13 @@ class BrowsingDataset:
     #: memory-mapped stores).  Surfaced by ``/v1/healthz``.
     storage = "memory"
 
+    #: The monotonically increasing dataset version.  A freshly
+    #: generated dataset is version 1; every ``repro ingest`` that
+    #: appends months bumps it by one.  Loaders overwrite the instance
+    #: attribute from the saved manifest; the serving layer pins a
+    #: version per request (``?as_of=``).
+    version: int = 1
+
     def __init__(
         self,
         lists: Mapping[Breakdown, RankedList],
@@ -73,6 +80,20 @@ class BrowsingDataset:
     @property
     def metadata(self) -> Mapping[str, object]:
         return dict(self._metadata)
+
+    @property
+    def fingerprint(self) -> str:
+        """The dataset's content address (see ``export.io``).
+
+        Engine-provenanced datasets answer from their recorded metadata,
+        columnar datasets from their manifest; only an unprovenanced
+        in-memory dataset pays a content hash.  Together with
+        :attr:`version` and :attr:`months` this makes a loaded dataset a
+        self-describing handle for the ``repro.api`` facade.
+        """
+        from ..export.io import dataset_fingerprint
+
+        return dataset_fingerprint(self)
 
     def breakdowns(self) -> Iterator[Breakdown]:
         return iter(self._lists)

@@ -55,6 +55,33 @@ from ..core.types import Breakdown, Metric, Month, Platform
 
 TEXT_FORMAT_VERSION = 1
 
+#: Subdirectory where superseded manifests are archived by ingest.
+#: ``versions/manifest.v<N>.json`` (text) / ``.bin`` (columnar) pins
+#: dataset version N; its list data stays valid because ingest is
+#: append-only — old windows and old list files are never rewritten.
+VERSIONS_DIR = "versions"
+
+
+def dataset_version(dataset: BrowsingDataset) -> int:
+    """The dataset's monotonic version (1 for pre-versioned saves)."""
+    try:
+        return int(getattr(dataset, "version", 1))
+    except (TypeError, ValueError):
+        return 1
+
+
+class UnknownVersionError(DatasetError):
+    """An ``as_of`` version that no manifest (live or archived) pins."""
+
+    def __init__(self, root: Path, wanted: int, available: tuple[int, ...]):
+        self.wanted = wanted
+        self.available = available
+        choices = ", ".join(str(v) for v in available)
+        super().__init__(
+            f"unknown dataset version {wanted} at {root}; "
+            f"available versions: {choices}"
+        )
+
 
 def breakdown_slug(breakdown: Breakdown) -> str:
     """The filesystem-safe name for one breakdown's list file."""
@@ -165,12 +192,27 @@ def dataset_fingerprint(dataset: BrowsingDataset) -> str:
 
 @dataclass(frozen=True)
 class DatasetCodec:
-    """One on-disk dataset encoding: how to save, load and recognise it."""
+    """One on-disk dataset encoding: how to save, load and recognise it.
+
+    The three optional fields opt a codec into versioned (``as_of``)
+    loading: ``manifest`` names the live manifest file, ``read_version``
+    reads the ``dataset_version`` out of one manifest file, and
+    ``load_at`` loads the dataset *as described by* an archived manifest
+    under ``versions/`` (valid because ingest appends, never rewrites).
+    """
 
     name: str
     save: Callable[[BrowsingDataset, Path], Path]
     load: Callable[[Path], BrowsingDataset]
     detect: Callable[[Path], bool]
+    manifest: str | None = None
+    read_version: Callable[[Path], int] | None = None
+    load_at: Callable[[Path, Path], BrowsingDataset] | None = None
+
+    def archived_manifest(self, root: Path, version: int) -> Path:
+        """Where ingest archives the manifest that pinned ``version``."""
+        suffix = Path(self.manifest).suffix if self.manifest else ""
+        return Path(root) / VERSIONS_DIR / f"manifest.v{version}{suffix}"
 
 
 _CODECS: dict[str, DatasetCodec] = {}
@@ -235,13 +277,7 @@ def save_dataset(
     return codec_for(format).save(dataset, Path(root))
 
 
-def load_dataset(root: str | Path, *, format: str | None = None) -> BrowsingDataset:
-    """Load a dataset previously written by :func:`save_dataset`.
-
-    With ``format=None`` (the default) the codec is auto-detected from
-    the files present; pass a name to force one.
-    """
-    root = Path(root)
+def _resolve_codec(root: Path, format: str | None) -> DatasetCodec:
     if format is None:
         format = detect_format(root)
         if format is None:
@@ -249,7 +285,78 @@ def load_dataset(root: str | Path, *, format: str | None = None) -> BrowsingData
                 f"no dataset under {root}: neither manifest.bin (columnar) "
                 "nor manifest.json (text) is present"
             )
-    return codec_for(format).load(root)
+    return codec_for(format)
+
+
+def dataset_versions(
+    root: str | Path, *, format: str | None = None
+) -> tuple[int, ...]:
+    """Every loadable version at ``root``: archived ones plus the live one.
+
+    A dataset that has never been ingested into has exactly one version
+    (whatever its manifest records, 1 for pre-versioned saves); every
+    ingest archives the superseded manifest under ``versions/`` and
+    bumps the live one.
+    """
+    root = Path(root)
+    codec = _resolve_codec(root, format)
+    if codec.manifest is None or codec.read_version is None:
+        raise DatasetError(
+            f"codec {codec.name!r} does not support versioned loading"
+        )
+    versions = {codec.read_version(root / codec.manifest)}
+    suffix = Path(codec.manifest).suffix
+    for path in (root / VERSIONS_DIR).glob(f"manifest.v*{suffix}"):
+        stem = path.name[len("manifest.v"):]
+        stem = stem[: -len(suffix)] if suffix else stem
+        try:
+            versions.add(int(stem))
+        except ValueError:
+            continue
+    return tuple(sorted(versions))
+
+
+def latest_version(root: str | Path, *, format: str | None = None) -> int:
+    """The version the live manifest at ``root`` records."""
+    root = Path(root)
+    codec = _resolve_codec(root, format)
+    if codec.manifest is None or codec.read_version is None:
+        raise DatasetError(
+            f"codec {codec.name!r} does not support versioned loading"
+        )
+    return codec.read_version(root / codec.manifest)
+
+
+def load_dataset(
+    root: str | Path,
+    *,
+    format: str | None = None,
+    as_of: int | None = None,
+) -> BrowsingDataset:
+    """Load a dataset previously written by :func:`save_dataset`.
+
+    With ``format=None`` (the default) the codec is auto-detected from
+    the files present; pass a name to force one.  ``as_of`` loads a
+    specific dataset version: the live manifest when it matches, else
+    the archived manifest under ``versions/`` — raising
+    :class:`UnknownVersionError` (listing the available versions) when
+    neither pins it.
+    """
+    root = Path(root)
+    codec = _resolve_codec(root, format)
+    if as_of is None:
+        return codec.load(root)
+    wanted = int(as_of)
+    available = dataset_versions(root, format=codec.name)
+    if wanted not in available:
+        raise UnknownVersionError(root, wanted, available)
+    if wanted == codec.read_version(root / codec.manifest):
+        return codec.load(root)
+    if codec.load_at is None:  # pragma: no cover - registry misuse
+        raise DatasetError(
+            f"codec {codec.name!r} cannot load archived versions"
+        )
+    return codec.load_at(root, codec.archived_manifest(root, wanted))
 
 
 def convert_dataset(
@@ -311,6 +418,7 @@ def _save_text(dataset: BrowsingDataset, root: Path) -> Path:
 
     manifest = {
         "format_version": TEXT_FORMAT_VERSION,
+        "dataset_version": dataset_version(dataset),
         "metadata": _jsonable_metadata(dataset.metadata),
         "breakdowns": breakdowns,
         "distributions": distribution_entries(dataset),
@@ -321,10 +429,13 @@ def _save_text(dataset: BrowsingDataset, root: Path) -> Path:
     return root
 
 
-def _load_text(root: Path) -> BrowsingDataset:
-    manifest_path = root / "manifest.json"
+def _load_text(
+    root: Path, manifest_path: Path | None = None
+) -> BrowsingDataset:
+    if manifest_path is None:
+        manifest_path = root / "manifest.json"
     if not manifest_path.is_file():
-        raise DatasetError(f"no manifest.json under {root}")
+        raise DatasetError(f"no {manifest_path.name} under {root}")
     manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
     if manifest.get("format_version") != TEXT_FORMAT_VERSION:
         raise DatasetError(
@@ -351,7 +462,18 @@ def _load_text(root: Path) -> BrowsingDataset:
         )
 
     distributions = parse_distribution_entries(manifest["distributions"])
-    return BrowsingDataset(lists, distributions, manifest.get("metadata", {}))
+    dataset = BrowsingDataset(
+        lists, distributions, manifest.get("metadata", {})
+    )
+    dataset.version = int(manifest.get("dataset_version", 1))
+    return dataset
+
+
+def _read_text_version(manifest_path: Path) -> int:
+    if not manifest_path.is_file():
+        raise DatasetError(f"no {manifest_path.name} at {manifest_path}")
+    manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+    return int(manifest.get("dataset_version", 1))
 
 
 register_codec(
@@ -360,6 +482,9 @@ register_codec(
         save=_save_text,
         load=_load_text,
         detect=lambda root: (root / "manifest.json").is_file(),
+        manifest="manifest.json",
+        read_version=_read_text_version,
+        load_at=_load_text,
     )
 )
 

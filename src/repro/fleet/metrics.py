@@ -58,6 +58,7 @@ def merge_snapshots(snapshots: Iterable[Mapping]) -> dict[str, object]:
     counters: dict[str, int] = {}
     cache: dict[str, object] = {}
     store: dict[str, object] = {}
+    datasets: list[Mapping] = []
     requests_total = 0
     saw_cache = saw_store = False
     for snap in snapshots:
@@ -76,6 +77,8 @@ def merge_snapshots(snapshots: Iterable[Mapping]) -> dict[str, object]:
             _merge_counts(
                 store, {k: v for k, v in block.items() if k != "root"}
             )
+        if "dataset" in snap:
+            datasets.append(snap["dataset"])
     merged: dict[str, object] = {
         "endpoints": {name: endpoints[name] for name in sorted(endpoints)},
         "counters": dict(sorted(counters.items())),
@@ -85,4 +88,21 @@ def merge_snapshots(snapshots: Iterable[Mapping]) -> dict[str, object]:
         merged["cache"] = cache
     if saw_store:
         merged["artifact_store"] = store
+    if datasets:
+        # Versions do NOT sum: the fleet view reports the newest one,
+        # the per-worker spread, and whether every worker has converged
+        # to the same version (the post-ingest smoke assertion).
+        versions = sorted({int(d.get("version", 1)) for d in datasets})
+        newest = max(
+            datasets, key=lambda d: int(d.get("version", 1))
+        )
+        merged["dataset"] = {
+            "version": versions[-1],
+            "versions": versions,
+            "converged": len(versions) == 1,
+            "months": list(newest.get("months", [])),
+            "pending_slices": sum(
+                int(d.get("pending_slices", 0)) for d in datasets
+            ),
+        }
     return merged

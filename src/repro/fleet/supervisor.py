@@ -62,6 +62,7 @@ class FleetSupervisor:
         month=None,
         small: bool = False,
         seed: int | None = None,
+        as_of: int | None = None,
         replicas: int = 64,
         proxy_timeout: float = 5.0,
         drain_timeout: float = 10.0,
@@ -86,6 +87,7 @@ class FleetSupervisor:
             month=str(month) if month is not None else None,
             small=small,
             seed=seed,
+            as_of=int(as_of) if as_of is not None else None,
             replicas=replicas,
             proxy_timeout=proxy_timeout,
             drain_timeout=drain_timeout,

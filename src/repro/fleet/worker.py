@@ -56,20 +56,30 @@ _ROUTED_HEADS = frozenset({"rankings", "sites", "distributions", "analyses"})
 
 
 def payload_route_key(
-    segments: tuple[str, ...], params: dict[str, str]
+    segments: tuple[str, ...],
+    params: dict[str, str],
+    version: int | str | None = None,
 ) -> str | None:
     """The ownership key for a request, or ``None`` to answer locally.
 
     The key is a pure function of the *canonicalised* query (sorted
     params), so every worker — and a worker restarted mid-fleet —
-    hashes the same request to the same owner.
+    hashes the same request to the same owner.  ``version`` is the
+    dataset version the request resolves to (an explicit ``as_of`` or
+    the worker's current latest): prefixing it keeps relayed bytes
+    cached under one version from ever answering another — after an
+    ingest, default-latest keys roll over instead of serving stale
+    relays, while ``as_of``-pinned keys stay warm forever.
     """
     if len(segments) < 2 or segments[0] != "v1":
         return None
     if segments[1] not in _ROUTED_HEADS:
         return None
     query = "&".join(f"{k}={v}" for k, v in sorted(params.items()))
-    return "/".join(segments) + "?" + query
+    key = "/".join(segments) + "?" + query
+    if version is not None:
+        key = f"v{params.get('as_of', version)}:{key}"
+    return key
 
 
 def _endpoint_label(segments: tuple[str, ...]) -> str:
@@ -97,6 +107,7 @@ class FleetSpec:
     month: str | None = None
     small: bool = False
     seed: int | None = None
+    as_of: int | None = None
     replicas: int = 64
     proxy_timeout: float = 5.0
     drain_timeout: float = 10.0
@@ -236,7 +247,9 @@ class FleetRequestHandler(ReproRequestHandler):
         _, segments, params = self._split()
         runtime = self.runtime
         if not self.server.fleet_local_only:  # type: ignore[attr-defined]
-            key = payload_route_key(segments, params)
+            key = payload_route_key(
+                segments, params, version=self.service.current_version()
+            )
             if key is not None and runtime.ring.size > 1:
                 owner = runtime.ring.owner(key)
                 if owner != runtime.index:
@@ -326,6 +339,7 @@ def build_worker_service(spec: FleetSpec) -> QueryService:
         month=spec.month,
         small=spec.small,
         seed=spec.seed,
+        as_of=spec.as_of,
     )
 
 

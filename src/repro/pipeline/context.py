@@ -11,6 +11,7 @@ concurrent tasks share one instance.
 
 from __future__ import annotations
 
+import hashlib
 import threading
 from typing import TYPE_CHECKING
 
@@ -57,6 +58,16 @@ class TaskContext:
 
             self._fingerprint = dataset_fingerprint(self.dataset)
         return self._fingerprint
+
+    def months_key(self) -> str:
+        """A short digest of the dataset's month set.
+
+        Folded into the cache keys of ``reads="all-months"`` tasks, so
+        an ingested month invalidates exactly the tasks that sweep the
+        month axis (or the dataset-wide site union) and no others.
+        """
+        blob = "|".join(str(m) for m in self.dataset.months)
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:12]
 
     def config_fingerprint(self) -> str:
         """Content address of the generator config (ground-truth tasks)."""

@@ -44,6 +44,7 @@ class TaskRegistry:
         title: str = "",
         render: RenderFn | None = None,
         context_key: ContextKeyFn | None = None,
+        reads: str = "month",
     ) -> Callable[[TaskFn], TaskFn]:
         """Decorator form of :meth:`add` for defining task bodies."""
 
@@ -51,7 +52,7 @@ class TaskRegistry:
             self.add(Task(
                 name=name, fn=fn, deps=tuple(deps),
                 params=dict(params or {}), section=section, title=title,
-                render=render, context_key=context_key,
+                render=render, context_key=context_key, reads=reads,
             ))
             return fn
 

@@ -34,7 +34,7 @@ from ..obs import get_tracer
 from .artifacts import ArtifactStore
 from .context import TaskContext
 from .registry import TaskRegistry
-from .task import Task, TaskRecord, TaskStatus
+from .task import Task, TaskRecord, TaskStatus, result_digest
 
 #: What executing one task body yields: (status, result, error, seconds).
 Outcome = tuple[TaskStatus, object, str | None, float]
@@ -206,8 +206,16 @@ class PipelineRunner:
                         status=TaskStatus.SKIPPED.value, reason="dependency",
                     )
                     continue
+                # Dependencies settled in earlier waves, so their result
+                # digests are known here; folding them into the key
+                # gives Merkle-style early cutoff (see Task.key).
+                dep_digests = {
+                    d: report.records[d].digest
+                    for d in task.deps
+                    if d in report.records and report.records[d].digest
+                }
                 try:
-                    key = task.key(ctx)
+                    key = task.key(ctx, dep_digests)
                 except TaskUnavailable as exc:
                     report.records[name] = TaskRecord(
                         name, TaskStatus.SKIPPED, error=str(exc)
@@ -222,7 +230,8 @@ class PipelineRunner:
                     cached = self.store.get(ctx.fingerprint, name, key)
                     if cached is not None:
                         report.records[name] = TaskRecord(
-                            name, TaskStatus.CACHED, key=key
+                            name, TaskStatus.CACHED, key=key,
+                            digest=result_digest(cached),
                         )
                         report.results[name] = cached
                         tracer.record(
@@ -250,6 +259,7 @@ class PipelineRunner:
                 record.seconds = seconds
                 if status is TaskStatus.OK:
                     report.results[name] = result
+                    record.digest = result_digest(result)
                     if self.store is not None:
                         self.store.put(ctx.fingerprint, name, record.key, result)
                 tracer.record(

@@ -48,6 +48,19 @@ def params_hash(params: Mapping[str, object], extra: str = "") -> str:
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16]
 
 
+def result_digest(result: object) -> str:
+    """A short digest of a task result, for dependents' cache keys.
+
+    Folding each dependency's result digest into a dependent's key
+    gives the DAG Merkle-style early cutoff: after an ingest, a task
+    whose inputs (month, params, dependency *results*) are all
+    unchanged keeps its warm artifact, even though the dataset grew.
+    """
+    return hashlib.sha256(
+        canonical_json(result).encode("utf-8")
+    ).hexdigest()[:16]
+
+
 class TaskStatus(enum.Enum):
     """Terminal state of one task within one pipeline run."""
 
@@ -69,18 +82,39 @@ class Task:
     title: str = ""                        # human heading for reports
     render: RenderFn | None = None
     context_key: ContextKeyFn | None = None
+    #: What slice of the dataset the body reads: ``"month"`` (only the
+    #: reference month's lists — the default) or ``"all-months"`` (the
+    #: whole month axis, e.g. the temporal sweep, or the dataset-wide
+    #: site union the ground-truth tasks restrict to).  Drives delta
+    #: invalidation: ingesting a new month changes the keys of
+    #: all-months tasks and leaves month-pinned tasks warm.
+    reads: str = "month"
 
-    def key(self, ctx: "TaskContext") -> str:
+    def key(
+        self,
+        ctx: "TaskContext",
+        dep_digests: Mapping[str, str] | None = None,
+    ) -> str:
         """The parameter half of this task's artifact address.
 
         Always folds in the reference month (the same saved dataset can
         be analysed at different months); tasks that consult the
         synthetic ground truth also fold in the generator-config
-        fingerprint via ``context_key``.
+        fingerprint via ``context_key``; tasks reading ``"all-months"``
+        fold in the dataset's month set; and when the runner supplies
+        its dependencies' result digests those are folded in too, so a
+        task re-runs exactly when something it actually reads changed.
         """
         extra = str(ctx.month)
+        if self.reads == "all-months":
+            extra += "|months:" + ctx.months_key()
         if self.context_key is not None:
             extra += "|" + self.context_key(ctx)
+        if dep_digests:
+            extra += "|deps:" + ",".join(
+                f"{d}={dep_digests[d]}"
+                for d in self.deps if d in dep_digests
+            )
         return params_hash(self.params, extra)
 
     @property
@@ -98,6 +132,7 @@ class TaskRecord:
     seconds: float = 0.0
     error: str | None = None
     key: str = ""
+    digest: str = ""
 
     def to_dict(self) -> dict[str, object]:
         return {
@@ -105,4 +140,5 @@ class TaskRecord:
             "seconds": round(self.seconds, 6),
             "error": self.error,
             "key": self.key,
+            "digest": self.digest,
         }

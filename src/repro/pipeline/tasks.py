@@ -60,7 +60,7 @@ REGISTRY = TaskRegistry()
 
 @REGISTRY.task(
     "labels", section="§3.3", title="Site category labels",
-    context_key=_config_key,
+    context_key=_config_key, reads="all-months",
 )
 def _labels(ctx: TaskContext, inputs: dict[str, object]) -> object:
     """Ground-truth category per site, restricted to the dataset's sites."""
@@ -71,7 +71,7 @@ def _labels(ctx: TaskContext, inputs: dict[str, object]) -> object:
 
 @REGISTRY.task(
     "tags", section="§5.3.2", title="Descriptive site tags",
-    context_key=_config_key,
+    context_key=_config_key, reads="all-months",
 )
 def _tags(ctx: TaskContext, inputs: dict[str, object]) -> object:
     universe = ctx.generator.universe
@@ -86,7 +86,7 @@ def _tags(ctx: TaskContext, inputs: dict[str, object]) -> object:
 
 @REGISTRY.task(
     "has_app", section="§4.1.2", title="Android app roster",
-    context_key=_config_key,
+    context_key=_config_key, reads="all-months",
 )
 def _has_app(ctx: TaskContext, inputs: dict[str, object]) -> object:
     import numpy as np
@@ -346,7 +346,7 @@ def _render_temporal(result) -> str:
 
 @REGISTRY.task(
     "temporal", section="§4.5", title="Temporal stability",
-    render=_render_temporal,
+    render=_render_temporal, reads="all-months",
 )
 def _temporal(ctx: TaskContext, inputs: dict[str, object]) -> object:
     from ..analysis import adjacent_month_series, anchored_series, december_anomaly

@@ -215,7 +215,7 @@ class ReproRequestHandler(BaseHTTPRequestHandler):
             }), False
         if segments == ("v1", "healthz"):
             self._endpoint = "healthz"
-            return 200, service.healthz(), True
+            return 200, service.healthz(as_of=params.get("as_of")), True
         if segments == ("v1", "metrics"):
             self._endpoint = "metrics"
             return 200, service.metrics_payload(), True
@@ -233,19 +233,23 @@ class ReproRequestHandler(BaseHTTPRequestHandler):
                 metric=params.get("metric"),
                 month=params.get("month"),
                 top=params.get("top", DEFAULT_TOP),
+                as_of=params.get("as_of"),
             ), True
         if segments == ("v1", "distributions"):
             self._endpoint = "distribution"
             return 200, service.distribution(
                 platform=params.get("platform"),
                 metric=params.get("metric"),
+                as_of=params.get("as_of"),
             ), True
         if segments == ("v1", "analyses"):
             self._endpoint = "analyses"
             return 200, service.analyses(), True
         if len(segments) == 3 and segments[:2] == ("v1", "analyses"):
             self._endpoint = "analysis"
-            return 200, service.analysis(segments[2]), True
+            return 200, service.analysis(
+                segments[2], as_of=params.get("as_of")
+            ), True
         if len(segments) == 3 and segments[:2] == ("v1", "sites"):
             self._endpoint = "site"
             return 200, service.site(
@@ -253,6 +257,7 @@ class ReproRequestHandler(BaseHTTPRequestHandler):
                 platform=params.get("platform"),
                 metric=params.get("metric"),
                 month=params.get("month"),
+                as_of=params.get("as_of"),
             ), True
         raise NotFound(
             f"unknown endpoint {path!r}", choices=ENDPOINTS

@@ -78,6 +78,8 @@ class QueryService:
         cache: PayloadCache | int = 256,
         cache_bytes: int | None = None,
         jobs: int = 1,
+        root: str | Path | None = None,
+        version: int | None = None,
     ) -> None:
         self.dataset = dataset
         self.registry = registry if registry is not None else default_registry()
@@ -94,6 +96,128 @@ class QueryService:
         self.metrics = ServiceMetrics()
         self._flights: dict[PayloadKey, threading.Lock] = {}
         self._flights_guard = threading.Lock()
+        # -- dataset versioning (``?as_of=``) --------------------------
+        # ``root`` (the saved dataset directory, defaulting to a mapped
+        # dataset's own root) lets the service load archived versions
+        # on demand and pick up ingests; ``version`` pins the service
+        # to one version (it never follows the live manifest).
+        if root is None:
+            root = getattr(dataset, "root", None)
+        self.root = Path(root) if root is not None else None
+        self._config = config
+        self._month_pin = month
+        self._pinned = version is not None
+        self._versions_lock = threading.Lock()
+        self._latest = int(getattr(dataset, "version", 1))
+        self._contexts: dict[int, TaskContext] = {self._latest: self.ctx}
+        self._manifest_stat = self._stat_manifest()
+        if version is not None and int(version) != self._latest:
+            wanted, ctx = self._resolve(version)
+            self._latest = wanted
+            self.ctx = ctx
+            self.dataset = ctx.dataset
+
+    # -- dataset versions ---------------------------------------------------------
+
+    def _manifest_path(self) -> Path | None:
+        if self.root is None:
+            return None
+        for name in ("manifest.bin", "manifest.json"):
+            path = self.root / name
+            if path.is_file():
+                return path
+        return None
+
+    def _stat_manifest(self) -> tuple[int, int] | None:
+        path = self._manifest_path()
+        if path is None:
+            return None
+        stat = path.stat()
+        return (stat.st_mtime_ns, stat.st_size)
+
+    def _refresh(self) -> None:
+        """Follow the live manifest: adopt a newly-ingested version.
+
+        An ingest lands its manifest via ``os.replace``, so the stat
+        either shows the complete old file or the complete new one —
+        never a torn state.  Pinned services (``version=``) and
+        in-memory datasets (no root) never refresh.
+        """
+        if self._pinned or self.root is None:
+            return
+        stat = self._stat_manifest()
+        if stat is None or stat == self._manifest_stat:
+            return
+        with self._versions_lock:
+            stat = self._stat_manifest()
+            if stat == self._manifest_stat:
+                return
+            from ..export.io import load_dataset
+
+            dataset = load_dataset(self.root)
+            ctx = TaskContext(
+                dataset, config=self._config, month=self._month_pin
+            )
+            # The generator (universe build!) is config-derived, so the
+            # new context can share the one already built, if any.
+            ctx._generator = self.ctx._generator
+            version = int(getattr(dataset, "version", 1))
+            self._contexts[version] = ctx
+            self._latest = version
+            self.dataset = dataset
+            self.ctx = ctx
+            self._manifest_stat = stat
+            self.metrics.add("dataset_reloads")
+
+    def current_version(self) -> int:
+        """The version default (``as_of``-less) requests are served at."""
+        self._refresh()
+        return self._latest
+
+    def _resolve(self, as_of) -> tuple[int, TaskContext]:
+        """The (version, context) a request pins; default is latest."""
+        if as_of is None:
+            self._refresh()
+            return self._latest, self._contexts[self._latest]
+        try:
+            wanted = int(as_of)
+        except (TypeError, ValueError):
+            raise BadRequest(
+                f"as_of must be an integer dataset version, got {as_of!r}"
+            ) from None
+        ctx = self._contexts.get(wanted)
+        if ctx is not None:
+            return wanted, ctx
+        if self.root is None:
+            raise not_found(
+                "dataset version", str(as_of),
+                [str(v) for v in sorted(self._contexts)],
+            )
+        self._refresh()
+        with self._versions_lock:
+            ctx = self._contexts.get(wanted)
+            if ctx is not None:
+                return wanted, ctx
+            from ..export.io import (
+                DatasetError, dataset_versions, load_dataset,
+            )
+
+            try:
+                available = dataset_versions(self.root)
+            except DatasetError:
+                available = tuple(sorted(self._contexts))
+            if wanted not in available:
+                raise not_found(
+                    "dataset version", str(as_of),
+                    [str(v) for v in available],
+                )
+            dataset = load_dataset(self.root, as_of=wanted)
+            ctx = TaskContext(
+                dataset, config=self._config, month=self._month_pin
+            )
+            ctx._generator = self.ctx._generator
+            self._contexts[wanted] = ctx
+            return wanted, ctx
 
     @classmethod
     def from_engine(
@@ -119,9 +243,12 @@ class QueryService:
 
     # -- parameter coercion -------------------------------------------------------
 
-    def _platform(self, value: Platform | str | None) -> Platform:
+    def _platform(
+        self, value: Platform | str | None, ctx: TaskContext | None = None
+    ) -> Platform:
+        ctx = ctx or self.ctx
         if value is None:
-            return self.ctx.primary_platform
+            return ctx.primary_platform
         if isinstance(value, str):
             try:
                 value = Platform(value)
@@ -130,15 +257,19 @@ class QueryService:
                     f"unparseable platform {value!r}",
                     choices=[p.value for p in Platform],
                 ) from None
-        if value not in self.dataset.platforms:
+        if value not in ctx.dataset.platforms:
             raise not_found(
-                "platform", value.value, [p.value for p in self.dataset.platforms]
+                "platform", value.value,
+                [p.value for p in ctx.dataset.platforms],
             )
         return value
 
-    def _metric(self, value: Metric | str | None) -> Metric:
+    def _metric(
+        self, value: Metric | str | None, ctx: TaskContext | None = None
+    ) -> Metric:
+        ctx = ctx or self.ctx
         if value is None:
-            return self.ctx.primary_metric
+            return ctx.primary_metric
         if isinstance(value, str):
             try:
                 value = Metric(value)
@@ -147,15 +278,19 @@ class QueryService:
                     f"unparseable metric {value!r}",
                     choices=[m.value for m in Metric],
                 ) from None
-        if value not in self.dataset.metrics:
+        if value not in ctx.dataset.metrics:
             raise not_found(
-                "metric", value.value, [m.value for m in self.dataset.metrics]
+                "metric", value.value,
+                [m.value for m in ctx.dataset.metrics],
             )
         return value
 
-    def _month(self, value: Month | str | None) -> Month:
+    def _month(
+        self, value: Month | str | None, ctx: TaskContext | None = None
+    ) -> Month:
+        ctx = ctx or self.ctx
         if value is None:
-            return self.ctx.month
+            return ctx.month
         if isinstance(value, str):
             try:
                 value = Month.parse(value)
@@ -163,14 +298,17 @@ class QueryService:
                 raise BadRequest(
                     f"month must look like 2022-02, got {value!r}"
                 ) from None
-        if value not in self.dataset.months:
-            raise not_found("month", value, [str(m) for m in self.dataset.months])
+        if value not in ctx.dataset.months:
+            raise not_found(
+                "month", value, [str(m) for m in ctx.dataset.months]
+            )
         return value
 
-    def _country(self, value: str) -> str:
+    def _country(self, value: str, ctx: TaskContext | None = None) -> str:
+        ctx = ctx or self.ctx
         country = value.upper()
-        if country not in self.dataset.countries:
-            raise not_found("country", value, self.dataset.countries)
+        if country not in ctx.dataset.countries:
+            raise not_found("country", value, ctx.dataset.countries)
         return country
 
     def _task(self, name: str):
@@ -231,29 +369,32 @@ class QueryService:
         metric: Metric | str | None = None,
         month: Month | str | None = None,
         top: int | str = DEFAULT_TOP,
+        as_of: int | str | None = None,
     ) -> bytes:
         """The head of one (country, platform, metric, month) rank list."""
         return self._instrumented(
             "rankings",
-            lambda: self._rankings(country, platform, metric, month, top),
+            lambda: self._rankings(country, platform, metric, month, top,
+                                   as_of),
         )
 
-    def _rankings(self, country, platform, metric, month, top) -> bytes:
-        country = self._country(country)
-        platform = self._platform(platform)
-        metric = self._metric(metric)
-        month = self._month(month)
+    def _rankings(self, country, platform, metric, month, top, as_of) -> bytes:
+        version, ctx = self._resolve(as_of)
+        country = self._country(country, ctx)
+        platform = self._platform(platform, ctx)
+        metric = self._metric(metric, ctx)
+        month = self._month(month, ctx)
         try:
             top = int(top)
         except (TypeError, ValueError):
             raise BadRequest(f"top must be an integer, got {top!r}") from None
         if top < 1:
             raise BadRequest(f"top must be >= 1, got {top}")
-        key = ("rankings", country, platform.value, metric.value,
+        key = ("rankings", version, country, platform.value, metric.value,
                str(month), str(top))
 
         def build() -> dict[str, object]:
-            ranked = self.dataset.get_or_none(country, platform, metric, month)
+            ranked = ctx.dataset.get_or_none(country, platform, metric, month)
             if ranked is None:
                 raise NotFound(
                     f"no rank list for {country}/{platform.value}/"
@@ -279,25 +420,27 @@ class QueryService:
         platform: Platform | str | None = None,
         metric: Metric | str | None = None,
         month: Month | str | None = None,
+        as_of: int | str | None = None,
     ) -> bytes:
         """One site's rank in every country of a (platform, metric, month)."""
         return self._instrumented(
-            "site", lambda: self._site(site, platform, metric, month)
+            "site", lambda: self._site(site, platform, metric, month, as_of)
         )
 
-    def _site(self, site, platform, metric, month) -> bytes:
+    def _site(self, site, platform, metric, month, as_of) -> bytes:
         if not site:
             raise BadRequest("site must be non-empty")
-        platform = self._platform(platform)
-        metric = self._metric(metric)
-        month = self._month(month)
-        key = ("site", site, platform.value, metric.value, str(month))
+        version, ctx = self._resolve(as_of)
+        platform = self._platform(platform, ctx)
+        metric = self._metric(metric, ctx)
+        month = self._month(month, ctx)
+        key = ("site", version, site, platform.value, metric.value, str(month))
 
         def build() -> dict[str, object]:
             ranks: dict[str, int | None] = {}
             best: tuple[int, str] | None = None
-            for country in self.dataset.countries:
-                ranked = self.dataset.get_or_none(country, platform, metric, month)
+            for country in ctx.dataset.countries:
+                ranked = ctx.dataset.get_or_none(country, platform, metric, month)
                 rank = ranked.rank_of(site) if ranked is not None else None
                 ranks[country] = rank
                 if rank is not None and (best is None or rank < best[0]):
@@ -325,19 +468,21 @@ class QueryService:
         *,
         platform: Platform | str | None = None,
         metric: Metric | str | None = None,
+        as_of: int | str | None = None,
     ) -> bytes:
         """The global cumulative traffic curve for a (platform, metric)."""
         return self._instrumented(
-            "distribution", lambda: self._distribution(platform, metric)
+            "distribution", lambda: self._distribution(platform, metric, as_of)
         )
 
-    def _distribution(self, platform, metric) -> bytes:
-        platform = self._platform(platform)
-        metric = self._metric(metric)
-        key = ("distribution", platform.value, metric.value)
+    def _distribution(self, platform, metric, as_of) -> bytes:
+        version, ctx = self._resolve(as_of)
+        platform = self._platform(platform, ctx)
+        metric = self._metric(metric, ctx)
+        key = ("distribution", version, platform.value, metric.value)
 
         def build() -> dict[str, object]:
-            dist = self.dataset.distribution(platform, metric)
+            dist = ctx.dataset.distribution(platform, metric)
             return {
                 "platform": platform.value,
                 "metric": metric.value,
@@ -352,17 +497,22 @@ class QueryService:
 
         return self._cached(key, build)
 
-    def analysis(self, task: str) -> bytes:
+    def analysis(
+        self, task: str, *, as_of: int | str | None = None
+    ) -> bytes:
         """One pipeline task's artifact, served warm when possible."""
-        return self._instrumented("analysis", lambda: self._analysis(task))
+        return self._instrumented(
+            "analysis", lambda: self._analysis(task, as_of)
+        )
 
-    def _analysis(self, name: str) -> bytes:
+    def _analysis(self, name: str, as_of=None) -> bytes:
+        version, ctx = self._resolve(as_of)
         task = self._task(name)
-        key = ("analysis", name)
+        key = ("analysis", version, name)
 
         def build() -> dict[str, object]:
             self.metrics.add("pipeline_runs")
-            report = self.runner.run(self.ctx, [name])
+            report = self.runner.run(ctx, [name])
             self.metrics.add("pipeline_executed", report.executed)
             self.metrics.add("pipeline_cached", report.cached)
             record = report.records[name]
@@ -402,28 +552,29 @@ class QueryService:
 
         return self._cached(("analyses",), build)
 
-    def healthz(self) -> bytes:
+    def healthz(self, *, as_of: int | str | None = None) -> bytes:
         """Liveness + dataset identity; never cached."""
-        return self._instrumented("healthz", lambda: self._healthz())
+        return self._instrumented("healthz", lambda: self._healthz(as_of))
 
-    def _healthz(self) -> bytes:
+    def _healthz(self, as_of=None) -> bytes:
         from .. import __version__
 
+        version, ctx = self._resolve(as_of)
+        dataset = ctx.dataset
         payload: dict[str, object] = {
             "status": "ok",
             "version": __version__,
-            "storage": self.dataset.storage,
-            "fingerprint": self.ctx.fingerprint,
-            "countries": len(self.dataset.countries),
-            "platforms": [p.value for p in self.dataset.platforms],
-            "metrics": [m.value for m in self.dataset.metrics],
-            "months": [str(m) for m in self.dataset.months],
-            "lists": len(self.dataset),
+            "storage": dataset.storage,
+            "fingerprint": ctx.fingerprint,
+            "dataset_version": version,
+            "countries": len(dataset.countries),
+            "platforms": [p.value for p in dataset.platforms],
+            "metrics": [m.value for m in dataset.metrics],
+            "months": [str(m) for m in dataset.months],
+            "lists": len(dataset),
             "tasks": len(self.registry),
+            "pending_slices": int(getattr(dataset, "pending", 0) or 0),
         }
-        pending = getattr(self.dataset, "pending", None)
-        if pending is not None:
-            payload["pending_slices"] = pending
         return render_payload(payload)
 
     def metrics_payload(self) -> bytes:
@@ -441,7 +592,14 @@ class QueryService:
         handler that serves the merged payload observes the request
         itself, so the split keeps the exactly-once accounting intact.
         """
+        self._refresh()
+        dataset = self.ctx.dataset
         snapshot = self.metrics.snapshot(cache=self.cache.snapshot())
+        snapshot["dataset"] = {
+            "version": self._latest,
+            "months": [str(m) for m in dataset.months],
+            "pending_slices": int(getattr(dataset, "pending", 0) or 0),
+        }
         snapshot["trace"] = get_tracer().snapshot()
         if self.store is not None:
             snapshot["artifact_store"] = {

@@ -28,18 +28,21 @@ from .columnar import (
     write_columnar,
 )
 from .format import COLUMNAR_VERSION
+from .ingest import IngestReport, ingest_months
 from .mapped import MappedBrowsingDataset, MappedStringTable
 from .slicefile import SLICE_SUFFIX, read_slice, write_slice
 
 __all__ = [
     "COLUMNAR_CODEC",
     "COLUMNAR_VERSION",
+    "IngestReport",
     "LISTS_NAME",
     "MANIFEST_NAME",
     "MappedBrowsingDataset",
     "MappedStringTable",
     "SLICE_SUFFIX",
     "VOCAB_NAME",
+    "ingest_months",
     "open_columnar",
     "read_slice",
     "write_columnar",

@@ -37,6 +37,7 @@ from ..export.io import (
     _jsonable_metadata,
     breakdown_slug,
     dataset_fingerprint,
+    dataset_version,
     distribution_entries,
     parse_breakdown_entry,
     parse_distribution_entries,
@@ -91,6 +92,7 @@ def write_columnar(dataset: BrowsingDataset, root: str | Path) -> Path:
 
     manifest = {
         "format_version": COLUMNAR_VERSION,
+        "dataset_version": dataset_version(dataset),
         "metadata": _jsonable_metadata(dataset.metadata),
         "dataset_fingerprint": dataset_fingerprint(dataset),
         "breakdowns": entries,
@@ -115,10 +117,20 @@ def write_columnar(dataset: BrowsingDataset, root: str | Path) -> Path:
     return root
 
 
-def open_columnar(root: str | Path) -> MappedBrowsingDataset:
-    """Memory-map the columnar dataset at ``root``; O(open), no list reads."""
+def open_columnar(
+    root: str | Path, manifest_path: Path | None = None
+) -> MappedBrowsingDataset:
+    """Memory-map the columnar dataset at ``root``; O(open), no list reads.
+
+    ``manifest_path`` overrides the live manifest — used by versioned
+    (``as_of``) loading to open an archived manifest under
+    ``versions/``.  Archived windows stay valid against the grown data
+    files because ingest only ever appends to ``lists.bin`` and
+    ``vocab.bin``.
+    """
     root = Path(root)
-    manifest_path = root / MANIFEST_NAME
+    if manifest_path is None:
+        manifest_path = root / MANIFEST_NAME
     try:
         manifest = unpack_manifest(manifest_path.read_bytes(), manifest_path)
     except FileNotFoundError:
@@ -163,7 +175,7 @@ def open_columnar(root: str | Path) -> MappedBrowsingDataset:
         windows[breakdown] = (offset, length)
 
     fingerprint = manifest.get("dataset_fingerprint")
-    return MappedBrowsingDataset(
+    dataset = MappedBrowsingDataset(
         root,
         windows=windows,
         ids=ids,
@@ -176,6 +188,18 @@ def open_columnar(root: str | Path) -> MappedBrowsingDataset:
             fingerprint if isinstance(fingerprint, str) else None
         ),
     )
+    dataset.version = int(manifest.get("dataset_version", 1))
+    return dataset
+
+
+def _read_columnar_version(manifest_path: Path) -> int:
+    try:
+        manifest = unpack_manifest(manifest_path.read_bytes(), manifest_path)
+    except FileNotFoundError:
+        raise DatasetError(
+            f"no {manifest_path.name} at {manifest_path}"
+        ) from None
+    return int(manifest.get("dataset_version", 1))
 
 
 COLUMNAR_CODEC = register_codec(
@@ -184,5 +208,8 @@ COLUMNAR_CODEC = register_codec(
         save=write_columnar,
         load=open_columnar,
         detect=lambda root: (root / MANIFEST_NAME).is_file(),
+        manifest=MANIFEST_NAME,
+        read_version=_read_columnar_version,
+        load_at=open_columnar,
     )
 )

@@ -266,6 +266,15 @@ class TelemetryGenerator:
         walk(origin) = 0; each later month adds one innovation, each
         earlier month subtracts one, so similarity decays smoothly with
         month distance in either direction.
+
+        This is the append-stability contract incremental ingestion
+        relies on: every innovation is keyed by the absolute month
+        *index* (``walk:<index>``), never by which months are in the
+        request, so a month generated on its own is byte-identical to
+        the same month generated as part of a larger batch.  ``repro
+        ingest`` can therefore grow a saved dataset one month at a time
+        and end up with exactly the files a full regeneration would
+        have written.
         """
         target = month.index()
         origin = WALK_ORIGIN.index()

@@ -277,18 +277,21 @@ class TestServeParser:
         assert args.port == 8000
         assert args.cache_size == 256
         assert args.jobs == 1
+        assert args.store is None
         assert args.artifacts is None
-        assert not args.no_artifacts
+        assert not args.no_store
         assert args.trace is None
 
     def test_port_zero_and_flags_accepted(self):
+        # --no-artifacts is the legacy spelling of --no-store; both
+        # land on the same namespace attribute.
         args = _build_parser().parse_args([
             "serve", "--data", "ds", "--port", "0",
             "--cache-size", "16", "--jobs", "4", "--no-artifacts",
         ])
         assert args.port == 0
         assert args.cache_size == 16
-        assert args.no_artifacts
+        assert args.no_store
 
     def test_fleet_flags(self):
         args = _build_parser().parse_args(["serve", "--data", "ds"])
@@ -452,3 +455,99 @@ class TestTraceSummarize:
         bad.write_text("this is not json\n")
         assert main(["trace", "summarize", str(bad)]) == 1
         assert "malformed" in capsys.readouterr().err
+
+
+class TestIngestCLI:
+    @pytest.fixture(scope="class")
+    def growable_dir(self, tmp_path_factory):
+        out = tmp_path_factory.mktemp("ingest-cli") / "ds"
+        assert main([
+            "generate", "--small", "--out", str(out),
+            "--countries", "US", "--months", "2021-09",
+        ]) == 0
+        return out
+
+    def test_parser_shares_the_generate_vocabulary(self):
+        args = _build_parser().parse_args([
+            "ingest", "--data", "ds", "--month", "2021-10",
+        ])
+        assert [str(m) for m in args.months] == ["2021-10"]
+        assert args.format is None and args.jobs == 1
+
+    def test_ingest_bumps_the_version(self, growable_dir, capsys):
+        assert main([
+            "ingest", "--data", str(growable_dir),
+            "--months", "2021-10", "--small",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "ingested 2021-10" in out
+        assert "dataset version 1 -> 2" in out
+
+    def test_reingest_reports_the_noop(self, growable_dir, capsys):
+        assert main([
+            "ingest", "--data", str(growable_dir),
+            "--months", "2021-10", "--small",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "nothing to ingest" in out
+        assert "still version 2" in out
+
+    def test_analyze_as_of_selects_the_old_version(self, growable_dir, capsys):
+        assert main([
+            "analyze", "--data", str(growable_dir),
+            "--analysis", "concentration", "--small", "--as-of", "1",
+        ]) == 0
+        assert capsys.readouterr().out
+
+    def test_unknown_as_of_exits_2_with_choices(self, growable_dir, capsys):
+        assert main([
+            "analyze", "--data", str(growable_dir),
+            "--analysis", "concentration", "--small", "--as-of", "9",
+        ]) == 2
+        err = capsys.readouterr().err
+        assert "unknown dataset version 9" in err
+        assert "available versions: 1, 2" in err
+
+    def test_missing_dataset_exits_2(self, tmp_path, capsys):
+        assert main([
+            "ingest", "--data", str(tmp_path / "nope"),
+            "--months", "2021-10",
+        ]) == 2
+        assert capsys.readouterr().err
+
+
+class TestIngestAdjacentConventions:
+    def test_generate_accepts_data_as_an_out_alias(self):
+        args = _build_parser().parse_args(["generate", "--data", "somewhere"])
+        assert args.out == "somewhere"
+
+    def test_convert_accepts_flag_form(self, dataset_dir, tmp_path, capsys):
+        dst = tmp_path / "col"
+        assert main([
+            "convert", "--data", str(dataset_dir), "--out", str(dst),
+        ]) == 0
+        assert (dst / "manifest.bin").is_file()
+        assert "converted" in capsys.readouterr().out
+
+    def test_convert_without_source_exits_2(self, capsys):
+        assert main(["convert"]) == 2
+        assert "--data SRC --out DST" in capsys.readouterr().err
+
+    def test_as_of_flag_everywhere(self):
+        for command in (
+            ["analyze", "--data", "d", "--analysis", "concentration"],
+            ["report", "--data", "d", "--out", "o"],
+            ["serve", "--data", "d"],
+        ):
+            args = _build_parser().parse_args(command + ["--as-of", "3"])
+            assert args.as_of == 3
+
+    def test_store_is_canonical_with_artifacts_as_alias(self):
+        args = _build_parser().parse_args([
+            "report", "--data", "d", "--out", "o", "--store", "s",
+        ])
+        assert args.store == "s" and args.artifacts is None
+        legacy = _build_parser().parse_args([
+            "serve", "--data", "d", "--artifacts", "a",
+        ])
+        assert legacy.artifacts == "a" and legacy.store is None

@@ -1,0 +1,81 @@
+"""Version plumbing in the fleet: route keys and merged metrics."""
+
+from __future__ import annotations
+
+from repro.fleet.metrics import merge_snapshots
+from repro.fleet.worker import payload_route_key
+
+RANKINGS = ("v1", "rankings")
+
+
+class TestVersionedRouteKeys:
+    def test_version_prefixes_the_key(self):
+        plain = payload_route_key(RANKINGS, {"country": "US"})
+        keyed = payload_route_key(RANKINGS, {"country": "US"}, version=2)
+        assert plain is not None and keyed is not None
+        assert keyed == f"v2:{plain}"
+
+    def test_keys_roll_over_across_versions(self):
+        v1 = payload_route_key(RANKINGS, {"country": "US"}, version=1)
+        v2 = payload_route_key(RANKINGS, {"country": "US"}, version=2)
+        assert v1 != v2
+
+    def test_as_of_param_pins_the_key_regardless_of_latest(self):
+        # The same as_of request hashes identically before and after an
+        # ingest bumps the worker's latest version: pinned relays stay
+        # warm forever.
+        before = payload_route_key(
+            RANKINGS, {"country": "US", "as_of": "1"}, version=1
+        )
+        after = payload_route_key(
+            RANKINGS, {"country": "US", "as_of": "1"}, version=2
+        )
+        assert before == after
+
+    def test_unrouted_paths_stay_unrouted(self):
+        assert payload_route_key(("v1", "healthz"), {}, version=2) is None
+
+
+class TestMergedDatasetBlock:
+    def _snap(self, version, months, pending=0):
+        return {
+            "endpoints": {},
+            "counters": {},
+            "requests_total": 0,
+            "dataset": {
+                "version": version,
+                "months": months,
+                "pending_slices": pending,
+            },
+        }
+
+    def test_converged_fleet(self):
+        merged = merge_snapshots([
+            self._snap(2, ["2022-01", "2022-02"], pending=1),
+            self._snap(2, ["2022-01", "2022-02"], pending=3),
+        ])
+        block = merged["dataset"]
+        assert block["version"] == 2
+        assert block["versions"] == [2]
+        assert block["converged"] is True
+        assert block["months"] == ["2022-01", "2022-02"]
+        assert block["pending_slices"] == 4
+
+    def test_mid_ingest_fleet_is_not_converged(self):
+        # Versions must not sum: a worker still on v1 next to one on v2
+        # reports the newest version and the spread, never "3".
+        merged = merge_snapshots([
+            self._snap(1, ["2022-01"]),
+            self._snap(2, ["2022-01", "2022-02"]),
+        ])
+        block = merged["dataset"]
+        assert block["version"] == 2
+        assert block["versions"] == [1, 2]
+        assert block["converged"] is False
+        assert block["months"] == ["2022-01", "2022-02"]
+
+    def test_versionless_snapshots_merge_without_a_block(self):
+        merged = merge_snapshots([
+            {"endpoints": {}, "counters": {}, "requests_total": 1},
+        ])
+        assert "dataset" not in merged

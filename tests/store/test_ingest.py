@@ -1,0 +1,154 @@
+"""Incremental month ingestion: append parity, idempotency, versioning.
+
+The contract under test is the one `repro ingest` sells: growing a
+saved dataset month by month produces exactly the rank lists a full
+regeneration would have, re-ingesting present months is a byte-level
+no-op, every superseded manifest stays loadable through ``as_of=``, and
+a reader holding the dataset open across an ingest keeps seeing the
+version it opened.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import pytest
+
+from repro.core import Metric, Month, Platform
+from repro.core.errors import DatasetError
+from repro.export.io import (
+    UnknownVersionError,
+    dataset_versions,
+    latest_version,
+    load_dataset,
+    save_dataset,
+)
+from repro.store import ingest_months
+from repro.synth import GeneratorConfig
+
+COUNTRIES = ("US", "DE", "IN")
+PLATFORMS = (Platform.WINDOWS,)
+METRICS = (Metric.PAGE_LOADS,)
+BASE_MONTHS = (Month(2021, 9), Month(2021, 10))
+NEW_MONTH = Month(2021, 11)
+ALL_MONTHS = BASE_MONTHS + (NEW_MONTH,)
+CONFIG = GeneratorConfig.small()
+
+
+def _tree_hash(root) -> str:
+    """One digest over every file (path + bytes) under ``root``."""
+    digest = hashlib.sha256()
+    for path in sorted(root.rglob("*")):
+        if path.is_file():
+            digest.update(str(path.relative_to(root)).encode())
+            digest.update(path.read_bytes())
+    return digest.hexdigest()
+
+
+@pytest.fixture(scope="module")
+def base_dataset(generator):
+    return generator.generate(
+        countries=COUNTRIES, platforms=PLATFORMS,
+        metrics=METRICS, months=BASE_MONTHS,
+    )
+
+
+@pytest.fixture(scope="module")
+def full_dataset(generator):
+    return generator.generate(
+        countries=COUNTRIES, platforms=PLATFORMS,
+        metrics=METRICS, months=ALL_MONTHS,
+    )
+
+
+@pytest.fixture(scope="module", params=("text", "columnar"))
+def grown(request, base_dataset, tmp_path_factory):
+    """A saved two-month dataset with the third month ingested."""
+    fmt = request.param
+    root = tmp_path_factory.mktemp(f"ingest-{fmt}") / "data"
+    save_dataset(base_dataset, root, format=fmt)
+    report = ingest_months(root, [NEW_MONTH], config=CONFIG)
+    return fmt, root, report
+
+
+class TestIngest:
+    def test_report_records_the_delta(self, grown):
+        fmt, _, report = grown
+        assert report.changed
+        assert report.format == fmt
+        assert (report.version_before, report.version) == (1, 2)
+        assert report.months_added == (str(NEW_MONTH),)
+        assert report.months_present == tuple(str(m) for m in ALL_MONTHS)
+        # 3 countries x 1 platform x 1 metric for the one new month.
+        assert report.slices_added == 3
+
+    def test_grown_dataset_matches_full_generation(self, grown, full_dataset):
+        _, root, _ = grown
+        dataset = load_dataset(root)
+        assert tuple(dataset.months) == ALL_MONTHS
+        assert dataset.version == 2
+        for breakdown in full_dataset.breakdowns():
+            assert list(dataset[breakdown].sites) == \
+                list(full_dataset[breakdown].sites)
+
+    def test_reingest_is_a_byte_identical_noop(self, grown):
+        _, root, report = grown
+        before = _tree_hash(root)
+        again = ingest_months(root, [NEW_MONTH], config=CONFIG)
+        assert not again.changed
+        assert again.version == report.version
+        assert again.months_added == ()
+        assert _tree_hash(root) == before
+
+    def test_previous_version_stays_loadable(self, grown, base_dataset):
+        _, root, _ = grown
+        assert dataset_versions(root) == (1, 2)
+        assert latest_version(root) == 2
+        old = load_dataset(root, as_of=1)
+        assert old.version == 1
+        assert tuple(old.months) == BASE_MONTHS
+        for breakdown in base_dataset.breakdowns():
+            assert list(old[breakdown].sites) == \
+                list(base_dataset[breakdown].sites)
+
+    def test_unknown_version_lists_the_available_ones(self, grown):
+        _, root, _ = grown
+        with pytest.raises(UnknownVersionError) as excinfo:
+            load_dataset(root, as_of=7)
+        assert "available versions: 1, 2" in str(excinfo.value)
+
+    def test_mismatched_config_is_rejected(self, base_dataset, tmp_path):
+        root = tmp_path / "data"
+        save_dataset(base_dataset, root, format="text")
+        before = _tree_hash(root)
+        with pytest.raises(DatasetError, match="fingerprint"):
+            ingest_months(
+                root, [NEW_MONTH], config=GeneratorConfig.small(seed=7)
+            )
+        assert _tree_hash(root) == before
+
+
+class TestReadDuringIngest:
+    def test_open_reader_keeps_its_version(self, base_dataset, tmp_path):
+        """A mapped reader opened before an ingest never sees the update.
+
+        The ingest grows ``lists.bin``/``vocab.bin`` append-only and
+        swaps each with ``os.replace``; the reader's mmap pins the old
+        inode and its in-memory manifest still describes it, so every
+        read it makes is consistent with the version it opened.
+        """
+        root = tmp_path / "data"
+        save_dataset(base_dataset, root, format="columnar")
+        reader = load_dataset(root)
+        expected = {
+            b: list(base_dataset[b].sites) for b in base_dataset.breakdowns()
+        }
+
+        ingest_months(root, [NEW_MONTH], config=CONFIG)
+
+        assert reader.version == 1
+        assert tuple(reader.months) == BASE_MONTHS
+        for breakdown, sites in expected.items():
+            assert list(reader[breakdown].sites) == sites
+        # A fresh open sees the new version alongside the old reader.
+        assert load_dataset(root).version == 2
