@@ -9,7 +9,9 @@ Japan and South Korea as outliers — with a weak overall average
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
+
+import numpy as np
 
 from ..stats.affinity import AffinityResult, affinity_propagation
 from ..stats.silhouette import (
@@ -22,12 +24,21 @@ from .similarity import SimilarityMatrix
 
 @dataclass(frozen=True)
 class CountryCluster:
-    """One discovered cluster of countries."""
+    """One discovered cluster of countries.
 
-    index: int
+    ``index`` is the cluster's position in ``ClusterReport.clusters``
+    (which is sorted by silhouette, tightest first);
+    ``affinity_index`` is the cluster id inside the underlying
+    :class:`AffinityResult` (``report.affinity.members(affinity_index)``
+    and ``report.affinity.exemplars[affinity_index]`` line up with this
+    cluster).  The two differ whenever sorting reordered the clusters.
+    """
+
+    index: int                  # position in ClusterReport.clusters
     exemplar: str
     members: tuple[str, ...]
     silhouette: float
+    affinity_index: int         # cluster id in ClusterReport.affinity
 
     @property
     def size(self) -> int:
@@ -79,8 +90,6 @@ def cluster_countries(
         per_cluster = silhouettes.per_cluster()
     else:
         # A single cluster has no silhouette; report zeros.
-        import numpy as np
-
         silhouettes = SilhouetteReport(
             values=np.zeros(len(matrix.countries)), labels=result.labels
         )
@@ -88,20 +97,27 @@ def cluster_countries(
         per_cluster = {0: 0.0}
 
     clusters = []
-    for cluster_index in range(result.n_clusters):
+    for affinity_index in range(result.n_clusters):
         members = tuple(
-            matrix.countries[int(i)] for i in result.members(cluster_index)
+            matrix.countries[int(i)] for i in result.members(affinity_index)
         )
-        exemplar = matrix.countries[int(result.exemplars[cluster_index])]
+        exemplar = matrix.countries[int(result.exemplars[affinity_index])]
         clusters.append(
             CountryCluster(
-                index=cluster_index,
+                index=affinity_index,
                 exemplar=exemplar,
                 members=members,
-                silhouette=per_cluster.get(cluster_index, 0.0),
+                silhouette=per_cluster.get(affinity_index, 0.0),
+                affinity_index=affinity_index,
             )
         )
     clusters.sort(key=lambda c: -c.silhouette)
+    # Sorting reorders the clusters, so re-index to list position;
+    # affinity_index keeps the AffinityResult cluster id.
+    clusters = [
+        replace(cluster, index=position)
+        for position, cluster in enumerate(clusters)
+    ]
     return ClusterReport(
         clusters=tuple(clusters),
         average_silhouette=average,

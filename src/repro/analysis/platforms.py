@@ -16,7 +16,7 @@ from ..core.dataset import BrowsingDataset
 from ..core.types import Metric, Month, Platform
 from ..stats.correction import bonferroni
 from ..stats.descriptive import median
-from ..stats.fisher import normalized_difference, proportion_test
+from ..stats.fisher import normalized_difference, proportion_test_batch
 from .weighting import weighted_volume_by_category
 
 
@@ -70,16 +70,26 @@ def platform_differences(
     volumes_a: dict[str, list[float]] = {}
     volumes_w: dict[str, list[float]] = {}
 
+    # Collect every category×country cell, then run the whole Fisher
+    # grid through one batched call (the kernel memoizes repeated count
+    # pairs); Bonferroni stays per-country over that country's slice.
+    per_country: list[tuple[list[str], dict[str, float], dict[str, float]]] = []
+    cells_a: list[float] = []
+    cells_w: list[float] = []
     for country in shared:
         vol_w = weighted_volume_by_category(windows_lists[country], labels, dist_w, top_n)
         vol_a = weighted_volume_by_category(android_lists[country], labels, dist_a, top_n)
         categories = sorted(set(vol_w) | set(vol_a))
-        p_values = []
+        per_country.append((categories, vol_a, vol_w))
         for category in categories:
-            result = proportion_test(
-                vol_a.get(category, 0.0), vol_w.get(category, 0.0), effective_n
-            )
-            p_values.append(result.p_value)
+            cells_a.append(vol_a.get(category, 0.0))
+            cells_w.append(vol_w.get(category, 0.0))
+    results = proportion_test_batch(cells_a, cells_w, effective_n)
+
+    offset = 0
+    for categories, vol_a, vol_w in per_country:
+        p_values = [r.p_value for r in results[offset:offset + len(categories)]]
+        offset += len(categories)
         rejected = bonferroni(p_values, alpha)
         for category, reject in zip(categories, rejected):
             a = vol_a.get(category, 0.0)

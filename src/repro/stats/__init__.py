@@ -1,15 +1,17 @@
 """Statistics toolkit: every method the paper names, from first principles."""
 
 from .affinity import AffinityResult, affinity_propagation
-from .dbscan import NOISE, DBSCANResult, dbscan, eps_sweep
+from .dbscan import NOISE, DBSCANResult, dbscan, dbscan_reference, eps_sweep
 from .correction import bonferroni, bonferroni_adjusted, holm
 from .descriptive import Quartiles, mean, median, quantile, quartiles, rankdata
 from .fisher import (
     ProportionTestResult,
     fisher_exact,
+    fisher_exact_batch,
     hypergeom_logpmf,
     normalized_difference,
     proportion_test,
+    proportion_test_batch,
 )
 from .kendall import kendall_from_lists, kendall_tau
 from .kernels import (
@@ -23,7 +25,12 @@ from .kernels import (
 )
 from .outliers import OutlierResult, iqr_outliers, mad_outliers
 from .rbo import agreement_sequence, rbo, traffic_weighted_rbo, weighted_rbo
-from .silhouette import SilhouetteReport, silhouette_samples, similarity_to_distance
+from .silhouette import (
+    SilhouetteReport,
+    silhouette_samples,
+    silhouette_samples_reference,
+    similarity_to_distance,
+)
 from .spearman import spearman_from_lists, spearman_rho
 
 __all__ = [
@@ -46,9 +53,11 @@ __all__ = [
     "bonferroni",
     "bonferroni_adjusted",
     "fisher_exact",
+    "fisher_exact_batch",
     "holm",
     "hypergeom_logpmf",
     "dbscan",
+    "dbscan_reference",
     "eps_sweep",
     "iqr_outliers",
     "kendall_from_lists",
@@ -58,11 +67,13 @@ __all__ = [
     "median",
     "normalized_difference",
     "proportion_test",
+    "proportion_test_batch",
     "quantile",
     "quartiles",
     "rankdata",
     "rbo",
     "silhouette_samples",
+    "silhouette_samples_reference",
     "similarity_to_distance",
     "spearman_from_lists",
     "spearman_rho",

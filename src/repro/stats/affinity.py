@@ -19,12 +19,20 @@ import numpy as np
 
 @dataclass(frozen=True)
 class AffinityResult:
-    """Outcome of an affinity-propagation run."""
+    """Outcome of an affinity-propagation run.
 
-    labels: np.ndarray          # cluster index per point, -1 if not converged
+    ``labels`` is always fully assigned: every point maps to a cluster
+    in ``range(n_clusters)`` even when the message passing did not
+    settle (a non-converged run keeps the best exemplar set seen, and a
+    degenerate run with no self-electing exemplar falls back to one
+    cluster around the highest-net-similarity point).  ``converged`` —
+    not a sentinel label — is the signal that the run stabilised.
+    """
+
+    labels: np.ndarray          # cluster index per point, always assigned
     exemplars: np.ndarray       # indices of the exemplar points
     n_iterations: int
-    converged: bool
+    converged: bool             # False => labels are best-effort
 
     @property
     def n_clusters(self) -> int:

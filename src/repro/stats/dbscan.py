@@ -5,6 +5,16 @@ struggles with varying-density clusters".  To make that claim testable
 rather than rhetorical, this module implements DBSCAN (Ester et al.
 1996) on the same pairwise-distance inputs, and the ablation benchmark
 compares the two on the country-similarity matrix.
+
+Two paths, per the kernel-layer discipline (DESIGN.md, "Stats
+kernels"): :func:`dbscan_reference` is the per-row/queue scalar loop —
+the executable definition — and :func:`dbscan` replaces it with a
+boolean eps-neighborhood matrix and frontier-array BFS.  Cluster growth
+is wave-by-wave instead of point-by-point, but the set of points each
+cluster reaches (and the order clusters are seeded, and therefore every
+label, including which cluster claims a contested border point first)
+is identical — labels and core masks are exactly equal, asserted by
+the parity suite in ``tests/stats/test_dbscan.py``.
 """
 
 from __future__ import annotations
@@ -13,6 +23,8 @@ from collections import deque
 from dataclasses import dataclass
 
 import numpy as np
+
+from ..obs import span as obs_span
 
 #: Label for points assigned to no cluster.
 NOISE = -1
@@ -37,6 +49,17 @@ class DBSCANResult:
         return np.flatnonzero(self.labels == cluster)
 
 
+def _validated(distances: np.ndarray, eps: float, min_samples: int) -> np.ndarray:
+    d = np.asarray(distances, dtype=float)
+    if d.ndim != 2 or d.shape[0] != d.shape[1]:
+        raise ValueError("distances must be a square matrix")
+    if eps <= 0:
+        raise ValueError("eps must be positive")
+    if min_samples < 1:
+        raise ValueError("min_samples must be >= 1")
+    return d
+
+
 def dbscan(
     distances: np.ndarray,
     eps: float,
@@ -48,15 +71,44 @@ def dbscan(
     itself) lie within ``eps``.  Clusters grow by breadth-first
     expansion from core points; border points join the first cluster
     that reaches them; everything else is noise.
-    """
-    d = np.asarray(distances, dtype=float)
-    if d.ndim != 2 or d.shape[0] != d.shape[1]:
-        raise ValueError("distances must be a square matrix")
-    if eps <= 0:
-        raise ValueError("eps must be positive")
-    if min_samples < 1:
-        raise ValueError("min_samples must be >= 1")
 
+    Vectorized: neighborhoods come from one boolean ``d <= eps`` matrix
+    and each BFS wave labels a whole frontier at once — label-identical
+    to :func:`dbscan_reference`.
+    """
+    d = _validated(distances, eps, min_samples)
+    n = d.shape[0]
+    with obs_span("stats.dbscan", points=n, eps=float(eps), min_samples=min_samples):
+        within = d <= eps
+        core = within.sum(axis=1) >= min_samples
+        labels = np.full(n, NOISE, dtype=int)
+
+        cluster = 0
+        for start in range(n):
+            if labels[start] != NOISE or not core[start]:
+                continue
+            labels[start] = cluster
+            frontier = np.array([start])
+            while frontier.size:
+                # Only core points expand; border points stop the wave.
+                expanding = frontier[core[frontier]]
+                if expanding.size == 0:
+                    break
+                reached = within[expanding].any(axis=0)
+                frontier = np.flatnonzero(reached & (labels == NOISE))
+                labels[frontier] = cluster
+            cluster += 1
+
+    return DBSCANResult(labels=labels, core_mask=core)
+
+
+def dbscan_reference(
+    distances: np.ndarray,
+    eps: float,
+    min_samples: int = 3,
+) -> DBSCANResult:
+    """The per-point queue BFS :func:`dbscan` reproduces."""
+    d = _validated(distances, eps, min_samples)
     n = d.shape[0]
     neighbors = [np.flatnonzero(d[i] <= eps) for i in range(n)]
     core = np.array([len(nb) >= min_samples for nb in neighbors])

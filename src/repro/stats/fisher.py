@@ -9,12 +9,39 @@ modelled traffic), so to apply a count-based exact test we convert each
 share into an effective success count out of an effective sample size
 (:func:`proportion_test`), mirroring how one tests two proportions with
 Fisher's method.
+
+Two execution paths live here, following the kernel-layer discipline
+(DESIGN.md, "Stats kernels"):
+
+* the **scalar reference** (:func:`fisher_exact`,
+  :func:`proportion_test`) evaluates the hypergeometric pmf one ``k``
+  at a time via :func:`math.lgamma` — the executable definition;
+* the **batched kernel** (:func:`fisher_exact_batch`,
+  :func:`proportion_test_batch`) evaluates the full pmf support as one
+  numpy vector against a cached cumulative log-factorial table
+  (``table[i] == lgamma(i + 1)``, grown on demand and shared across
+  calls), deduplicating repeated tables so every category×country cell
+  of the Figure 4 grid costs one vector pass at most.
+
+Parity: the batched log-pmf values are **bit-identical** to the scalar
+path (same ``lgamma`` table entries combined in the same association
+order).  The final p-value applies ``np.exp`` to the masked support,
+which may differ from ``math.exp`` in the last ulp on SIMD numpy
+builds, so batched p-values match the scalar reference to ~3 ulp
+relative — far below any significance threshold, leaving Bonferroni
+decisions (and therefore pipeline artifact bytes) identical.  Asserted
+by ``tests/stats/test_fisher.py`` and the pipeline byte-parity suite.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..obs import span as obs_span
 
 
 def _log_binom(n: int, k: int) -> float:
@@ -35,12 +62,18 @@ def hypergeom_logpmf(k: int, total: int, successes: int, draws: int) -> float:
     )
 
 
+#: Tolerance for "at most as likely as observed", matching scipy.
+_PMF_EPS = 1e-7
+
+
 def fisher_exact(table: tuple[tuple[int, int], tuple[int, int]]) -> float:
     """Two-sided Fisher exact test p-value for a 2×2 contingency table.
 
     Uses the standard point-probability method: sum the probabilities of
     all tables (with the same margins) at most as likely as the observed
     one.  Matches ``scipy.stats.fisher_exact(..., 'two-sided')``.
+
+    This is the scalar reference for :func:`fisher_exact_batch`.
     """
     (a, b), (c, d) = table
     for v in (a, b, c, d):
@@ -56,14 +89,91 @@ def fisher_exact(table: tuple[tuple[int, int], tuple[int, int]]) -> float:
     observed = hypergeom_logpmf(a, total, col1, row1)
     # Sum pmf over all k whose probability <= observed (with tolerance
     # for floating error, as scipy does).
-    eps = 1e-7
-    threshold = observed + math.log1p(eps)
+    threshold = observed + math.log1p(_PMF_EPS)
     p = 0.0
     for k in range(lo, hi + 1):
         logp = hypergeom_logpmf(k, total, col1, row1)
         if logp <= threshold:
             p += math.exp(logp)
     return min(p, 1.0)
+
+
+# -- batched kernel -------------------------------------------------------------------
+
+#: Cumulative log-factorial table: ``_LOG_FACTORIALS[i] == lgamma(i + 1)``.
+#: Grown on demand (one table serves every ``effective_n``) and built
+#: with :func:`math.lgamma` so entries are bit-identical to the values
+#: the scalar path computes.  Growth replaces the array atomically, so
+#: concurrent readers at worst duplicate work.
+_LOG_FACTORIALS = np.zeros(1)
+
+
+def _log_factorials(n: int) -> np.ndarray:
+    """The shared table, grown to cover ``0! .. n!``."""
+    global _LOG_FACTORIALS
+    table = _LOG_FACTORIALS
+    if len(table) <= n:
+        grown = np.empty(n + 1)
+        grown[: len(table)] = table
+        lgamma = math.lgamma
+        grown[len(table):] = [lgamma(i + 1) for i in range(len(table), n + 1)]
+        _LOG_FACTORIALS = table = grown
+    return table
+
+
+def _fisher_exact_one(a: int, b: int, c: int, d: int) -> float:
+    """Vectorized two-sided p for one table: the whole pmf support in
+    one numpy pass over the shared log-factorial table."""
+    total = a + b + c + d
+    if total == 0:
+        return 1.0
+    row1 = a + b
+    col1 = a + c
+    lo = max(0, row1 + col1 - total)
+    hi = min(row1, col1)
+    lf = _log_factorials(total)
+    k = np.arange(lo, hi + 1)
+    # Same operands, same association order as the scalar _log_binom
+    # chain, so every log-pmf below is bit-identical to the reference.
+    log_binom_col = (lf[col1] - lf[k]) - lf[col1 - k]
+    log_binom_rest = (lf[total - col1] - lf[row1 - k]) - lf[total - col1 - row1 + k]
+    log_binom_total = (lf[total] - lf[row1]) - lf[total - row1]
+    logp = (log_binom_col + log_binom_rest) - log_binom_total
+    threshold = logp[a - lo] + math.log1p(_PMF_EPS)
+    masked = np.exp(logp[logp <= threshold])
+    # cumsum accumulates sequentially in k order like the scalar loop
+    # (np.sum's pairwise reduction would associate differently).
+    p = float(np.cumsum(masked)[-1]) if len(masked) else 0.0
+    return min(p, 1.0)
+
+
+def fisher_exact_batch(tables: Sequence[object] | np.ndarray) -> np.ndarray:
+    """Two-sided Fisher exact p-values for many 2×2 tables at once.
+
+    ``tables`` is anything ``np.asarray`` shapes to ``(m, 2, 2)`` or
+    ``(m, 4)`` (rows ``a, b, c, d``).  Duplicate tables — ubiquitous in
+    the Figure 4 grid, where absent categories yield ``(0, n, 0, n)``
+    cells — are evaluated once and scattered back (the memoization
+    :func:`proportion_test_batch` relies on).  Emits a
+    ``stats.fisher_batch`` span with cell/unique counts.
+    """
+    arr = np.asarray(tables, dtype=np.int64)
+    if arr.ndim == 3 and arr.shape[1:] == (2, 2):
+        arr = arr.reshape(len(arr), 4)
+    if arr.ndim != 2 or arr.shape[1] != 4:
+        raise ValueError("tables must have shape (m, 2, 2) or (m, 4)")
+    if len(arr) == 0:
+        return np.empty(0, dtype=float)
+    if np.any(arr < 0):
+        raise ValueError("table entries must be non-negative")
+    unique, inverse = np.unique(arr, axis=0, return_inverse=True)
+    with obs_span(
+        "stats.fisher_batch", cells=len(arr), unique_tables=len(unique),
+    ):
+        p_unique = np.array(
+            [_fisher_exact_one(a, b, c, d) for a, b, c, d in unique.tolist()]
+        )
+    return p_unique[inverse.ravel()]
 
 
 @dataclass(frozen=True)
@@ -82,6 +192,17 @@ class ProportionTestResult:
         return self.p_value <= alpha
 
 
+def _effective_count(share: float, effective_n: int) -> int:
+    """Deterministic half-up rounding of ``share * effective_n``.
+
+    Python's ``round`` rounds half to even, so an exact-half share
+    would flip its count (and potentially significance) on the parity
+    of the neighbouring integer; ``floor(x + 0.5)`` always rounds the
+    half up.
+    """
+    return int(math.floor(share * effective_n + 0.5))
+
+
 def proportion_test(
     share_a: float,
     share_b: float,
@@ -94,16 +215,55 @@ def proportion_test(
     converted to a success count out of ``effective_n`` trials; the
     effective sample size controls the test's power, standing in for the
     (enormous, unpublished) underlying event counts in the telemetry.
+
+    This is the scalar reference for :func:`proportion_test_batch`.
     """
     for name, share in (("share_a", share_a), ("share_b", share_b)):
         if not 0.0 <= share <= 1.0:
             raise ValueError(f"{name} must be in [0, 1], got {share}")
     if effective_n < 1:
         raise ValueError("effective_n must be positive")
-    a = round(share_a * effective_n)
-    b = round(share_b * effective_n)
+    a = _effective_count(share_a, effective_n)
+    b = _effective_count(share_b, effective_n)
     p = fisher_exact(((a, effective_n - a), (b, effective_n - b)))
     return ProportionTestResult(p_value=p, proportion_a=share_a, proportion_b=share_b)
+
+
+def proportion_test_batch(
+    shares_a: Sequence[float] | np.ndarray,
+    shares_b: Sequence[float] | np.ndarray,
+    effective_n: int = 100_000,
+) -> list[ProportionTestResult]:
+    """All of :func:`proportion_test` over paired share vectors at once.
+
+    The whole Figure 4 category×country grid is one call: shares
+    become counts with the same half-up rounding as the scalar path,
+    and :func:`fisher_exact_batch` memoizes on the resulting ``(a, b)``
+    count pairs, so repeated cells (zero shares above all) are priced
+    once.
+    """
+    a_shares = np.asarray(shares_a, dtype=float)
+    b_shares = np.asarray(shares_b, dtype=float)
+    if a_shares.ndim != 1 or a_shares.shape != b_shares.shape:
+        raise ValueError("shares_a and shares_b must be equal-length vectors")
+    for name, shares in (("shares_a", a_shares), ("shares_b", b_shares)):
+        if np.any(shares < 0.0) or np.any(shares > 1.0):
+            raise ValueError(f"every {name} entry must be in [0, 1]")
+    if effective_n < 1:
+        raise ValueError("effective_n must be positive")
+    # floor(x + 0.5) elementwise — bit-identical to _effective_count.
+    a = np.floor(a_shares * effective_n + 0.5).astype(np.int64)
+    b = np.floor(b_shares * effective_n + 0.5).astype(np.int64)
+    tables = np.stack(
+        [a, effective_n - a, b, effective_n - b], axis=1
+    )
+    p_values = fisher_exact_batch(tables)
+    return [
+        ProportionTestResult(
+            p_value=float(p), proportion_a=float(sa), proportion_b=float(sb)
+        )
+        for p, sa, sb in zip(p_values, a_shares, b_shares)
+    ]
 
 
 def normalized_difference(a: float, w: float) -> float:

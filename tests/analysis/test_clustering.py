@@ -48,6 +48,33 @@ class TestClusterReport:
         assert -0.1 <= report.average_silhouette <= 0.5
 
 
+class TestClusterIndexing:
+    """``index`` must track list position after the silhouette sort;
+    ``affinity_index`` must keep pointing into the AffinityResult
+    (regression for the stale-index bug)."""
+
+    def test_index_matches_list_position(self, report):
+        for position, cluster in enumerate(report.clusters):
+            assert cluster.index == position
+
+    def test_sorted_by_silhouette_descending(self, report):
+        silhouettes = [c.silhouette for c in report.clusters]
+        assert silhouettes == sorted(silhouettes, reverse=True)
+
+    def test_affinity_index_maps_to_affinity_members(self, report, matrix):
+        for cluster in report.clusters:
+            affinity_members = {
+                matrix.countries[int(i)]
+                for i in report.affinity.members(cluster.affinity_index)
+            }
+            assert affinity_members == set(cluster.members)
+
+    def test_affinity_index_maps_to_exemplar(self, report, matrix):
+        for cluster in report.clusters:
+            exemplar_point = int(report.affinity.exemplars[cluster.affinity_index])
+            assert matrix.countries[exemplar_point] == cluster.exemplar
+
+
 class TestGeographicCoherence:
     def test_clusters_track_language_or_region(self, report):
         # Most multi-country clusters should share language or region

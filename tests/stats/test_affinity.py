@@ -69,6 +69,36 @@ class TestClustering:
             assert relabel[label] == truth[point]
 
 
+class TestNonConvergence:
+    """Labels are *always* fully assigned; ``converged`` — not a -1
+    sentinel — signals whether the run settled (regression for the old
+    docstring that promised "-1 if not converged" but never emitted it)."""
+
+    def test_unconverged_run_still_assigns_every_point(self):
+        sim, _ = _block_similarity([5, 5, 5])
+        result = affinity_propagation(sim, max_iterations=1)
+        assert not result.converged
+        assert np.all(result.labels >= 0)
+        assert set(result.labels.tolist()) == set(range(result.n_clusters))
+        assert result.n_clusters >= 1
+
+    def test_degenerate_fallback_single_cluster(self):
+        # Heavy damping and one iteration leave no self-electing
+        # exemplar: the fallback assigns everyone to one best-effort
+        # cluster instead of leaving gaps.
+        sim, _ = _block_similarity([4, 4])
+        result = affinity_propagation(sim, damping=0.99, max_iterations=1)
+        assert not result.converged
+        assert result.n_clusters == 1
+        assert np.all(result.labels == 0)
+        assert 0 <= int(result.exemplars[0]) < sim.shape[0]
+
+    def test_converged_run_reports_converged(self):
+        sim, _ = _block_similarity([5, 5])
+        result = affinity_propagation(sim, seed=1)
+        assert result.converged
+
+
 class TestValidation:
     def test_non_square_rejected(self):
         with pytest.raises(ValueError):

@@ -1,9 +1,12 @@
-"""Tests for the from-scratch DBSCAN."""
+"""Tests for the from-scratch DBSCAN, including label-exact parity
+between the vectorized kernel and its scalar reference."""
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
-from repro.stats.dbscan import NOISE, dbscan, eps_sweep
+from repro.stats.dbscan import NOISE, dbscan, dbscan_reference, eps_sweep
 
 
 def _distance_matrix(points):
@@ -70,6 +73,57 @@ class TestDBSCAN:
             result.members(c) for c in range(result.n_clusters)
         ])
         assert sorted(assigned.tolist()) == [0, 1, 2, 3]
+
+
+class TestKernelParity:
+    """Frontier-wave BFS must assign exactly the labels the per-point
+    queue BFS assigns — including which cluster claims border points."""
+
+    @given(
+        n=st.integers(min_value=2, max_value=40),
+        eps=st.floats(min_value=0.05, max_value=3.0, allow_nan=False),
+        min_samples=st.integers(min_value=1, max_value=5),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_labels_identical_on_random_points(self, n, eps, min_samples, seed):
+        rng = np.random.default_rng(seed)
+        points = rng.normal(size=(n, 2))
+        d = np.sqrt(((points[:, None, :] - points[None, :, :]) ** 2).sum(-1))
+        fast = dbscan(d, eps, min_samples)
+        slow = dbscan_reference(d, eps, min_samples)
+        assert np.array_equal(fast.labels, slow.labels)
+        assert np.array_equal(fast.core_mask, slow.core_mask)
+
+    @given(
+        eps=st.integers(min_value=1, max_value=4),
+        min_samples=st.integers(min_value=1, max_value=4),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_labels_identical_at_exact_eps_boundaries(self, eps, min_samples, seed):
+        # Integer grid points with an integer eps: many distances land
+        # exactly ON the eps boundary, the tie case where an off-by-ulp
+        # neighborhood test would diverge.
+        rng = np.random.default_rng(seed)
+        points = rng.integers(0, 6, size=15).astype(float)
+        d = np.abs(points[:, None] - points[None, :])
+        fast = dbscan(d, float(eps), min_samples)
+        slow = dbscan_reference(d, float(eps), min_samples)
+        assert np.array_equal(fast.labels, slow.labels)
+        assert np.array_equal(fast.core_mask, slow.core_mask)
+
+    def test_border_point_claimed_by_same_cluster(self):
+        # A chain with a point reachable from two clusters: seeding
+        # order decides the owner, and both paths must agree.
+        d = _distance_matrix([0.0, 0.4, 1.0, 1.6, 2.0])
+        fast = dbscan(d, eps=0.5, min_samples=2)
+        slow = dbscan_reference(d, eps=0.5, min_samples=2)
+        assert np.array_equal(fast.labels, slow.labels)
+
+    def test_reference_validates_too(self):
+        with pytest.raises(ValueError):
+            dbscan_reference(np.zeros((2, 2)), eps=0)
 
 
 class TestEpsSweep:

@@ -1,18 +1,30 @@
-"""Tests for Fisher's exact test, cross-validated against scipy."""
+"""Tests for Fisher's exact test, cross-validated against scipy,
+plus batch-vs-scalar parity for the vectorized kernel."""
 
+import math
+
+import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 from scipy import stats as scipy_stats
 
 from repro.stats.fisher import (
+    _log_factorials,
     fisher_exact,
+    fisher_exact_batch,
     hypergeom_logpmf,
     normalized_difference,
     proportion_test,
+    proportion_test_batch,
 )
 
 counts = st.integers(min_value=0, max_value=120)
+
+#: np.exp may differ from math.exp in the last ulp (see the module
+#: docstring of repro.stats.fisher); everything else is bit-identical,
+#: so batched p-values sit within a few ulp of the scalar reference.
+BATCH_RTOL = 1e-12
 
 
 class TestFisherExact:
@@ -54,6 +66,68 @@ class TestHypergeomLogpmf:
         assert hypergeom_logpmf(10, 10, 2, 3) == float("-inf")
 
 
+class TestLogFactorialTable:
+    def test_entries_match_lgamma(self):
+        table = _log_factorials(200)
+        for i in (0, 1, 2, 50, 199, 200):
+            assert table[i] == math.lgamma(i + 1)
+
+    def test_grows_on_demand(self):
+        small = _log_factorials(10)
+        big = _log_factorials(len(small) + 500)
+        assert len(big) >= len(small) + 501
+        assert np.array_equal(big[: len(small)], small)
+
+
+class TestFisherBatch:
+    @given(st.lists(st.tuples(counts, counts, counts, counts), min_size=1, max_size=30))
+    @settings(max_examples=60, deadline=None)
+    def test_matches_scalar_reference(self, tables):
+        batch = fisher_exact_batch([((a, b), (c, d)) for a, b, c, d in tables])
+        scalar = [fisher_exact(((a, b), (c, d))) for a, b, c, d in tables]
+        assert batch.shape == (len(tables),)
+        np.testing.assert_allclose(batch, scalar, rtol=BATCH_RTOL, atol=0.0)
+
+    @given(st.lists(st.tuples(counts, counts, counts, counts), min_size=1, max_size=30))
+    @settings(max_examples=40, deadline=None)
+    def test_same_significance_decisions(self, tables):
+        batch = fisher_exact_batch([(a, b, c, d) for a, b, c, d in tables])
+        scalar = [fisher_exact(((a, b), (c, d))) for a, b, c, d in tables]
+        for alpha in (0.05, 0.01, 0.001):
+            assert [p <= alpha for p in batch] == [p <= alpha for p in scalar]
+
+    def test_flat_and_nested_shapes_agree(self):
+        nested = fisher_exact_batch([((8, 2), (1, 5)), ((3, 3), (3, 3))])
+        flat = fisher_exact_batch([(8, 2, 1, 5), (3, 3, 3, 3)])
+        assert np.array_equal(nested, flat)
+
+    def test_zero_margin_tables(self):
+        # Degenerate margins collapse the support to one term; both
+        # paths return exactly 1.0.
+        tables = [(0, 0, 0, 0), (0, 5, 0, 7), (4, 0, 6, 0), (0, 0, 3, 9)]
+        batch = fisher_exact_batch(tables)
+        scalar = [fisher_exact(((a, b), (c, d))) for a, b, c, d in tables]
+        assert batch.tolist() == scalar
+
+    def test_duplicates_memoized_to_identical_values(self):
+        tables = [(8, 2, 1, 5)] * 5 + [(1, 9, 9, 1)] + [(8, 2, 1, 5)]
+        batch = fisher_exact_batch(tables)
+        assert len(set(batch[[0, 1, 2, 3, 4, 6]].tolist())) == 1
+        assert batch[5] != batch[0]
+
+    def test_empty_input(self):
+        out = fisher_exact_batch(np.empty((0, 4), dtype=int))
+        assert out.shape == (0,)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            fisher_exact_batch([(1, -2, 3, 4)])
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(ValueError):
+            fisher_exact_batch([(1, 2, 3)])
+
+
 class TestProportionTest:
     def test_equal_shares_not_significant(self):
         result = proportion_test(0.10, 0.10)
@@ -75,6 +149,67 @@ class TestProportionTest:
             proportion_test(1.2, 0.5)
         with pytest.raises(ValueError):
             proportion_test(0.5, -0.1)
+
+
+class TestHalfUpRounding:
+    """share * effective_n must round half UP, not half-to-even.
+
+    The old ``round(share * effective_n)`` used banker's rounding, so an
+    exact-half product flipped its count (and potentially significance)
+    on the parity of the neighbouring integer."""
+
+    def test_exact_half_rounds_up(self):
+        # 0.25 * 2 = 0.5 exactly (both powers of two): half-up gives
+        # count 1, banker's rounding would give 0.
+        result = proportion_test(0.25, 0.75, effective_n=2)
+        assert result.p_value == fisher_exact(((1, 1), (2, 0)))
+        assert result.p_value != fisher_exact(((0, 2), (2, 0)))
+
+    def test_exact_half_single_trial(self):
+        # 0.5 * 1 = 0.5: round() gives 0, half-up gives 1.
+        result = proportion_test(0.5, 0.0, effective_n=1)
+        assert result.p_value == fisher_exact(((1, 0), (0, 1)))
+
+    def test_batch_uses_same_rounding(self):
+        scalar = proportion_test(0.25, 0.75, effective_n=2)
+        [batch] = proportion_test_batch([0.25], [0.75], effective_n=2)
+        assert batch.p_value == pytest.approx(scalar.p_value, rel=BATCH_RTOL)
+
+
+class TestProportionTestBatch:
+    shares = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+
+    @given(st.lists(st.tuples(shares, shares), min_size=1, max_size=25))
+    @settings(max_examples=50, deadline=None)
+    def test_matches_scalar_reference(self, pairs):
+        effective_n = 500
+        a = [p[0] for p in pairs]
+        b = [p[1] for p in pairs]
+        batch = proportion_test_batch(a, b, effective_n)
+        assert len(batch) == len(pairs)
+        for result, (sa, sb) in zip(batch, pairs):
+            scalar = proportion_test(sa, sb, effective_n)
+            assert result.p_value == pytest.approx(scalar.p_value, rel=BATCH_RTOL)
+            assert result.proportion_a == sa
+            assert result.proportion_b == sb
+            assert result.difference == scalar.difference
+
+    def test_repeated_zero_cells_price_once(self):
+        # The Figure 4 grid is full of (0.0, 0.0) cells; they must all
+        # come back as the same (non-significant) result.
+        batch = proportion_test_batch([0.0] * 10, [0.0] * 10)
+        assert all(r.p_value == batch[0].p_value for r in batch)
+        assert not batch[0].significant()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            proportion_test_batch([0.1, 0.2], [0.1])
+        with pytest.raises(ValueError):
+            proportion_test_batch([1.5], [0.1])
+        with pytest.raises(ValueError):
+            proportion_test_batch([[0.1]], [[0.1]])
+        with pytest.raises(ValueError):
+            proportion_test_batch([0.1], [0.1], effective_n=0)
 
 
 class TestNormalizedDifference:

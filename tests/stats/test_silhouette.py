@@ -1,10 +1,14 @@
-"""Tests for silhouette coefficients."""
+"""Tests for silhouette coefficients, including bit-exact parity
+between the vectorized kernel and its scalar reference."""
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.stats.silhouette import (
     silhouette_samples,
+    silhouette_samples_reference,
     similarity_to_distance,
 )
 
@@ -79,6 +83,57 @@ class TestSilhouette:
     def test_negative_distances_rejected(self):
         with pytest.raises(ValueError):
             silhouette_samples(np.array([[0.0, -1.0], [-1.0, 0.0]]), np.array([0, 1]))
+
+
+class TestKernelParity:
+    """silhouette_samples must be *bit-identical* to the scalar loop —
+    pipeline artifact bytes depend on it (DESIGN.md, "Stats kernels")."""
+
+    @given(
+        n=st.integers(min_value=2, max_value=40),
+        k=st.integers(min_value=2, max_value=6),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_bit_identical_on_random_matrices(self, n, k, seed):
+        rng = np.random.default_rng(seed)
+        points = rng.normal(size=(n, 2))
+        d = np.sqrt(((points[:, None, :] - points[None, :, :]) ** 2).sum(-1))
+        # Random labels, forced to cover at least two clusters; ragged
+        # sizes and singletons arise naturally.
+        labels = rng.integers(0, min(k, n), size=n)
+        labels[0] = 0
+        labels[1] = 1
+        fast = silhouette_samples(d, labels)
+        slow = silhouette_samples_reference(d, labels)
+        assert np.array_equal(fast.values, slow.values)
+        assert np.array_equal(fast.labels, slow.labels)
+
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_bit_identical_with_duplicate_points(self, seed):
+        # Duplicate points give zero distances and exercise the
+        # denom == 0 path in both implementations.
+        rng = np.random.default_rng(seed)
+        points = rng.integers(0, 3, size=12).astype(float)
+        d = np.abs(points[:, None] - points[None, :])
+        labels = rng.integers(0, 3, size=12)
+        labels[:2] = [0, 1]
+        fast = silhouette_samples(d, labels)
+        slow = silhouette_samples_reference(d, labels)
+        assert np.array_equal(fast.values, slow.values)
+
+    def test_bit_identical_with_offset_labels(self):
+        d, base = _two_blobs()
+        labels = base * 7 + 5          # non-contiguous cluster ids
+        fast = silhouette_samples(d, labels)
+        slow = silhouette_samples_reference(d, labels)
+        assert np.array_equal(fast.values, slow.values)
+
+    def test_reference_validates_too(self):
+        d, _ = _two_blobs()
+        with pytest.raises(ValueError):
+            silhouette_samples_reference(d, np.zeros(6, dtype=int))
 
 
 class TestSimilarityToDistance:
