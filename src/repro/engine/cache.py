@@ -27,6 +27,7 @@ import os
 import tempfile
 from dataclasses import dataclass
 from pathlib import Path
+from typing import Iterable
 
 from ..core.errors import DatasetError
 from ..core.rankedlist import RankedList
@@ -128,6 +129,24 @@ class SliceCache:
             raise
         self.stats.writes += 1
         return path
+
+    def put_many(
+        self, fingerprint: str, items: Iterable[tuple[Breakdown, RankedList]]
+    ) -> int:
+        """Store a batch of slices; returns the number written.
+
+        The engine's write-back path hands over whole country grids at
+        a time (the batched executor produces them together), so the
+        fingerprint directory is ensured once up front instead of once
+        per slice; each file write stays individually atomic.
+        """
+        count = 0
+        for breakdown, ranked in items:
+            if count == 0:
+                self.dir_for(fingerprint).mkdir(parents=True, exist_ok=True)
+            self.put(fingerprint, breakdown, ranked)
+            count += 1
+        return count
 
     def __contains__(self, key: tuple[str, Breakdown]) -> bool:
         fingerprint, breakdown = key

@@ -130,8 +130,7 @@ class GenerationEngine:
                     with tracer.span(
                         "engine.cache_write", slices=len(produced)
                     ):
-                        for breakdown, ranked in produced.items():
-                            self.cache.put(self.fingerprint, breakdown, ranked)
+                        self.cache.put_many(self.fingerprint, produced.items())
                 results.update(produced)
             return {b: results[b] for b in plan.breakdowns()}
 

@@ -45,9 +45,22 @@ def _run_work_unit(
     config: GeneratorConfig,
     unit: CountryWorkUnit,
     tracer: Tracer | NullTracer = NULL_TRACER,
+    batch: bool = True,
 ) -> list[tuple[Breakdown, RankedList]]:
-    """Worker entry point: generate every slice of one country's unit."""
+    """Worker entry point: generate every slice of one country's unit.
+
+    ``batch=True`` scores the whole unit in one matrix pass
+    (:meth:`TelemetryGenerator.rank_lists_batch`); ``batch=False`` keeps
+    the per-slice reference path.  Both emit the same per-slice
+    ``engine.generate_slice`` spans and are byte-identical (asserted in
+    ``tests/engine/test_batch_parity.py``).
+    """
     generator = generator_for(config)
+    if batch:
+        produced = generator.rank_lists_batch(
+            unit.country, unit.breakdowns(), tracer=tracer
+        )
+        return list(produced.items())
     results: list[tuple[Breakdown, RankedList]] = []
     for request in unit.requests:
         with tracer.span(
@@ -69,7 +82,7 @@ def _run_work_unit(
 
 
 def _run_work_unit_traced(
-    config: GeneratorConfig, unit: CountryWorkUnit
+    config: GeneratorConfig, unit: CountryWorkUnit, batch: bool = True
 ) -> tuple[list[tuple[Breakdown, RankedList]], list[dict[str, object]]]:
     """Worker entry point when the parent traces: ship span dicts back.
 
@@ -79,16 +92,25 @@ def _run_work_unit_traced(
     span ids keep workers' spans distinct from each other's.
     """
     tracer = Tracer(span_prefix=f"w{os.getpid()}-")
+    grid = "x".join(str(extent) for extent in unit.grid_shape())
     with tracer.span("engine.work_unit", country=unit.country,
-                     pid=os.getpid(), slices=len(unit)):
-        results = _run_work_unit(config, unit, tracer)
+                     pid=os.getpid(), slices=len(unit), grid=grid):
+        results = _run_work_unit(config, unit, tracer, batch)
     return results, tracer.collector.drain()
 
 
 class SerialExecutor:
-    """In-process execution — current behaviour, and the reference."""
+    """In-process execution — the reference implementation.
+
+    ``batch=True`` (the default) scores each country's work unit in one
+    matrix pass; ``batch=False`` keeps the original per-slice loop as
+    the byte-identity reference and benchmark baseline.
+    """
 
     name = "serial"
+
+    def __init__(self, *, batch: bool = True) -> None:
+        self.batch = batch
 
     def execute(
         self,
@@ -103,7 +125,7 @@ class SerialExecutor:
             tracer = NULL_TRACER
         results: dict[Breakdown, RankedList] = {}
         for unit in plan.partition():
-            results.update(_run_work_unit(config, unit, tracer))
+            results.update(_run_work_unit(config, unit, tracer, self.batch))
         return results
 
 
@@ -116,16 +138,20 @@ class ParallelExecutor:
     worker reconstructs its generator from the picklable config.
     Results are keyed by breakdown, so scheduling order never affects
     the output — a requirement, not an accident (see module docstring).
+    Each shipped work unit is a whole country grid, which the worker
+    scores in one batched matrix pass by default (``batch=False`` for
+    the per-slice reference path).
     """
 
     name = "parallel"
 
-    def __init__(self, jobs: int | None = None) -> None:
+    def __init__(self, jobs: int | None = None, *, batch: bool = True) -> None:
         if jobs is None:
             jobs = os.cpu_count() or 1
         if jobs < 1:
             raise GenerationError(f"jobs must be >= 1, got {jobs}")
         self.jobs = jobs
+        self.batch = batch
 
     @staticmethod
     def _context():
@@ -145,7 +171,7 @@ class ParallelExecutor:
             tracer = NULL_TRACER
         units = plan.partition()
         if self.jobs == 1 or len(units) <= 1:
-            return SerialExecutor().execute(
+            return SerialExecutor(batch=self.batch).execute(
                 config, plan, generator=generator, tracer=tracer
             )
         results: dict[Breakdown, RankedList] = {}
@@ -158,7 +184,7 @@ class ParallelExecutor:
                 # their results; adopting re-parents them under the
                 # caller's active span so one file covers the whole run.
                 futures = [
-                    pool.submit(_run_work_unit_traced, config, unit)
+                    pool.submit(_run_work_unit_traced, config, unit, self.batch)
                     for unit in units
                 ]
                 for future in as_completed(futures):
@@ -167,7 +193,7 @@ class ParallelExecutor:
                     tracer.adopt(spans)
             else:
                 futures = [
-                    pool.submit(_run_work_unit, config, unit)
+                    pool.submit(_run_work_unit, config, unit, NULL_TRACER, self.batch)
                     for unit in units
                 ]
                 for future in as_completed(futures):

@@ -74,6 +74,20 @@ class CountryWorkUnit:
     def breakdowns(self) -> tuple[Breakdown, ...]:
         return tuple(request.breakdown for request in self.requests)
 
+    def grid_shape(self) -> tuple[int, int, int]:
+        """Distinct (platforms, metrics, months) this unit spans.
+
+        The batched executor scores the unit as one matrix whose
+        component reuse scales with these counts; the shape is attached
+        to ``engine.work_unit`` spans so traces show how much sharing a
+        unit actually had.
+        """
+        return (
+            len({r.platform for r in self.requests}),
+            len({r.metric for r in self.requests}),
+            len({r.month for r in self.requests}),
+        )
+
 
 class SlicePlan:
     """A deduplicated, deterministically ordered set of slice requests."""

@@ -13,7 +13,7 @@ from .fisher import (
     proportion_test,
     proportion_test_batch,
 )
-from .kendall import kendall_from_lists, kendall_tau
+from .kendall import kendall_from_lists, kendall_tau, kendall_tau_reference
 from .kernels import (
     agreement_sequence_ids,
     bucket_intersections,
@@ -62,6 +62,7 @@ __all__ = [
     "iqr_outliers",
     "kendall_from_lists",
     "kendall_tau",
+    "kendall_tau_reference",
     "mad_outliers",
     "mean",
     "median",

@@ -18,6 +18,17 @@ All noise components are drawn from deterministic streams keyed by
 independently and identically — the property that lets benchmarks
 generate only the slices they need.
 
+Because most components are shared by *several* slices of a country's
+breakdown grid (the platform noise by every metric × month, the month
+walk by every platform × metric, the December mixture by both
+platforms), :meth:`TelemetryGenerator.rank_lists_batch` scores a whole
+per-country grid in one matrix pass: each deterministic component is
+drawn exactly once into a keyed component cache and broadcast into the
+columns that use it, preserving the serial path's per-element order of
+additions so every column is byte-identical to
+:meth:`TelemetryGenerator.rank_list` (asserted in
+``tests/engine/test_batch_parity.py``).
+
 Two structural choices are calibration-critical:
 
 * **Mixture metric noise.**  Section 4.4 reports top-10K loads-vs-time
@@ -46,15 +57,25 @@ import json
 import sys
 import zlib
 from dataclasses import asdict, dataclass, field, fields, replace
+from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
 from ..core.dataset import BrowsingDataset
 from ..core.errors import GenerationError
 from ..core.rankedlist import RankedList
-from ..core.types import Metric, Month, Platform, REFERENCE_MONTH
+from ..core.types import Breakdown, Metric, Month, Platform, REFERENCE_MONTH
+from ..obs import NULL_TRACER
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..obs import NullTracer, Tracer
 from ..world.countries import get_country
-from .privacy import PrivacyConfig, apply_threshold, time_sampling_noise_sigma
+from .privacy import (
+    PrivacyConfig,
+    apply_threshold,
+    threshold_rank,
+    time_sampling_noise_sigma,
+)
 from .traffic import global_distributions
 from .universe import Universe, UniverseConfig, build_universe
 
@@ -166,10 +187,29 @@ class TelemetryGenerator:
         self._distributions = global_distributions()
         self._per_country: dict[str, dict[str, np.ndarray]] = {}
         self._walk_cache: dict[tuple[str, int], np.ndarray] = {}
+        #: Unclipped forward walk cumulative sums keyed by (country,
+        #: month index): walk(T+1) reuses walk(T) plus one innovation
+        #: instead of re-summing every innovation from WALK_ORIGIN.
+        self._walk_unclipped: dict[tuple[str, int], np.ndarray] = {}
         #: Canonical identities as an object array: the "canonical" emit
         #: path takes rows by uid instead of looping per site, and every
         #: emitted list shares the same str objects (no interning pass).
         self._canonical_names = np.asarray(self.universe.canonical, dtype=object)
+        #: Per-country domain-identity arrays for ``emit="domains"``,
+        #: built on first use (mirrors ``_canonical_names``): only the
+        #: multi-ccTLD sites differ from their canonical identity, so a
+        #: country's array is the canonical one with those rows swapped.
+        self._domain_names: dict[str, np.ndarray] = {}
+        self._multi_uids = np.flatnonzero(self.universe.multi_cctld)
+        #: Privacy cutoffs keyed by (country, effective platform,
+        #: effective metric, pre-truncation length) — ``threshold_rank``
+        #: is a pure function of those, so the batch path pays its
+        #: binary search once per key instead of once per slice.
+        self._threshold_cache: dict[tuple[str, Platform, Metric, int], int] = {}
+        #: Memoised ``share_of_rank`` probe values per effective
+        #: (platform, metric): every country's cutoff search walks the
+        #: same distribution, so probed ranks overlap heavily.
+        self._share_memo: dict[tuple[Platform, Metric], dict[int, float]] = {}
 
     # -- noise streams -------------------------------------------------------------
 
@@ -224,9 +264,25 @@ class TelemetryGenerator:
         pushed up (they enter it).  Because survivors are untouched,
         churn lowers list intersection without degrading the rank
         correlation within it — the combination Section 4.4 reports.
+
+        The RNG draws depend only on (seed, country, component) and the
+        pool size, while the quantile/direction logic also depends on
+        ``base`` (which carries the month walk); the two halves are
+        split so :meth:`rank_lists_batch` can draw once per platform
+        and re-derive only the base-dependent half per month.
         """
-        candidates = self.universe.candidates(country)
         rng = self._stream(country, component)
+        n = len(self.universe.candidates(country))
+        rand = rng.random(n)
+        magnitude = rng.uniform(lo, hi, size=n)
+        return self._churn_from_draws(country, base, rand, magnitude, prob)
+
+    def _churn_from_draws(
+        self, country: str, base: np.ndarray,
+        rand: np.ndarray, magnitude: np.ndarray, prob: float,
+    ) -> np.ndarray:
+        """The base-dependent half of :meth:`_churn`, given its draws."""
+        candidates = self.universe.candidates(country)
         n = len(candidates)
         q_cut = 1.0 - min(self.config.list_size / max(n, 1), 1.0)
         band = self.config.metric_churn_band * self.config.list_size / max(n, 1)
@@ -234,8 +290,7 @@ class TelemetryGenerator:
         q_hi = min(q_cut + band, 1.0)
         cutoff, lo_edge, hi_edge = np.quantile(base, [q_cut, q_lo, q_hi])
         eligible = (base >= lo_edge) & (base <= hi_edge)
-        mask = eligible & (rng.random(n) < prob)
-        magnitude = rng.uniform(lo, hi, size=n)
+        mask = eligible & (rand < prob)
         direction = np.where(base >= cutoff, -1.0, 1.0)
         return mask * direction * magnitude * self.universe.noise_scale[candidates]
 
@@ -282,12 +337,17 @@ class TelemetryGenerator:
         cached = self._walk_cache.get(key)
         if cached is not None:
             return cached
-        n = len(self.universe.candidates(country))
-        walk = np.zeros(n, dtype=np.float64)
-        if target > origin:
-            for idx in range(origin + 1, target + 1):
-                walk += self._innovation(country, idx)
-        elif target < origin:
+        if target >= origin:
+            # Forward walks are incremental: walk(T) = walk(T-1) + one
+            # innovation, accumulated left-to-right exactly as the old
+            # per-month re-sum did, so reuse never changes a bit.  The
+            # *unclipped* sums are what get cached — clipping below is
+            # a per-read projection, not part of the recurrence.
+            walk = self._unclipped_walk(country, target).copy()
+        else:
+            # Backward (pre-origin) walks keep the full re-sum: seeding
+            # them from any cached month would reorder the additions.
+            walk = np.zeros(len(self.universe.candidates(country)), dtype=np.float64)
             for idx in range(target + 1, origin + 1):
                 walk -= self._innovation(country, idx)
         # A site may draw several large innovations in a row; cap the
@@ -297,6 +357,26 @@ class TelemetryGenerator:
         np.clip(walk, -cap, cap, out=walk)
         self._walk_cache[key] = walk
         return walk
+
+    def _unclipped_walk(self, country: str, target: int) -> np.ndarray:
+        """Unclipped innovation sum from WALK_ORIGIN to month ``target``.
+
+        Cached per (country, month index); callers must copy before
+        mutating.  ``target`` must be at or after the walk origin.
+        """
+        origin = WALK_ORIGIN.index()
+        cached = self._walk_unclipped.get((country, target))
+        if cached is None:
+            if target <= origin:
+                n = len(self.universe.candidates(country))
+                cached = np.zeros(n, dtype=np.float64)
+            else:
+                cached = (
+                    self._unclipped_walk(country, target - 1)
+                    + self._innovation(country, target)
+                )
+            self._walk_unclipped[(country, target)] = cached
+        return cached
 
     def _innovation(self, country: str, month_index: int) -> np.ndarray:
         cfg = self.config
@@ -369,6 +449,75 @@ class TelemetryGenerator:
 
     # -- list generation ----------------------------------------------------------------
 
+    @staticmethod
+    def _top_order(scores: np.ndarray, n: int) -> np.ndarray:
+        """Indices of the ``n`` best scores, best first, stable on ties."""
+        if n < len(scores):
+            part = np.argpartition(-scores, n - 1)[:n]
+        else:
+            part = np.arange(len(scores))
+        return part[np.argsort(-scores[part], kind="stable")]
+
+    def _emit_names(self, country: str) -> np.ndarray:
+        """Per-uid emitted identities under this config's emit mode.
+
+        ``canonical`` emit shares one global object array; ``domains``
+        emit builds one array per country on first use — only the
+        multi-ccTLD sites differ from their canonical identity, so the
+        country's array is the canonical one with those rows swapped
+        for the country's ccTLD variant (interned, so repeated lists
+        share str objects like the old per-uid loop did).
+        """
+        if self.config.emit != "domains":
+            return self._canonical_names
+        names = self._domain_names.get(country)
+        if names is None:
+            names = self._canonical_names.copy()
+            if len(self._multi_uids):
+                names[self._multi_uids] = [
+                    sys.intern(self.universe.domain_in_country(int(uid), country))
+                    for uid in self._multi_uids
+                ]
+            self._domain_names[country] = names
+        return names
+
+    def _threshold_cutoff(
+        self, country: str, platform: Platform, metric: Metric, n: int
+    ) -> int:
+        """The privacy cutoff for an ``n``-site list of this breakdown.
+
+        Exactly what :func:`apply_threshold` computes, memoised:
+        ``threshold_rank`` reads only the country's install base, the
+        effective (platform, metric) traffic curve and the list length,
+        never the list contents, so every slice of a grid sharing those
+        shares one binary search.
+        """
+        eff_platform = platform if platform in Platform.studied() else Platform.WINDOWS
+        eff_metric = metric if metric in Metric.studied() else Metric.PAGE_LOADS
+        key = (country, eff_platform, eff_metric, n)
+        cutoff = self._threshold_cache.get(key)
+        if cutoff is None:
+            install_base = get_country(country).web_scale * INSTALL_BASE_UNIT
+            dist = self.distribution(eff_platform, eff_metric)
+            memo = self._share_memo.setdefault((eff_platform, eff_metric), {})
+
+            def share_fn(rank: int) -> float:
+                share = memo.get(rank)
+                if share is None:
+                    share = dist.share_of_rank(rank)
+                    memo[rank] = share
+                return share
+
+            cutoff = threshold_rank(
+                install_base,
+                dist,
+                self.config.privacy.client_threshold,
+                max_rank=n,
+                share_fn=share_fn,
+            )
+            self._threshold_cache[key] = cutoff
+        return cutoff
+
     def rank_list(
         self, country: str, platform: Platform, metric: Metric,
         month: Month = REFERENCE_MONTH,
@@ -379,20 +528,10 @@ class TelemetryGenerator:
         n = min(self.config.list_size, len(uids))
         if n == 0:
             raise GenerationError(f"no candidates survive for {country}")
-        if n < len(scores):
-            part = np.argpartition(-scores, n - 1)[:n]
-        else:
-            part = np.arange(len(scores))
-        order = part[np.argsort(-scores[part], kind="stable")]
+        order = self._top_order(scores, n)
         top_uids = uids[order]
 
-        if self.config.emit == "domains":
-            names = [
-                sys.intern(self.universe.domain_in_country(int(uid), country))
-                for uid in top_uids
-            ]
-        else:
-            names = self._canonical_names[top_uids].tolist()
+        names = self._emit_names(country)[top_uids].tolist()
         ranked = RankedList(names)
 
         if self.config.privacy.client_threshold > 0:
@@ -403,6 +542,175 @@ class TelemetryGenerator:
             )
             ranked = apply_threshold(ranked, install_base, dist, self.config.privacy)
         return ranked
+
+    def rank_lists_batch(
+        self,
+        country: str,
+        breakdowns: Sequence[Breakdown],
+        *,
+        tracer: "Tracer | NullTracer" = NULL_TRACER,
+    ) -> dict[Breakdown, RankedList]:
+        """Every requested slice of one country's grid, in one matrix pass.
+
+        Builds an ``(n_slices × n_candidates)`` score matrix for the
+        country and fills each breakdown's row from a keyed component
+        cache: the base scores, each platform's gauss, each month's
+        walk, the churn draws per platform, the December mixture per
+        (year, metric) and the sampling gauss per month are computed
+        exactly once and broadcast into every row that uses them.
+
+        Byte-identity with :meth:`rank_list` is by construction, not by
+        tolerance: IEEE addition is commutative but not associative, so
+        the batch path never re-associates — rows sharing a prefix of
+        the serial accumulation (base → platform → walk → metric →
+        season → sampling) share the *computed prefix array* and then
+        apply the remaining ``+=`` in the serial order, making every
+        partial sum bitwise equal to the serial one.  Top-k, emit and
+        the privacy cutoff then reuse the same primitives as the serial
+        path (the cutoff via :meth:`_threshold_cutoff`, which memoises
+        the identical binary search).
+
+        Under an active tracer every slice gets the same
+        ``engine.generate_slice`` span the per-slice executor path
+        emits.
+        """
+        cfg = self.config
+        uni = self.universe
+        get_country(country)
+        for breakdown in breakdowns:
+            if breakdown.country != country:
+                raise GenerationError(
+                    f"breakdown {breakdown} is not part of "
+                    f"country batch {country!r}"
+                )
+        state = self._country_state(country)
+        candidates = state["candidates"]
+        base = state["base"]
+        keep = state["keep"]
+        kept_uids = candidates[keep]
+        if min(cfg.list_size, len(kept_uids)) == 0:
+            raise GenerationError(f"no candidates survive for {country}")
+
+        n_all = len(candidates)
+        log_mobile_c = uni.log_mobile[candidates]
+        log_time_c = uni.log_time[candidates]
+        log_december_c = uni.log_december[candidates]
+        emit_names = self._emit_names(country)
+        sampling_sigma = time_sampling_noise_sigma(cfg.privacy.time_sampling_rate)
+
+        # Per-call component caches (walks and thresholds are memoised
+        # on the generator itself; these are cheap to rebuild and keyed
+        # the same way the serial noise streams are).
+        gauss_cache: dict[str, np.ndarray] = {}
+        prefix: dict[Platform, np.ndarray] = {}
+        prefix_month: dict[tuple[Platform, int], np.ndarray] = {}
+        churn_draws: dict[Platform, tuple[np.ndarray, np.ndarray]] = {}
+        churn_comp: dict[tuple[Platform, int], np.ndarray] = {}
+        mixture_cache: dict[tuple[int, str], np.ndarray] = {}
+
+        def gauss(component: str, sigma: float) -> np.ndarray:
+            arr = gauss_cache.get(component)
+            if arr is None:
+                arr = self._gauss(country, component, sigma)
+                gauss_cache[component] = arr
+            return arr
+
+        matrix = np.empty((len(breakdowns), n_all), dtype=np.float64)
+        results: dict[Breakdown, RankedList] = {}
+        for row, breakdown in zip(matrix, breakdowns):
+            platform = breakdown.platform
+            metric = breakdown.metric
+            month = breakdown.month
+            with tracer.span(
+                "engine.generate_slice",
+                country=country,
+                platform=platform.value,
+                metric=metric.value,
+                month=str(month),
+                cache="miss",
+            ):
+                month_key = (platform, month.index())
+                pm = prefix_month.get(month_key)
+                if pm is None:
+                    p = prefix.get(platform)
+                    if p is None:
+                        p = base.copy()
+                        if platform.is_mobile:
+                            p += log_mobile_c
+                        p += gauss(
+                            f"platform:{platform.value}", cfg.platform_sigma
+                        )
+                        prefix[platform] = p
+                    pm = p.copy()
+                    pm += self._month_walk(country, month)
+                    prefix_month[month_key] = pm
+                np.copyto(row, pm)
+
+                if metric is Metric.TIME_ON_PAGE:
+                    row += log_time_c
+                    churn = churn_comp.get(month_key)
+                    if churn is None:
+                        draws = churn_draws.get(platform)
+                        if draws is None:
+                            rng = self._stream(
+                                country, f"metric:churn:{platform.value}"
+                            )
+                            draws = (
+                                rng.random(n_all),
+                                rng.uniform(
+                                    cfg.metric_churn_lo,
+                                    cfg.metric_churn_hi,
+                                    size=n_all,
+                                ),
+                            )
+                            churn_draws[platform] = draws
+                        churn_prob = cfg.metric_churn_prob
+                        if platform.is_mobile:
+                            churn_prob *= cfg.mobile_metric_factor
+                        # The churn input is the loads-side score so far
+                        # (prefix + walk + log_time), exactly what the
+                        # serial path passes.
+                        churn = self._churn_from_draws(
+                            country, row, draws[0], draws[1], churn_prob
+                        )
+                        churn_comp[month_key] = churn
+                    row += churn
+                    row += gauss(
+                        f"metric:time:{platform.value}", cfg.metric_sigma
+                    )
+                elif metric is Metric.INITIATED_PAGE_LOADS:
+                    row += gauss("metric:initiated", 0.05)
+
+                if month.is_december:
+                    row += log_december_c
+                    mix_key = (month.year, metric.value)
+                    mix = mixture_cache.get(mix_key)
+                    if mix is None:
+                        mix = self._mixture(
+                            country, f"december:{month.year}:{metric.value}",
+                            cfg.december_extra_sigma, cfg.december_shift_prob,
+                            cfg.december_shift_sigma,
+                        )
+                        mixture_cache[mix_key] = mix
+                    row += mix
+
+                if metric is Metric.TIME_ON_PAGE:
+                    row += gauss(f"sampling:{month}", sampling_sigma)
+
+                scores = row[keep]
+                n = min(cfg.list_size, len(scores))
+                order = self._top_order(scores, n)
+                if cfg.privacy.client_threshold > 0:
+                    cutoff = self._threshold_cutoff(country, platform, metric, n)
+                    if cutoff < n:
+                        order = order[:cutoff]
+                top_uids = kept_uids[order]
+                # Labels are globally unique by universe construction,
+                # so the emitted names need no re-validation.
+                results[breakdown] = RankedList._trusted(
+                    tuple(emit_names[top_uids].tolist())
+                )
+        return results
 
     def generate(
         self,

@@ -74,21 +74,36 @@ def threshold_rank(
     threshold: int,
     visits_per_client: float = 40.0,
     max_rank: int = 1_000_000,
+    share_fn=None,
 ) -> int:
     """The deepest rank whose site still clears the client threshold.
 
     Unique-client counts fall monotonically with rank (the distribution's
     per-rank share does), so binary search applies.
+
+    ``share_fn`` optionally overrides ``distribution.share_of_rank`` for
+    the probes — the batched generation path passes a memoised lookup so
+    the searches of many countries over one distribution share their
+    probe evaluations.  Any override must return bitwise-identical
+    values to ``share_of_rank``; the probe arithmetic here is otherwise
+    exactly :func:`unique_clients_at_rank`.
     """
     if threshold <= 0:
         return max_rank
-    if unique_clients_at_rank(1, install_base, distribution, visits_per_client) < threshold:
+    if install_base <= 0 or visits_per_client <= 0:
+        raise ValueError("install_base and visits_per_client must be positive")
+    if share_fn is None:
+        share_fn = distribution.share_of_rank
+
+    def clients(rank: int) -> float:
+        return install_base * (1.0 - math.exp(-share_fn(rank) * visits_per_client))
+
+    if clients(1) < threshold:
         return 0
     lo, hi = 1, max_rank
     while lo < hi:
         mid = (lo + hi + 1) // 2
-        clients = unique_clients_at_rank(mid, install_base, distribution, visits_per_client)
-        if clients >= threshold:
+        if clients(mid) >= threshold:
             lo = mid
         else:
             hi = mid - 1

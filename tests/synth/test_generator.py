@@ -252,3 +252,69 @@ class TestDomainEmission:
         assert "google.co.uk" in gb.top(5)
         us = gen.rank_list("US", Platform.WINDOWS, Metric.PAGE_LOADS)
         assert "google.com" in us.top(5)
+
+    def test_emit_array_matches_per_uid_lookup(self):
+        """The vectorized per-country name array is exactly what the old
+        per-uid ``domain_in_country`` loop produced, for every uid."""
+        gen = TelemetryGenerator(GeneratorConfig.small(emit="domains"))
+        uni = gen.universe
+        for country in ("GB", "BR"):
+            names = gen._emit_names(country)
+            assert len(names) == uni.n_sites
+            for uid in range(uni.n_sites):
+                assert names[uid] == uni.domain_in_country(uid, country)
+            # Cached: the second lookup is the same array object.
+            assert gen._emit_names(country) is names
+
+    def test_canonical_emit_shares_one_array(self, generator):
+        assert generator._emit_names("US") is generator._canonical_names
+        assert generator._emit_names("KR") is generator._canonical_names
+
+
+class TestMonthWalkIncremental:
+    """The forward month walk reuses cached unclipped sums; the clipped
+    result must stay byte-identical to a full per-month re-sum."""
+
+    @staticmethod
+    def _resum(gen, country, month):
+        import numpy as np
+        from repro.synth.generator import WALK_ORIGIN
+
+        target = month.index()
+        origin = WALK_ORIGIN.index()
+        candidates = gen.universe.candidates(country)
+        walk = np.zeros(len(candidates), dtype=np.float64)
+        if target > origin:
+            for idx in range(origin + 1, target + 1):
+                walk += gen._innovation(country, idx)
+        elif target < origin:
+            for idx in range(target + 1, origin + 1):
+                walk -= gen._innovation(country, idx)
+        cap = 2.0 * gen.universe.noise_scale[candidates]
+        np.clip(walk, -cap, cap, out=walk)
+        return walk
+
+    def test_forward_walks_byte_identical_to_resum(self, generator):
+        for month in (Month(2021, 9), Month(2021, 10), Month(2022, 2),
+                      Month(2022, 7)):
+            got = generator._month_walk("US", month)
+            expected = self._resum(generator, "US", month)
+            assert got.tobytes() == expected.tobytes(), month
+
+    def test_pre_origin_walk_byte_identical_to_resum(self, generator):
+        got = generator._month_walk("US", Month(2021, 6))
+        expected = self._resum(generator, "US", Month(2021, 6))
+        assert got.tobytes() == expected.tobytes()
+
+    def test_walk_independent_of_request_order(self):
+        """Append stability: a month reached incrementally (after earlier
+        months primed the cache) matches the same month computed first."""
+        jump = TelemetryGenerator(GeneratorConfig.small())
+        step = TelemetryGenerator(GeneratorConfig.small())
+        late = Month(2022, 2)
+        direct = jump._month_walk("FR", late)
+        for month in (Month(2021, 10), Month(2021, 11), Month(2021, 12),
+                      Month(2022, 1)):
+            step._month_walk("FR", month)
+        incremental = step._month_walk("FR", late)
+        assert direct.tobytes() == incremental.tobytes()
